@@ -1,0 +1,128 @@
+"""Table II — main comparison and ablations on the WikiSQL-style dataset.
+
+Regenerates every row of the paper's Table II: the Annotated Seq2seq
+model, its four component ablations, the "+Transformer" swap, and the
+reimplemented baselines (Seq2SQL, SQLNet, TypeSQL).  The benchmark
+timers measure inference over the evaluation slice; training happens in
+cached setup (see ``common.py``).
+
+Expected shape (not absolute numbers): ours beats the plain seq2seq by
+a wide margin, every ablation scores at or below the full model, and
+the Transformer variant underperforms the GRU seq2seq at this data
+scale.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import common as C
+
+_ABLATIONS = ["half_hidden", "no_append", "no_copy", "no_header",
+              "transformer"]
+_BASELINES = ["seq2sql", "sqlnet", "typesql"]
+
+_LABELS = {
+    "ours": "Annotated Seq2seq (Ours)",
+    "half_hidden": "- Half Hidden Size",
+    "no_append": "- Column Name Appending",
+    "no_copy": "- Copy Mechanism",
+    "no_header": "- Table Header Encoding",
+    "transformer": "- seq2seq + Transformer",
+    "seq2sql": "Seq2SQL-like",
+    "sqlnet": "SQLNet-like",
+    "typesql": "TypeSQL-like (content sensitive)",
+}
+
+
+def _paper_row(key: str) -> str:
+    ref = C.PAPER[key]
+    parts = []
+    for metric in ("lf", "qm", "ex"):
+        value = ref.get(metric)
+        parts.append("-" if value is None else f"{value:.1%}")
+    return " / ".join(parts)
+
+
+def _measured_row(result) -> str:
+    return (f"lf={result.acc_lf:.1%} qm={result.acc_qm:.1%} "
+            f"ex={result.acc_ex:.1%}")
+
+
+def test_table2_ours(benchmark):
+    """Headline row: dev and test metrics for the full model."""
+    model = C.full_nlidb()
+    dev_examples = C.dataset().dev
+
+    def run_inference():
+        return [model.translate(e.question_tokens, e.table).query
+                for e in dev_examples[:10]]
+
+    benchmark.pedantic(run_inference, rounds=1, iterations=1)
+
+    C.print_header("Table II — main comparison (WikiSQL-style)")
+    for split in ("dev", "test"):
+        result, _preds, _ex = C.eval_split("ours", split)
+        C.print_row(f"{_LABELS['ours']} [{split}]", _measured_row(result),
+                    _paper_row("ours"))
+    test_result, _, _ = C.eval_split("ours", "test")
+    assert test_result.acc_qm > C.scale().headline_min_qm
+    assert test_result.acc_ex >= test_result.acc_qm - 0.05
+
+
+@pytest.mark.parametrize("name", _ABLATIONS)
+def test_table2_ablation(benchmark, name):
+    """Ablation rows: each component's removal lowers accuracy."""
+    limit = C.scale().eval_limit
+    model = C.ablation_nlidb(name)
+    examples = C.dataset().test[:8]
+
+    benchmark.pedantic(
+        lambda: [model.translate(e.question_tokens, e.table).query
+                 for e in examples],
+        rounds=1, iterations=1)
+
+    result, _preds, _ex = C.eval_split(f"ablation:{name}", "test",
+                                       limit=limit)
+    ours, _, _ = C.eval_split("ours", "test", limit=limit)
+    C.print_header(f"Table II — ablation: {_LABELS[name]}")
+    C.print_row(_LABELS[name], _measured_row(result), _paper_row(name))
+    C.print_row("(full model)", _measured_row(ours), _paper_row("ours"))
+    # Shape check with slack: the paper's ablation deltas are ≤ 1.2 pts
+    # on 15k test examples; on 50 examples at 1-CPU scale they are below
+    # sample noise, so we only assert the ablation does not *decisively*
+    # beat the full model.
+    assert result.acc_qm <= ours.acc_qm + 0.15
+
+
+@pytest.mark.parametrize("name", _BASELINES)
+def test_table2_baseline(benchmark, name):
+    """Baseline rows: relative ordering versus our model."""
+    limit = C.scale().eval_limit
+    model = C.baseline_model(name)
+    examples = C.dataset().test[:8]
+
+    benchmark.pedantic(
+        lambda: [model.translate(e.question_tokens, e.table)
+                 for e in examples],
+        rounds=1, iterations=1)
+
+    result, _preds, _ex = C.eval_split(name, "test", limit=limit)
+    ours, _, _ = C.eval_split("ours", "test", limit=limit)
+    C.print_header(f"Table II — baseline: {_LABELS[name]}")
+    C.print_row(_LABELS[name], _measured_row(result), _paper_row(name))
+    C.print_row(_LABELS["ours"], _measured_row(ours), _paper_row("ours"))
+    if name == "seq2sql":
+        # The paper's central claim: annotation beats plain seq2seq.
+        assert ours.acc_qm > result.acc_qm
+
+
+def test_table2_reference_rows(benchmark):
+    """Rows we cite from their papers (no reimplementation): PT-MAML,
+    Coarse2Fine.  Printed for completeness of the table."""
+    def emit():
+        C.print_header("Table II — cited rows (from the original papers)")
+        C.print_row("PT-MAML [15]", "lf=62.8% qm=- ex=68.0%")
+        C.print_row("Coarse2Fine [5]", "lf=71.7% qm=- ex=78.5%")
+
+    benchmark.pedantic(emit, rounds=1, iterations=1)

@@ -1,0 +1,84 @@
+"""Table IV(a) — zero-shot transfer to the OVERNIGHT-style domains.
+
+The headline model (trained only on the WikiSQL-style domains) is
+evaluated on five unseen sub-domains; sketch-incompatible records are
+discarded, exactly as in the paper.  A second case trains on the
+OVERNIGHT-style data directly (the paper's in-domain 81.4% row).
+
+Expected shape: transfer works without retraining; BASKETBALL (opaque
+stat columns) is the weakest sub-domain, common-vocabulary domains
+(RECIPES / RESTAURANTS / CALENDAR) the strongest; in-domain training
+beats zero-shot transfer overall.
+"""
+
+from __future__ import annotations
+
+import common as C
+from repro.core import NLIDB, evaluate
+from repro.data import SUBDOMAINS
+
+
+def _transfer_accuracy(model, examples):
+    compatible = [e for e in examples if e.sketch_compatible]
+    preds = [model.translate(e.question_tokens, e.table).query
+             for e in compatible]
+    return evaluate(preds, compatible), len(compatible)
+
+
+def test_table4a_zero_shot_transfer(benchmark):
+    model = C.full_nlidb()
+    data = C.overnight_data()
+
+    def run_all():
+        out = {}
+        for name in SUBDOMAINS:
+            out[name] = _transfer_accuracy(model, data[name])
+        return out
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    C.print_header("Table IV(a) — zero-shot transfer to OVERNIGHT-style")
+    total_hits = total_n = 0
+    measured = {}
+    for name in SUBDOMAINS:
+        result, n = results[name]
+        measured[name] = result.acc_qm
+        total_hits += result.acc_qm * n
+        total_n += n
+        C.print_row(name.upper(), f"Acc_qm={result.acc_qm:.1%} (n={n})",
+                    f"{C.PAPER['overnight'][name]:.1%}")
+    overall = total_hits / total_n
+    C.print_row("OVERALL", f"Acc_qm={overall:.1%}",
+                f"{C.PAPER['overnight']['overall']:.1%}")
+
+    assert overall > C.scale().transfer_min_qm  # transfer happens at all
+    if C.strict_shape():
+        easy = max(measured["recipes"], measured["restaurants"],
+                   measured["calendar"])
+        assert measured["basketball"] <= easy  # hardness ordering
+
+
+def test_table4a_in_domain_training(benchmark):
+    """The 81.4% row: train and test on OVERNIGHT-style data."""
+    data = C.overnight_data()
+    flat = [e for name in SUBDOMAINS for e in data[name]
+            if e.sketch_compatible]
+    split = int(len(flat) * 0.7)
+    train, test = flat[:split], flat[split:]
+
+    cfg = C._base_config()
+    model = NLIDB(C.embeddings(), cfg)
+    model.fit(train)
+
+    def run_eval():
+        preds = [model.translate(e.question_tokens, e.table).query
+                 for e in test]
+        return evaluate(preds, test)
+
+    result = benchmark.pedantic(run_eval, rounds=1, iterations=1)
+
+    C.print_header("OVERNIGHT-style — in-domain training")
+    C.print_row("train+test on OVERNIGHT-style",
+                f"Acc_qm={result.acc_qm:.1%} (n={result.n})",
+                f"{C.PAPER['overnight_in_domain']:.1%}")
+    assert result.acc_qm > max(C.scale().transfer_min_qm, 0.05)

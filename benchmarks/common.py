@@ -1,0 +1,273 @@
+"""Shared artifacts for the benchmark harness.
+
+Training is expensive, so every bench module pulls models, datasets,
+and prediction sets from the memoized builders here; each is built at
+most once per pytest session.  The benchmark timers measure *inference*
+(translation of an evaluation slice); training happens in setup.
+
+Scale is controlled with ``REPRO_BENCH_SCALE``:
+
+* ``standard`` (default) — paper-shaped runs (a few minutes per model);
+* ``smoke`` — tiny budgets for CI sanity.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.baselines import Seq2SQLBaseline, SQLNetBaseline, TypeSQLBaseline
+from repro.core import NLIDB, NLIDBConfig, evaluate
+from repro.core.seq2seq.model import Seq2SeqConfig
+from repro.core.seq2seq.transformer import TransformerConfig, TransformerTranslator
+from repro.data import (
+    generate_overnight,
+    generate_paraphrase_bench,
+    generate_wikisql_style,
+)
+from repro.text import WordEmbeddings
+
+__all__ = [
+    "scale", "embeddings", "dataset", "full_nlidb", "ablation_nlidb",
+    "baseline_model", "predictions", "eval_split", "overnight_data",
+    "paraphrase_data", "print_header", "print_row", "PAPER",
+]
+
+
+@dataclass(frozen=True)
+class Scale:
+    train_size: int
+    dev_size: int
+    test_size: int
+    classifier_epochs: int
+    seq2seq_epochs: int
+    hidden: int
+    eval_limit: int  # per-split evaluation cap for non-headline models
+    # Assertion floors (smoke budgets cannot reach paper-shaped numbers).
+    headline_min_qm: float
+    transfer_min_qm: float
+    mention_min: float
+
+
+_SCALES = {
+    "standard": Scale(train_size=250, dev_size=60, test_size=60,
+                      classifier_epochs=3, seq2seq_epochs=8, hidden=48,
+                      eval_limit=50, headline_min_qm=0.35,
+                      transfer_min_qm=0.15, mention_min=0.5),
+    "smoke": Scale(train_size=50, dev_size=16, test_size=16,
+                   classifier_epochs=1, seq2seq_epochs=3, hidden=24,
+                   eval_limit=16, headline_min_qm=0.02,
+                   transfer_min_qm=0.0, mention_min=0.05),
+}
+
+
+def scale() -> Scale:
+    name = os.environ.get("REPRO_BENCH_SCALE", "standard")
+    if name not in _SCALES:
+        raise ValueError(f"unknown REPRO_BENCH_SCALE={name!r}")
+    return _SCALES[name]
+
+
+def strict_shape() -> bool:
+    """Whether shape orderings should be asserted (standard scale only;
+    smoke budgets are too small for model orderings to be meaningful)."""
+    return os.environ.get("REPRO_BENCH_SCALE", "standard") == "standard"
+
+
+@lru_cache(maxsize=1)
+def embeddings() -> WordEmbeddings:
+    return WordEmbeddings(dim=32, seed=0)
+
+
+@lru_cache(maxsize=1)
+def dataset():
+    s = scale()
+    return generate_wikisql_style(seed=0, train_size=s.train_size,
+                                  dev_size=s.dev_size, test_size=s.test_size)
+
+
+def _base_config(**overrides) -> NLIDBConfig:
+    s = scale()
+    cfg = NLIDBConfig(
+        classifier_epochs=s.classifier_epochs,
+        seq2seq_epochs=s.seq2seq_epochs,
+        seq2seq=Seq2SeqConfig(hidden=s.hidden, attention_dim=s.hidden),
+    )
+    for key, value in overrides.items():
+        setattr(cfg, key, value)
+    return cfg
+
+
+@lru_cache(maxsize=1)
+def full_nlidb() -> NLIDB:
+    """The headline model (Annotated Seq2seq, all components on)."""
+    model = NLIDB(embeddings(), _base_config())
+    model.fit(dataset().train)
+    return model
+
+
+@lru_cache(maxsize=8)
+def ablation_nlidb(name: str) -> NLIDB:
+    """Translator-side ablations sharing the headline annotator."""
+    s = scale()
+    annotator = full_nlidb().annotator
+    if name == "half_hidden":
+        cfg = _base_config()
+        cfg.seq2seq = Seq2SeqConfig(hidden=s.hidden // 2,
+                                    attention_dim=s.hidden // 2)
+        model = NLIDB(embeddings(), cfg)
+    elif name == "no_append":
+        model = NLIDB(embeddings(), _base_config(column_name_appending=False))
+    elif name == "no_copy":
+        cfg = _base_config()
+        cfg.seq2seq = Seq2SeqConfig(hidden=s.hidden, attention_dim=s.hidden,
+                                    use_copy=False)
+        model = NLIDB(embeddings(), cfg)
+    elif name == "no_header":
+        model = NLIDB(embeddings(), _base_config(header_encoding=False))
+    elif name == "transformer":
+        translator = TransformerTranslator(
+            embeddings(), TransformerConfig(heads=4, layers=1,
+                                            ff_hidden=2 * s.hidden))
+        model = NLIDB(embeddings(), _base_config(), translator=translator)
+    else:
+        raise ValueError(f"unknown ablation {name!r}")
+    model.fit(dataset().train, reuse_annotator=annotator)
+    return model
+
+
+@lru_cache(maxsize=4)
+def baseline_model(name: str):
+    """Trained baseline by name: seq2sql | sqlnet | typesql."""
+    s = scale()
+    train = dataset().train
+    if name == "seq2sql":
+        model = Seq2SQLBaseline(
+            embeddings(), Seq2SeqConfig(hidden=s.hidden,
+                                        attention_dim=s.hidden))
+        return model.fit(train, epochs=s.seq2seq_epochs)
+    if name == "sqlnet":
+        return SQLNetBaseline(embeddings()).fit(train, epochs=25)
+    if name == "typesql":
+        return TypeSQLBaseline(embeddings()).fit(train, epochs=25)
+    raise ValueError(f"unknown baseline {name!r}")
+
+
+_PREDICTION_CACHE: dict[tuple[str, str], list] = {}
+_TRANSLATION_CACHE: dict[tuple[str, str], list] = {}
+
+
+def _nlidb_for(model_key: str) -> NLIDB:
+    if model_key == "ours":
+        return full_nlidb()
+    if model_key.startswith("ablation:"):
+        return ablation_nlidb(model_key.split(":", 1)[1])
+    raise ValueError(f"{model_key!r} is not an NLIDB model")
+
+
+def translations(model_key: str, split: str, limit: int | None = None):
+    """Full Translation objects of an NLIDB model on a split (memoized)."""
+    key = (model_key, split)
+    if key not in _TRANSLATION_CACHE:
+        model = _nlidb_for(model_key)
+        examples = getattr(dataset(), split)
+        limit_all = scale().eval_limit if model_key != "ours" else None
+        if limit_all is not None:
+            examples = examples[:limit_all]
+        _TRANSLATION_CACHE[key] = [
+            model.translate(e.question_tokens, e.table) for e in examples]
+    out = _TRANSLATION_CACHE[key]
+    return out if limit is None else out[:limit]
+
+
+def predictions(model_key: str, split: str, limit: int | None = None):
+    """Predicted queries of a model on a split (memoized)."""
+    key = (model_key, split)
+    if key not in _PREDICTION_CACHE:
+        if model_key == "ours" or model_key.startswith("ablation:"):
+            preds = [t.query for t in translations(model_key, split)]
+        else:
+            model = baseline_model(model_key)
+            examples = getattr(dataset(), split)[:scale().eval_limit]
+            preds = [model.translate(e.question_tokens, e.table)
+                     for e in examples]
+        _PREDICTION_CACHE[key] = preds
+    preds = _PREDICTION_CACHE[key]
+    return preds if limit is None else preds[:limit]
+
+
+def eval_split(model_key: str, split: str, limit: int | None = None):
+    """(EvalResult, predictions, examples) for a model on a split.
+
+    Non-headline models are evaluated on at most ``scale().eval_limit``
+    examples; the example slice always matches the prediction list.
+    """
+    preds = predictions(model_key, split, limit=limit)
+    examples = getattr(dataset(), split)[:len(preds)]
+    return evaluate(preds, examples), preds, examples
+
+
+@lru_cache(maxsize=1)
+def overnight_data():
+    return generate_overnight(seed=1, per_domain=25)
+
+
+@lru_cache(maxsize=1)
+def paraphrase_data():
+    return generate_paraphrase_bench(seed=7, n_rows=5)
+
+
+# ----------------------------------------------------------------------
+# Paper-reported reference numbers (test split unless noted)
+# ----------------------------------------------------------------------
+
+PAPER = {
+    "ours": {"lf": 0.756, "qm": 0.756, "ex": 0.836},
+    "half_hidden": {"lf": 0.750, "qm": 0.750, "ex": 0.829},
+    "no_append": {"lf": 0.745, "qm": 0.745, "ex": 0.821},
+    "no_copy": {"lf": 0.744, "qm": 0.744, "ex": 0.819},
+    "no_header": {"lf": 0.746, "qm": 0.746, "ex": 0.818},
+    "transformer": {"lf": 0.691, "qm": 0.692, "ex": 0.784},
+    "seq2sql": {"lf": 0.508, "qm": 0.516, "ex": 0.604},
+    "sqlnet": {"lf": None, "qm": 0.613, "ex": 0.680},
+    "typesql": {"lf": None, "qm": 0.754, "ex": 0.826},
+    "mention_ours": 0.918,
+    "mention_typesql": 0.879,
+    "overnight": {"basketball": 0.397, "calendar": 0.763, "housing": 0.515,
+                  "recipes": 0.818, "restaurants": 0.793, "overall": 0.606},
+    "overnight_in_domain": 0.814,
+    "paraphrase": {"naive": 0.9649, "syntactic": 0.9298, "lexical": 0.5789,
+                   "morphological": 0.8772, "semantic": 0.5614,
+                   "missing": 0.0386},
+    "recovery": {"ours": (0.750, 0.756), "half_hidden": (0.746, 0.750),
+                 "no_header": (0.742, 0.746), "no_append": (0.740, 0.745),
+                 "no_copy": (0.738, 0.744)},
+}
+
+
+# Measured tables are buffered here and emitted after the run by the
+# pytest_terminal_summary hook in benchmarks/conftest.py — pytest's
+# default fd-level capture would otherwise swallow output from passing
+# tests.  They are also print()ed normally so failing tests show their
+# context inline.
+RESULT_LINES: list[str] = []
+
+
+def _emit(line: str) -> None:
+    RESULT_LINES.append(line)
+    print(line)
+
+
+def print_header(title: str) -> None:
+    _emit(f"\n{'=' * 72}\n{title}\n{'=' * 72}")
+
+
+def print_row(label: str, measured: str, paper: str = "") -> None:
+    suffix = f"   [paper: {paper}]" if paper else ""
+    _emit(f"  {label:<34} {measured}{suffix}")
+
+
+def results_text() -> str:
+    """All measured tables produced so far, as one text block."""
+    return "\n".join(RESULT_LINES)

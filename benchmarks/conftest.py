@@ -1,0 +1,15 @@
+"""Benchmark-suite hooks.
+
+Emits the measured paper-vs-reproduction tables after the run; pytest's
+default fd-level capture would otherwise hide them for passing tests.
+"""
+
+import common
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    text = common.results_text()
+    if text:
+        terminalreporter.ensure_newline()
+        terminalreporter.section("measured results (paper vs reproduction)")
+        terminalreporter.write(text + "\n")

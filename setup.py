@@ -1,0 +1,8 @@
+"""Legacy setup shim: lets ``python setup.py develop`` work offline
+(the sandbox has no ``wheel`` package, which PEP 517 editable installs
+need).  Configuration lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,25 @@
+"""Reproduction of "A Natural Language Interface for Database: Achieving
+Transfer-learnability Using Adversarial Method for Question Understanding"
+(Wang, Tian, Wang, Ku - ICDE 2020).
+
+The library is organised as:
+
+* :mod:`repro.nn` - a from-scratch numpy neural substrate (autodiff,
+  LSTM/GRU, attention, char-CNN, optimizers);
+* :mod:`repro.sqlengine` - an in-memory relational engine for the
+  WikiSQL query sketch (parser, executor, canonicalizer);
+* :mod:`repro.text` - tokenization, edit/semantic distances,
+  lexicon-structured embeddings, dependency-tree heuristics;
+* :mod:`repro.data` - synthetic WikiSQL-style / OVERNIGHT-style /
+  ParaphraseBench-style dataset generators;
+* :mod:`repro.core` - the paper's contribution: adversarial mention
+  detection, annotation, the annotated seq2seq translator, and the
+  end-to-end :class:`~repro.core.nlidb.NLIDB` facade;
+* :mod:`repro.baselines` - Seq2SQL-, SQLNet-, and TypeSQL-like baselines.
+"""
+
+__version__ = "1.0.0"
+
+from repro.errors import ReproError
+
+__all__ = ["ReproError", "__version__"]

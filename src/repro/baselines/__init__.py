@@ -1,0 +1,16 @@
+"""Reimplemented baselines for the Table II comparison.
+
+Each captures the architectural essence of its namesake at the same
+scale as our model, so relative orderings are meaningful:
+
+* :class:`Seq2SQLBaseline` — plain seq2seq, no annotation (Seq2SQL [49]);
+* :class:`SQLNetBaseline` — sketch-based slot filling (SQLNet [46]);
+* :class:`TypeSQLBaseline` — slot filling + content-derived type
+  features (content-sensitive TypeSQL [48]).
+"""
+
+from repro.baselines.seq2sql import Seq2SQLBaseline
+from repro.baselines.sqlnet import SQLNetBaseline
+from repro.baselines.typesql import TypeSQLBaseline
+
+__all__ = ["Seq2SQLBaseline", "SQLNetBaseline", "TypeSQLBaseline"]

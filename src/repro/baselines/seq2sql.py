@@ -1,0 +1,94 @@
+"""Seq2SQL-like baseline: plain seq2seq *without* annotation.
+
+Represents the architectural essence of Seq2SQL [49]: an augmented
+pointer seq2seq that reads the raw question plus the table header and
+emits SQL tokens directly — no mention detection, no placeholder
+symbols.  It shares the translator backbone with the full model, so the
+Table II comparison isolates exactly the paper's contribution (the
+annotation layer).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.annotate import AnnotatedQuestion, build_annotated_sql, recover_sql
+from repro.core.seq2seq.model import AnnotatedSeq2Seq, Seq2SeqConfig, TrainingPair
+from repro.data.records import Example
+from repro.errors import AnnotationError, ModelError, ReproError
+from repro.sqlengine import Query, Table
+from repro.text import WordEmbeddings, tokenize
+
+__all__ = ["Seq2SQLBaseline"]
+
+
+@dataclass
+class _EmptyAnnotationFactory:
+    """Produces symbol-free annotations (all references stay literal)."""
+
+    @staticmethod
+    def make(question_tokens: list[str], table: Table) -> AnnotatedQuestion:
+        return AnnotatedQuestion(question_tokens=question_tokens,
+                                 table=table, columns=[], values=[])
+
+
+class Seq2SQLBaseline:
+    """Question + header in, literal SQL tokens out."""
+
+    def __init__(self, embeddings: WordEmbeddings | None = None,
+                 config: Seq2SeqConfig | None = None):
+        self.embeddings = embeddings or WordEmbeddings(dim=32)
+        self.translator = AnnotatedSeq2Seq(self.embeddings,
+                                           config or Seq2SeqConfig())
+        self._fitted = False
+
+    @staticmethod
+    def _source(example_tokens: list[str], table: Table) -> list[str]:
+        tokens = list(example_tokens) + ["|"]
+        for name in table.column_names:
+            tokens.extend(tokenize(name))
+            tokens.append(";")
+        return tokens
+
+    @staticmethod
+    def _header_tokens(table: Table) -> list[str]:
+        tokens: list[str] = []
+        for name in table.column_names:
+            tokens.extend(tokenize(name))
+        return tokens
+
+    def fit(self, examples: list[Example], epochs: int = 10,
+            lr: float = 2e-3, verbose: bool = False) -> "Seq2SQLBaseline":
+        """Train on literal (question+header → SQL tokens) pairs."""
+        if not examples:
+            raise ModelError("fit() needs training examples")
+        pairs = []
+        for example in examples:
+            annotation = _EmptyAnnotationFactory.make(
+                example.question_tokens, example.table)
+            try:
+                target = build_annotated_sql(annotation, example.query,
+                                             header_encoding=False)
+            except ReproError:
+                continue
+            pairs.append(TrainingPair(
+                source=self._source(example.question_tokens, example.table),
+                target=target,
+                header_tokens=self._header_tokens(example.table)))
+        self.translator.fit(pairs, epochs=epochs, lr=lr, verbose=verbose)
+        self._fitted = True
+        return self
+
+    def translate(self, question: str | list[str],
+                  table: Table) -> Query | None:
+        """Predict a query; ``None`` when the output is unparseable."""
+        if not self._fitted:
+            raise ModelError("translate() called before fit()")
+        tokens = tokenize(question) if isinstance(question, str) else list(question)
+        annotation = _EmptyAnnotationFactory.make(tokens, table)
+        predicted = self.translator.translate(
+            self._source(tokens, table), self._header_tokens(table))
+        try:
+            return recover_sql(predicted, annotation)
+        except AnnotationError:
+            return None

@@ -1,0 +1,238 @@
+"""SQLNet-like baseline: sketch-based slot filling.
+
+Represents SQLNet [46]: the SQL is a fixed sketch
+
+    SELECT $AGG $SELECT_COL WHERE ($COND_COL $OP $COND_VAL)*
+
+and each slot is predicted by its own small network — no sequence
+decoding.  Slots:
+
+* ``$AGG`` — classifier over the question representation;
+* ``$SELECT_COL`` / ``$COND_COL`` — column scorers matching column-name
+  embeddings against the question representation;
+* number of conditions — classifier (0–2);
+* ``$OP`` — classifier over [question; column] features;
+* ``$COND_VAL`` — statistics-scored span extraction (embedding
+  similarity for text, range fit for numbers).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.mention.value_classifier import candidate_spans
+from repro.data.records import Example
+from repro.errors import ModelError
+from repro.nn import MLP, Adam, Linear, Module, Tensor, cross_entropy, no_grad
+from repro.sqlengine import Aggregate, Condition, Operator, Query, Table
+from repro.text import WordEmbeddings, column_statistics, span_statistics, tokenize
+
+__all__ = ["SQLNetBaseline"]
+
+_AGGS = [Aggregate.NONE, Aggregate.MAX, Aggregate.MIN, Aggregate.COUNT,
+         Aggregate.SUM, Aggregate.AVG]
+_OPS = [Operator.EQ, Operator.GT, Operator.LT]
+
+
+class _ColumnScorer(Module):
+    """score(question, column) = v·tanh(W_q q̄ + W_c c̄)."""
+
+    def __init__(self, dim: int, hidden: int, rng: np.random.Generator):
+        super().__init__()
+        self.q_proj = Linear(dim, hidden, rng)
+        self.c_proj = Linear(dim, hidden, rng)
+        self.v = Linear(hidden, 1, rng, bias=False)
+
+    def forward(self, qbar: Tensor, cbars: Tensor) -> Tensor:
+        """Logits over columns; ``cbars`` is ``(n_cols, dim)``."""
+        hidden = (self.c_proj(cbars) + self.q_proj(qbar)).tanh()
+        return self.v(hidden).reshape(cbars.shape[0])
+
+
+class SQLNetBaseline:
+    """Sketch-based slot-filling text-to-SQL baseline."""
+
+    def __init__(self, embeddings: WordEmbeddings | None = None,
+                 hidden: int = 32, seed: int = 0,
+                 content_sensitive: bool = False):
+        self.embeddings = embeddings or WordEmbeddings(dim=32)
+        self.dim = self.embeddings.dim
+        self.content_sensitive = content_sensitive
+        rng = np.random.default_rng(seed)
+        self.agg_head = MLP([self.dim, hidden, len(_AGGS)], rng,
+                            hidden_activation="tanh")
+        self.ncond_head = MLP([self.dim, hidden, 3], rng,
+                              hidden_activation="tanh")
+        self.op_head = MLP([2 * self.dim, hidden, len(_OPS)], rng,
+                           hidden_activation="tanh")
+        self.select_scorer = _ColumnScorer(self.dim, hidden, rng)
+        self.cond_scorer = _ColumnScorer(self.dim, hidden, rng)
+        self._fitted = False
+
+    # ------------------------------------------------------------------
+    # Features
+    # ------------------------------------------------------------------
+
+    def _qbar(self, tokens: list[str]) -> np.ndarray:
+        return span_statistics(tokens, self.embeddings.vector, self.dim)
+
+    def _cbars(self, table: Table) -> np.ndarray:
+        return np.stack([
+            span_statistics(tokenize(name), self.embeddings.vector, self.dim)
+            for name in table.column_names])
+
+    def _parameters(self):
+        return (self.agg_head.parameters() + self.ncond_head.parameters()
+                + self.op_head.parameters() + self.select_scorer.parameters()
+                + self.cond_scorer.parameters())
+
+    # ------------------------------------------------------------------
+    # Training
+    # ------------------------------------------------------------------
+
+    def fit(self, examples: list[Example], epochs: int = 25,
+            lr: float = 5e-3, shuffle_seed: int = 0) -> "SQLNetBaseline":
+        """Train all slot networks jointly."""
+        if not examples:
+            raise ModelError("fit() needs training examples")
+        optimizer = Adam(self._parameters(), lr=lr)
+        rng = np.random.default_rng(shuffle_seed)
+        order = np.arange(len(examples))
+        for _ in range(epochs):
+            rng.shuffle(order)
+            for idx in order:
+                example = examples[idx]
+                optimizer.zero_grad()
+                loss = self._example_loss(example)
+                loss.backward()
+                optimizer.step()
+        self._fitted = True
+        return self
+
+    def _example_loss(self, example: Example) -> Tensor:
+        q = example.question_tokens
+        qbar = Tensor(self._qbar(q).reshape(1, -1))
+        cbars = Tensor(self._cbars(example.table))
+        query = example.query
+
+        agg_logits = self.agg_head(qbar)
+        loss = cross_entropy(agg_logits, [_AGGS.index(query.aggregate)])
+
+        ncond = min(len(query.conditions), 2)
+        loss = loss + cross_entropy(self.ncond_head(qbar), [ncond])
+
+        names = [n.lower() for n in example.table.column_names]
+        sel_logits = self.select_scorer(qbar, cbars).reshape(1, len(names))
+        loss = loss + cross_entropy(
+            sel_logits, [names.index(query.select_column.lower())])
+
+        cond_logits = self.cond_scorer(qbar, cbars).reshape(1, len(names))
+        for cond in query.conditions:
+            col_idx = names.index(cond.column.lower())
+            loss = loss + cross_entropy(cond_logits, [col_idx])
+            cbar = cbars[col_idx].reshape(1, self.dim)
+            op_in = Tensor(np.concatenate(
+                [self._qbar(q), cbar.numpy().reshape(-1)]).reshape(1, -1))
+            loss = loss + cross_entropy(self.op_head(op_in),
+                                        [_OPS.index(cond.operator)])
+        return loss
+
+    # ------------------------------------------------------------------
+    # Inference
+    # ------------------------------------------------------------------
+
+    def translate(self, question: str | list[str],
+                  table: Table) -> Query | None:
+        """Fill every sketch slot for one question."""
+        if not self._fitted:
+            raise ModelError("translate() called before fit()")
+        q = tokenize(question) if isinstance(question, str) else list(question)
+        with no_grad():
+            qbar = Tensor(self._qbar(q).reshape(1, -1))
+            cbars = Tensor(self._cbars(table))
+            agg = _AGGS[int(np.argmax(self.agg_head(qbar).numpy()))]
+            ncond = int(np.argmax(self.ncond_head(qbar).numpy()))
+            sel_scores = self.select_scorer(qbar, cbars).numpy()
+            cond_scores = self.cond_scorer(qbar, cbars).numpy()
+        names = table.column_names
+        select = names[int(np.argmax(sel_scores))]
+
+        conditions = []
+        used_spans: set[tuple[int, int]] = set()
+        for col_idx in np.argsort(cond_scores)[::-1][:ncond]:
+            column = names[int(col_idx)]
+            with no_grad():
+                op_in = Tensor(np.concatenate(
+                    [self._qbar(q),
+                     self._cbars(table)[int(col_idx)]]).reshape(1, -1))
+                op = _OPS[int(np.argmax(self.op_head(op_in).numpy()))]
+            value_span = self._extract_value(q, table, column, used_spans)
+            if value_span is None:
+                continue
+            span, value = value_span
+            used_spans.add(span)
+            conditions.append(Condition(column, op, value))
+        return Query(select_column=select, aggregate=agg,
+                     conditions=conditions)
+
+    def _extract_value(self, tokens: list[str], table: Table, column: str,
+                       used: set[tuple[int, int]]):
+        """Best value span for a condition column (statistics-scored)."""
+        cells = table.column_values(column)
+        numeric_cells = _numeric_range(cells)
+
+        if self.content_sensitive:
+            # TypeSQL-style type awareness: exact content matches win.
+            cell_tokens = {tuple(tokenize(str(c))) for c in cells}
+            for start in range(len(tokens)):
+                for length in (3, 2, 1):
+                    span = (start, start + length)
+                    if span[1] > len(tokens) or span in used:
+                        continue
+                    if tuple(tokens[span[0]:span[1]]) in cell_tokens:
+                        return span, " ".join(tokens[span[0]:span[1]])
+
+        col_stats = column_statistics(cells, self.embeddings.vector, self.dim)
+        best = None
+        for start, end in candidate_spans(tokens, max_length=3):
+            if (start, end) in used:
+                continue
+            surface = " ".join(tokens[start:end])
+            try:
+                number = float(surface)
+            except ValueError:
+                number = None
+            if number is not None:
+                if numeric_cells is None:
+                    continue
+                lo, hi = numeric_cells
+                score = 1.0 if lo <= number <= hi else 0.0
+                value = int(number) if number.is_integer() else number
+            else:
+                if numeric_cells is not None:
+                    continue
+                span_stats = span_statistics(tokens[start:end],
+                                             self.embeddings.vector, self.dim)
+                denom = (np.linalg.norm(span_stats)
+                         * np.linalg.norm(col_stats)) or 1.0
+                score = float(span_stats @ col_stats) / denom
+                value = surface
+            if score > 0 and (best is None or score > best[0]):
+                best = (score, (start, end), value)
+        if best is None:
+            return None
+        return best[1], best[2]
+
+
+def _numeric_range(cells: list) -> tuple[float, float] | None:
+    numbers = []
+    for cell in cells:
+        try:
+            numbers.append(float(str(cell)))
+        except ValueError:
+            return None
+    if not numbers:
+        return None
+    lo, hi = min(numbers), max(numbers)
+    margin = (hi - lo) * 0.5 + 1.0
+    return lo - margin, hi + margin

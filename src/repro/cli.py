@@ -1,0 +1,168 @@
+"""Command-line interface: generate data, train, evaluate, query, serve.
+
+The paper's related work highlights NaLIR/NaLIX as proof that research
+NLIDBs can be packaged as interactive systems; this CLI plays that role
+for the reproduction::
+
+    python -m repro.cli generate --out data.jsonl --size 200
+    python -m repro.cli train --data data.jsonl --model-dir model/
+    python -m repro.cli evaluate --data dev.jsonl --model-dir model/
+    python -m repro.cli query --model-dir model/ --data dev.jsonl \
+        --question "which film has director jerzy antczak ?"
+    python -m repro.cli repl --model-dir model/ --data dev.jsonl
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core import NLIDB, NLIDBConfig, evaluate
+from repro.core.persistence import load_nlidb, save_nlidb
+from repro.core.seq2seq.model import Seq2SeqConfig
+from repro.data import generate_wikisql_style, load_jsonl, save_jsonl
+from repro.errors import ReproError
+from repro.sqlengine import execute
+from repro.text import WordEmbeddings
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Transfer-learnable NLIDB (ICDE 2020)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="generate a WikiSQL-style dataset")
+    gen.add_argument("--out", required=True)
+    gen.add_argument("--size", type=int, default=200)
+    gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument("--split", choices=["train", "dev", "test"],
+                     default="train")
+
+    train = sub.add_parser("train", help="train an NLIDB")
+    train.add_argument("--data", required=True)
+    train.add_argument("--model-dir", required=True)
+    train.add_argument("--hidden", type=int, default=48)
+    train.add_argument("--classifier-epochs", type=int, default=3)
+    train.add_argument("--seq2seq-epochs", type=int, default=10)
+    train.add_argument("--embedding-dim", type=int, default=32)
+    train.add_argument("--quiet", action="store_true")
+
+    ev = sub.add_parser("evaluate", help="score a model on a dataset")
+    ev.add_argument("--data", required=True)
+    ev.add_argument("--model-dir", required=True)
+
+    query = sub.add_parser("query", help="translate one question")
+    query.add_argument("--model-dir", required=True)
+    query.add_argument("--data", required=True,
+                       help="jsonl file whose first record's table is queried")
+    query.add_argument("--question", required=True)
+    query.add_argument("--execute", action="store_true")
+
+    repl = sub.add_parser("repl", help="interactive question loop")
+    repl.add_argument("--model-dir", required=True)
+    repl.add_argument("--data", required=True)
+    return parser
+
+
+def _cmd_generate(args) -> int:
+    dataset = generate_wikisql_style(
+        seed=args.seed,
+        train_size=args.size if args.split == "train" else 0,
+        dev_size=args.size if args.split == "dev" else 0,
+        test_size=args.size if args.split == "test" else 0)
+    examples = getattr(dataset, args.split)
+    save_jsonl(examples, args.out)
+    print(f"wrote {len(examples)} examples to {args.out}")
+    return 0
+
+
+def _cmd_train(args) -> int:
+    examples = load_jsonl(args.data)
+    config = NLIDBConfig(
+        classifier_epochs=args.classifier_epochs,
+        seq2seq_epochs=args.seq2seq_epochs,
+        seq2seq=Seq2SeqConfig(hidden=args.hidden,
+                              attention_dim=args.hidden))
+    model = NLIDB(WordEmbeddings(dim=args.embedding_dim), config)
+    model.fit(examples, verbose=not args.quiet)
+    save_nlidb(model, args.model_dir)
+    print(f"trained on {len(examples)} examples; saved to {args.model_dir}")
+    return 0
+
+
+def _cmd_evaluate(args) -> int:
+    model = load_nlidb(args.model_dir)
+    examples = load_jsonl(args.data)
+    predictions = [model.translate(e.question_tokens, e.table).query
+                   for e in examples]
+    result = evaluate(predictions, examples)
+    print(result.as_row())
+    return 0
+
+
+def _translate_and_print(model, question: str, table,
+                         run_execute: bool) -> None:
+    translation = model.translate(question, table)
+    print(f"annotated: {' '.join(translation.annotated_tokens)}")
+    if translation.query is None:
+        print(f"recovery failed: {translation.error}")
+        return
+    print(f"SQL: {translation.query.to_sql()}")
+    if run_execute:
+        try:
+            print(f"result: {execute(translation.query, table)}")
+        except ReproError as exc:
+            print(f"execution failed: {exc}")
+
+
+def _cmd_query(args) -> int:
+    model = load_nlidb(args.model_dir)
+    examples = load_jsonl(args.data)
+    if not examples:
+        print("dataset is empty", file=sys.stderr)
+        return 1
+    _translate_and_print(model, args.question, examples[0].table,
+                         args.execute)
+    return 0
+
+
+def _cmd_repl(args) -> int:
+    model = load_nlidb(args.model_dir)
+    examples = load_jsonl(args.data)
+    if not examples:
+        print("dataset is empty", file=sys.stderr)
+        return 1
+    table = examples[0].table
+    print(f"querying table {table.name!r} with columns "
+          f"{table.column_names}; empty line exits")
+    while True:
+        try:
+            line = input("nlidb> ").strip()
+        except EOFError:
+            break
+        if not line:
+            break
+        _translate_and_print(model, line, table, run_execute=True)
+    return 0
+
+
+_COMMANDS = {
+    "generate": _cmd_generate,
+    "train": _cmd_train,
+    "evaluate": _cmd_evaluate,
+    "query": _cmd_query,
+    "repl": _cmd_repl,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,32 @@
+"""The paper's core contribution: adversarial mention detection,
+annotation, the annotated seq2seq translator, and the NLIDB facade."""
+
+from repro.core.annotate import (
+    AnnotatedQuestion,
+    ColumnAnnotation,
+    ValueAnnotation,
+    build_annotated_sql,
+    recover_sql,
+)
+from repro.core.annotator import Annotator, AnnotatorConfig
+from repro.core.metrics import (
+    EvalResult,
+    annotated_match,
+    evaluate,
+    mention_detection_accuracy,
+)
+from repro.core.metadata import MinedPhrase, build_knowledge_base, mine_column_phrases
+from repro.core.nlidb import NLIDB, NLIDBConfig, Translation
+from repro.core.persistence import load_nlidb, save_nlidb
+from repro.core.seq2seq.model import AnnotatedSeq2Seq, Seq2SeqConfig, TrainingPair
+
+__all__ = [
+    "AnnotatedQuestion", "ColumnAnnotation", "ValueAnnotation",
+    "build_annotated_sql", "recover_sql",
+    "Annotator", "AnnotatorConfig",
+    "NLIDB", "NLIDBConfig", "Translation",
+    "save_nlidb", "load_nlidb",
+    "MinedPhrase", "mine_column_phrases", "build_knowledge_base",
+    "AnnotatedSeq2Seq", "Seq2SeqConfig", "TrainingPair",
+    "EvalResult", "evaluate", "mention_detection_accuracy", "annotated_match",
+]

@@ -1,0 +1,294 @@
+"""Question annotation and annotated-SQL recovery (Sections IV & V-A).
+
+The annotator converts a question ``q`` into its annotated form ``qᵃ``:
+mentions of columns and values are wrapped with placeholder symbols
+(``c_i`` / ``v_i``), indexed by order of first reference in the question
+(Figure 1); the paper's two encoding refinements are implemented:
+
+* **column name appending** — symbols are inserted *around* mentions,
+  keeping the mention text (the ablation replaces the text:
+  "symbol substitution");
+* **table header encoding** — all headers ``g_1..g_k`` are appended so
+  unmentioned multi-token columns can be produced as a single symbol.
+
+The module also builds the annotated SQL ``sᵃ`` used as the seq2seq
+training target, and performs the deterministic recovery ``sᵃ → s``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import AnnotationError
+from repro.sqlengine import Aggregate, Condition, Operator, Query, Table
+from repro.text import tokenize
+from repro.text.dependency import parse_dependency
+
+__all__ = [
+    "ColumnAnnotation",
+    "ValueAnnotation",
+    "AnnotatedQuestion",
+    "build_annotated_sql",
+    "recover_sql",
+]
+
+_AGG_TOKENS = {"max", "min", "count", "sum", "avg"}
+_OP_TOKENS = {"=", ">", "<"}
+
+
+@dataclass(frozen=True)
+class ColumnAnnotation:
+    """A detected column reference.
+
+    ``span`` is the mention's ``[start, end)`` token range in the
+    original question, or ``None`` for implicit mentions (the column is
+    referenced only through a value).  ``index`` is the 1-based symbol
+    index: this annotation is ``c_{index}``.
+    """
+
+    column: str
+    index: int
+    span: tuple[int, int] | None
+
+
+@dataclass(frozen=True)
+class ValueAnnotation:
+    """A detected value span, paired with its column's symbol index."""
+
+    column: str
+    index: int
+    span: tuple[int, int]
+    surface: str
+
+
+@dataclass
+class AnnotatedQuestion:
+    """The annotated form ``qᵃ`` of one question against one table."""
+
+    question_tokens: list[str]
+    table: Table
+    columns: list[ColumnAnnotation] = field(default_factory=list)
+    values: list[ValueAnnotation] = field(default_factory=list)
+
+    def column_annotation(self, column: str) -> ColumnAnnotation | None:
+        """Annotation for ``column`` (case-insensitive), if any."""
+        target = column.lower()
+        for ann in self.columns:
+            if ann.column.lower() == target:
+                return ann
+        return None
+
+    def value_annotation(self, column: str) -> ValueAnnotation | None:
+        """Value annotation paired with ``column``, if any."""
+        target = column.lower()
+        for ann in self.values:
+            if ann.column.lower() == target:
+                return ann
+        return None
+
+    # ------------------------------------------------------------------
+    # qᵃ token sequence
+    # ------------------------------------------------------------------
+
+    def annotated_tokens(self, append: bool = True,
+                         header_encoding: bool = True) -> list[str]:
+        """Render the annotated question token sequence.
+
+        ``append=True`` is the paper's *column name appending* (symbols
+        inserted before the mention text, text kept); ``append=False``
+        is the *symbol substitution* ablation (mention text replaced).
+        """
+        inserts: dict[int, list[str]] = {}
+        replaced: set[int] = set()
+        for ann in self.columns:
+            if ann.span is None:
+                continue
+            start, end = ann.span
+            inserts.setdefault(start, []).append(f"c{ann.index}")
+            if not append:
+                replaced.update(range(start, end))
+        for ann in self.values:
+            start, end = ann.span
+            inserts.setdefault(start, []).append(f"v{ann.index}")
+            if not append:
+                replaced.update(range(start, end))
+
+        out: list[str] = []
+        for i, token in enumerate(self.question_tokens):
+            out.extend(inserts.get(i, []))
+            if i not in replaced:
+                out.append(token)
+        # Symbols attached past the last token (span start == len).
+        out.extend(inserts.get(len(self.question_tokens), []))
+
+        if header_encoding:
+            for j, name in enumerate(self.table.column_names, start=1):
+                out.append(f"g{j}")
+                out.extend(tokenize(name))
+        return out
+
+    # ------------------------------------------------------------------
+    # Symbol resolution (used by recovery)
+    # ------------------------------------------------------------------
+
+    def column_for_symbol(self, symbol: str) -> str:
+        """Resolve ``c{i}`` or ``g{j}`` to a column name."""
+        if symbol.startswith("c"):
+            index = _symbol_index(symbol)
+            for ann in self.columns:
+                if ann.index == index:
+                    return ann.column
+            raise AnnotationError(f"no column annotation with index {index}")
+        if symbol.startswith("g"):
+            index = _symbol_index(symbol)
+            names = self.table.column_names
+            if not 1 <= index <= len(names):
+                raise AnnotationError(f"header symbol {symbol!r} out of range")
+            return names[index - 1]
+        raise AnnotationError(f"not a column symbol: {symbol!r}")
+
+    def value_for_symbol(self, symbol: str) -> str:
+        """Resolve ``v{i}`` to the literal question surface of the value."""
+        index = _symbol_index(symbol)
+        for ann in self.values:
+            if ann.index == index:
+                return ann.surface
+        raise AnnotationError(f"no value annotation with index {index}")
+
+
+def _symbol_index(symbol: str) -> int:
+    try:
+        return int(symbol[1:])
+    except ValueError as exc:
+        raise AnnotationError(f"malformed symbol {symbol!r}") from exc
+
+
+# ----------------------------------------------------------------------
+# Annotated SQL construction (training targets)
+# ----------------------------------------------------------------------
+
+
+def build_annotated_sql(annotation: AnnotatedQuestion, query: Query,
+                        header_encoding: bool = True) -> list[str]:
+    """Build the annotated SQL ``sᵃ`` token sequence for a gold query.
+
+    Columns referenced in the annotation become ``c_i``; unreferenced
+    columns become header symbols ``g_j`` (when enabled) or literal
+    tokens; values with a detected span become ``v_i``, others stay
+    literal (the copy mechanism handles them).
+    """
+    tokens = ["select"]
+    if query.aggregate is not Aggregate.NONE:
+        tokens.append(query.aggregate.value.lower())
+    tokens.extend(_column_tokens(annotation, query.select_column,
+                                 header_encoding))
+    if query.conditions:
+        tokens.append("where")
+        for i, cond in enumerate(query.conditions):
+            if i:
+                tokens.append("and")
+            tokens.extend(_column_tokens(annotation, cond.column,
+                                         header_encoding))
+            tokens.append(cond.operator.value)
+            tokens.extend(_value_tokens(annotation, cond))
+    return tokens
+
+
+def _column_tokens(annotation: AnnotatedQuestion, column: str,
+                   header_encoding: bool) -> list[str]:
+    ann = annotation.column_annotation(column)
+    if ann is not None:
+        return [f"c{ann.index}"]
+    if header_encoding:
+        for j, name in enumerate(annotation.table.column_names, start=1):
+            if name.lower() == column.lower():
+                return [f"g{j}"]
+    return tokenize(column)
+
+
+def _value_tokens(annotation: AnnotatedQuestion, cond: Condition) -> list[str]:
+    value_surface = tokenize(str(cond.value))
+    ann = annotation.value_annotation(cond.column)
+    if ann is not None and tokenize(ann.surface) == value_surface:
+        return [f"v{ann.index}"]
+    return value_surface
+
+
+# ----------------------------------------------------------------------
+# Recovery: annotated SQL tokens -> executable Query
+# ----------------------------------------------------------------------
+
+
+def recover_sql(tokens: list[str], annotation: AnnotatedQuestion) -> Query:
+    """Convert a predicted ``sᵃ`` token sequence back to a real query.
+
+    Raises :class:`AnnotationError` if the sequence does not follow the
+    WikiSQL sketch grammar.
+    """
+    if not tokens or tokens[0] != "select":
+        raise AnnotationError(f"annotated SQL must start with 'select': {tokens}")
+    pos = 1
+    aggregate = Aggregate.NONE
+    if pos < len(tokens) and tokens[pos] in _AGG_TOKENS:
+        aggregate = Aggregate.from_token(tokens[pos])
+        pos += 1
+
+    select_tokens, pos = _take_until(tokens, pos, {"where"})
+    select_column = _resolve_column(select_tokens, annotation)
+
+    conditions: list[Condition] = []
+    if pos < len(tokens):
+        pos += 1  # consume 'where'
+        if pos >= len(tokens):
+            raise AnnotationError("WHERE clause has no conditions")
+        while pos < len(tokens):
+            col_tokens, pos = _take_until(tokens, pos, _OP_TOKENS)
+            if pos >= len(tokens):
+                raise AnnotationError("condition missing operator")
+            operator = Operator.from_token(tokens[pos])
+            pos += 1
+            val_tokens, pos = _take_until(tokens, pos, {"and"})
+            if pos < len(tokens):
+                pos += 1  # consume 'and'
+            conditions.append(Condition(
+                _resolve_column(col_tokens, annotation), operator,
+                _resolve_value(val_tokens, annotation)))
+    return Query(select_column=select_column, aggregate=aggregate,
+                 conditions=conditions)
+
+
+def _take_until(tokens: list[str], pos: int,
+                stops: set[str]) -> tuple[list[str], int]:
+    out = []
+    while pos < len(tokens) and tokens[pos] not in stops:
+        out.append(tokens[pos])
+        pos += 1
+    return out, pos
+
+
+def _is_symbol(token: str, prefix: str) -> bool:
+    return (len(token) >= 2 and token.startswith(prefix)
+            and token[1:].isdigit())
+
+
+def _resolve_column(parts: list[str], annotation: AnnotatedQuestion) -> str:
+    if not parts:
+        raise AnnotationError("empty column reference")
+    if len(parts) == 1 and (_is_symbol(parts[0], "c")
+                            or _is_symbol(parts[0], "g")):
+        return annotation.column_for_symbol(parts[0])
+    return " ".join(parts)
+
+
+def _resolve_value(parts: list[str], annotation: AnnotatedQuestion):
+    if not parts:
+        raise AnnotationError("empty value reference")
+    if len(parts) == 1 and _is_symbol(parts[0], "v"):
+        text = annotation.value_for_symbol(parts[0])
+    else:
+        text = " ".join(parts)
+    try:
+        number = float(text)
+    except ValueError:
+        return text
+    return int(number) if number.is_integer() else number

@@ -1,0 +1,415 @@
+"""The end-to-end annotation pipeline (Section IV).
+
+Given a question and a table, the :class:`Annotator` produces an
+:class:`~repro.core.annotate.AnnotatedQuestion` by composing:
+
+1. context-free column matching (exact / edit / semantic / knowledge);
+2. the column-mention binary classifier + adversarial localization for
+   mentions that string distances cannot find;
+3. exact cell matching and the value-detection classifier (statistics
+   based, counterfactual-safe) for value spans;
+4. dependency-tree mention resolution pairing values with columns;
+5. symbol index allocation in order of first reference.
+
+Training (`fit`) uses only (question, SQL) pairs plus metadata, as in
+the paper: column labels come from SQL column usage, value spans from
+locating SQL literals in the question.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.records import Example
+from repro.errors import ModelError
+from repro.sqlengine import Table
+from repro.text import (
+    KnowledgeBase,
+    WordEmbeddings,
+    column_statistics,
+    parse_dependency,
+    tokenize,
+)
+
+from repro.core.annotate import (
+    AnnotatedQuestion,
+    ColumnAnnotation,
+    ValueAnnotation,
+)
+from repro.core.mention import (
+    ClassifierConfig,
+    ColumnMatcher,
+    ColumnMentionClassifier,
+    ValueCandidate,
+    ValueDetectionClassifier,
+    candidate_spans,
+    compute_influence,
+    contrastive_profile,
+    locate_mention,
+    resolve_mentions,
+)
+
+__all__ = ["AnnotatorConfig", "Annotator"]
+
+
+@dataclass
+class AnnotatorConfig:
+    """Behavioural switches of the annotation pipeline."""
+
+    column_threshold: float = 0.5
+    value_threshold: float = 0.6
+    max_value_span: int = 3
+    max_mention_span: int = 4
+    use_column_classifier: bool = True
+    use_value_classifier: bool = True
+    use_contrastive_influence: bool = False
+    use_dependency_resolution: bool = True
+    influence_alpha: float = 1.0
+    influence_beta: float = 0.0
+    influence_norm: str = "l2"
+
+
+class Annotator:
+    """Trains and runs the full mention-detection/annotation pipeline."""
+
+    def __init__(self, embeddings: WordEmbeddings,
+                 config: AnnotatorConfig | None = None,
+                 classifier_config: ClassifierConfig | None = None,
+                 knowledge: KnowledgeBase | None = None):
+        self.embeddings = embeddings
+        self.config = config or AnnotatorConfig()
+        self.matcher = ColumnMatcher(embeddings, knowledge=knowledge,
+                                     max_span=self.config.max_mention_span)
+        self.column_classifier = ColumnMentionClassifier(
+            embeddings, classifier_config
+            or ClassifierConfig(word_dim=embeddings.dim))
+        self.value_classifier = ValueDetectionClassifier(embeddings)
+        self._column_stats_cache: dict[
+            int, tuple[Table, dict[str, np.ndarray]]] = {}
+        self._fitted = False
+
+    # ------------------------------------------------------------------
+    # Training (weak supervision from (question, SQL) pairs)
+    # ------------------------------------------------------------------
+
+    def fit(self, examples: list[Example], classifier_epochs: int = 5,
+            classifier_lr: float = 2e-3, value_epochs: int = 30,
+            seed: int = 0, verbose: bool = False) -> None:
+        """Train both classifiers from dataset examples."""
+        if not examples:
+            raise ModelError("fit() needs at least one example")
+        rng = np.random.default_rng(seed)
+
+        column_pairs = self._column_pairs(examples, rng)
+        self.column_classifier.fit(column_pairs, epochs=classifier_epochs,
+                                   lr=classifier_lr, verbose=verbose)
+
+        value_rows = self._value_rows(examples, rng)
+        self.value_classifier.fit(value_rows, epochs=value_epochs)
+        self._fitted = True
+
+    def _column_pairs(self, examples: list[Example],
+                      rng: np.random.Generator):
+        pairs = []
+        for example in examples:
+            q = example.question_tokens
+            used = {example.query.select_column.lower()}
+            used.update(c.column.lower() for c in example.query.conditions)
+            others = [c for c in example.table.column_names
+                      if c.lower() not in used]
+            for column in used:
+                pairs.append((q, tokenize(column), 1))
+            rng.shuffle(others)
+            for column in others[:len(used)]:
+                pairs.append((q, tokenize(column), 0))
+        return pairs
+
+    def _value_rows(self, examples: list[Example], rng: np.random.Generator):
+        rows = []
+        for example in examples:
+            q = example.question_tokens
+            stats = self._stats_for(example.table)
+            for cond in example.query.conditions:
+                value_tokens = tokenize(str(cond.value))
+                start = _find_subsequence(q, value_tokens)
+                if start is None:
+                    continue
+                span_stats = self.value_classifier.span_stats(value_tokens)
+                rows.append((span_stats, stats[cond.column.lower()], 1.0))
+                # Negative: same span against a different column.
+                other_cols = [c for c in example.table.column_names
+                              if c.lower() != cond.column.lower()]
+                if other_cols:
+                    other = str(rng.choice(other_cols))
+                    rows.append((span_stats, stats[other.lower()], 0.0))
+                # Negative: a random non-value span against the column.
+                negatives = [s for s in candidate_spans(
+                    q, self.config.max_value_span)
+                    if not (s[0] < start + len(value_tokens)
+                            and start < s[1])]
+                if negatives:
+                    ns, ne = negatives[int(rng.integers(0, len(negatives)))]
+                    rows.append((self.value_classifier.span_stats(q[ns:ne]),
+                                 stats[cond.column.lower()], 0.0))
+        return rows
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+
+    def _stats_for(self, table: Table) -> dict[str, np.ndarray]:
+        # The cached table object is kept alive alongside its stats so
+        # a recycled id() can never serve stale statistics.
+        cached = self._column_stats_cache.get(id(table))
+        if cached is not None and cached[0] is table:
+            return cached[1]
+        stats = {
+            column.name.lower(): column_statistics(
+                table.column_values(column.name), self.embeddings.vector,
+                self.embeddings.dim)
+            for column in table.columns
+        }
+        self._column_stats_cache[id(table)] = (table, stats)
+        return stats
+
+    @staticmethod
+    def _numeric_ranges(table: Table) -> dict[str, tuple[float, float]]:
+        """Value ranges of numeric-looking columns (database statistics).
+
+        Used to bind bare numbers in the question to columns whose value
+        range covers them — the classic query-optimizer statistic reused
+        for NL understanding (Section II).
+        """
+        ranges: dict[str, tuple[float, float]] = {}
+        for column in table.columns:
+            numbers = []
+            for cell in table.column_values(column.name):
+                try:
+                    numbers.append(float(str(cell)))
+                except ValueError:
+                    numbers.clear()
+                    break
+            if numbers:
+                lo, hi = min(numbers), max(numbers)
+                margin = (hi - lo) * 0.5 + 1.0
+                ranges[column.name.lower()] = (lo - margin, hi + margin)
+        return ranges
+
+    # ------------------------------------------------------------------
+    # Annotation
+    # ------------------------------------------------------------------
+
+    def annotate(self, question: str | list[str],
+                 table: Table) -> AnnotatedQuestion:
+        """Produce the annotated form ``qᵃ`` of a question."""
+        tokens = tokenize(question) if isinstance(question, str) else list(question)
+        if not tokens:
+            raise ModelError("cannot annotate an empty question")
+        cfg = self.config
+
+        value_spans = self._detect_values(tokens, table)
+        blocked = {i for candidate in value_spans
+                   for i in range(candidate.start, candidate.end)}
+        column_spans = self._detect_columns(tokens, table, blocked)
+
+        tree = (parse_dependency(tokens)
+                if cfg.use_dependency_resolution else _LinearTree(tokens))
+        resolved = resolve_mentions(tokens, column_spans, value_spans,
+                                    tree=tree)
+        paired_columns = {pair.column for pair in resolved}
+
+        # Unresolved value spans: pair with their best-scoring column
+        # (the column becomes an implicit mention — challenge 3).
+        assignments = {(p.value_start, p.value_end): p.column
+                       for p in resolved}
+        for candidate in value_spans:
+            key = (candidate.start, candidate.end)
+            if key in assignments:
+                continue
+            free = [(candidate.score_of(col), col)
+                    for col in candidate.columns
+                    if col not in paired_columns]
+            if not free:
+                continue
+            _, column = max(free)
+            assignments[key] = column
+            paired_columns.add(column)
+
+        return self._allocate_symbols(tokens, table, column_spans, assignments)
+
+    # -- detection stages ------------------------------------------------
+
+    def _detect_values(self, tokens: list[str],
+                       table: Table) -> list[ValueCandidate]:
+        cfg = self.config
+        stats = self._stats_for(table)
+        by_span: dict[tuple[int, int], dict[str, float]] = {}
+
+        # Exact cell matches (context-free case).
+        for column in table.column_names:
+            for cand in self.matcher.find_cell_values(
+                    tokens, column, table.column_values(column)):
+                by_span.setdefault((cand.start, cand.end), {})[column] = 1.0
+
+        # Statistics-based detection (counterfactual-safe).  Spans made
+        # purely of schema vocabulary (words of column names) are never
+        # value candidates — a literal column word in the question is a
+        # column mention, not a value (exact cell matches above already
+        # cover the rare case where a cell equals a column word).
+        schema_words = {w for name in table.column_names
+                        for w in tokenize(name)}
+        ranges = self._numeric_ranges(table)
+        if cfg.use_value_classifier and self.value_classifier._trained:
+            for start, end in candidate_spans(tokens, cfg.max_value_span):
+                window = tokens[start:end]
+                if all(w in schema_words for w in window):
+                    continue
+                number = _try_float(" ".join(window))
+                if number is not None:
+                    # Bare numbers bind by value range, not embeddings
+                    # (hash vectors carry no magnitude information).
+                    for column in table.column_names:
+                        bounds = ranges.get(column.lower())
+                        if bounds and bounds[0] <= number <= bounds[1]:
+                            entry = by_span.setdefault((start, end), {})
+                            entry[column] = max(entry.get(column, 0.0), 0.9)
+                    continue
+                span_stats = self.value_classifier.span_stats(window)
+                for column in table.column_names:
+                    if column.lower() in ranges:
+                        continue  # numeric columns take numeric values
+                    prob = self.value_classifier.predict_proba(
+                        span_stats, stats[column.lower()])
+                    if prob > cfg.value_threshold:
+                        entry = by_span.setdefault((start, end), {})
+                        entry[column] = max(entry.get(column, 0.0), prob)
+
+        # Keep a non-overlapping set, preferring longer/stronger spans.
+        ordered = sorted(
+            by_span.items(),
+            key=lambda item: (-max(item[1].values()),
+                              -(item[0][1] - item[0][0]), item[0][0]))
+        chosen: list[ValueCandidate] = []
+        taken: set[int] = set()
+        for (start, end), columns in ordered:
+            if any(i in taken for i in range(start, end)):
+                continue
+            taken.update(range(start, end))
+            # An exact cell match (score 1.0) owns the span outright —
+            # statistics-based candidates are speculative and must not
+            # compete with literal database content.  Otherwise keep
+            # only columns close to the best score.
+            best_score = max(columns.values())
+            if best_score >= 0.999:
+                columns = {c: s for c, s in columns.items() if s >= 0.999}
+            else:
+                columns = {c: s for c, s in columns.items()
+                           if s >= best_score - 0.15}
+            cols = tuple(sorted(columns, key=columns.get, reverse=True))
+            scores = tuple(columns[c] for c in cols)
+            chosen.append(ValueCandidate(start, end, cols, scores))
+        chosen.sort(key=lambda c: c.start)
+        return chosen
+
+    def _detect_columns(self, tokens: list[str], table: Table,
+                        blocked: set[int]) -> dict[str, tuple[int, int]]:
+        cfg = self.config
+        # span + confidence; matcher hits outrank classifier hits (+2).
+        scored: dict[str, tuple[tuple[int, int], float]] = {}
+        profiles = {}
+        confidences = {}
+        for column in table.column_names:
+            candidate = self.matcher.best(tokens, column)
+            if candidate is not None and not any(
+                    i in blocked for i in range(candidate.start, candidate.end)):
+                scored[column] = ((candidate.start, candidate.end),
+                                  2.0 + candidate.score)
+                continue
+            if not (cfg.use_column_classifier
+                    and self.column_classifier._trained):
+                continue
+            prob = self.column_classifier.predict_proba(tokens,
+                                                        tokenize(column))
+            if prob <= cfg.column_threshold:
+                continue
+            confidences[column] = prob
+            profiles[column] = compute_influence(
+                self.column_classifier, tokens, tokenize(column),
+                alpha=cfg.influence_alpha, beta=cfg.influence_beta,
+                norm=cfg.influence_norm)
+        if cfg.use_contrastive_influence and profiles:
+            profiles = {
+                col: contrastive_profile(
+                    prof, [p for c, p in profiles.items() if c != col])
+                for col, prof in profiles.items()
+            }
+        for column, profile in profiles.items():
+            scored[column] = (
+                locate_mention(profile, max_length=cfg.max_mention_span,
+                               blocked=blocked),
+                confidences[column])
+
+        # A span can only mention one column: keep the most confident
+        # claimant per identical span, drop the rest (they may still be
+        # referenced through header symbols downstream).
+        best_for_span: dict[tuple[int, int], tuple[float, str]] = {}
+        for column, (span, confidence) in scored.items():
+            incumbent = best_for_span.get(span)
+            if incumbent is None or confidence > incumbent[0]:
+                best_for_span[span] = (confidence, column)
+        return {column: span
+                for span, (_conf, column) in best_for_span.items()}
+
+    # -- symbol allocation ------------------------------------------------
+
+    def _allocate_symbols(self, tokens: list[str], table: Table,
+                          column_spans: dict[str, tuple[int, int]],
+                          assignments: dict[tuple[int, int], str],
+                          ) -> AnnotatedQuestion:
+        # Order of first reference: explicit column mention position, or
+        # the paired value's position for implicit columns.
+        first_pos: dict[str, int] = {}
+        for column, (start, _end) in column_spans.items():
+            first_pos[column] = min(first_pos.get(column, start), start)
+        for (start, _end), column in assignments.items():
+            first_pos[column] = min(first_pos.get(column, start), start)
+
+        ordered = sorted(first_pos, key=lambda col: (first_pos[col], col))
+        indices = {col: i + 1 for i, col in enumerate(ordered)}
+
+        columns = [ColumnAnnotation(col, indices[col],
+                                    column_spans.get(col))
+                   for col in ordered]
+        values = [ValueAnnotation(column, indices[column], (start, end),
+                                  " ".join(tokens[start:end]))
+                  for (start, end), column in sorted(assignments.items())]
+        return AnnotatedQuestion(question_tokens=tokens, table=table,
+                                 columns=columns, values=values)
+
+
+class _LinearTree:
+    """Token-distance fallback when dependency resolution is disabled."""
+
+    def __init__(self, tokens: list[str]):
+        self.tokens = tokens
+
+    def span_distance(self, a: tuple[int, int], b: tuple[int, int]) -> int:
+        return min(abs(i - j) for i in range(*a) for j in range(*b))
+
+
+def _try_float(text: str) -> float | None:
+    try:
+        return float(text)
+    except ValueError:
+        return None
+
+
+def _find_subsequence(haystack: list[str], needle: list[str]) -> int | None:
+    if not needle:
+        return None
+    for i in range(len(haystack) - len(needle) + 1):
+        if haystack[i:i + len(needle)] == needle:
+            return i
+    return None

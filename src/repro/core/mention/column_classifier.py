@@ -1,0 +1,263 @@
+"""Column Mention Binary Classifier (Section IV-B).
+
+Given a question ``q`` and a column ``c`` (both as word sequences), the
+classifier predicts whether ``c`` is mentioned in ``q``.  Architecture,
+following the paper:
+
+(i)   a **word embedder** ``emb(w) = [E_word(w), E_char(w)]`` — frozen
+      semantic word vectors (our GloVe stand-in) concatenated with a
+      trainable multi-width character CNN;
+(ii)  an LSTM over the question and a separate BiLSTM over the column,
+      each with per-layer affine pre-transforms;
+(iii) a bidirectional LSTM over the column states whose input at step
+      ``t`` is ``[s_t^c ; Σ_j α_tj s_j^q]`` with additive attention
+      scores ``e_t = v^T tanh(W1 S^q + (W2 s_t^c + W3 d_{t-1} + b) ⊗ e_n)``,
+      followed by an MLP over the zero-padded concatenation of all
+      ``d_t``.
+
+Training needs only (question, SQL) pairs: the positive label for
+``(q, c)`` is "column ``c`` appears in the SQL of ``q``".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.nn import (
+    MLP,
+    Adam,
+    AdditiveAttention,
+    BiLSTM,
+    CharConvEncoder,
+    LSTM,
+    LSTMCell,
+    Linear,
+    Module,
+    Tensor,
+    binary_cross_entropy_with_logits,
+    clip_grad_norm,
+    concat,
+    no_grad,
+)
+from repro.text import CHAR_VOCAB_SIZE, WordEmbeddings, char_ids
+
+__all__ = ["ClassifierConfig", "ColumnMentionClassifier", "EmbeddedWord"]
+
+
+@dataclass
+class ClassifierConfig:
+    """Hyper-parameters of the column-mention classifier."""
+
+    word_dim: int = 32
+    char_dim: int = 12
+    char_out_per_width: int = 6
+    char_widths: tuple[int, ...] = (3, 4, 5)
+    hidden: int = 32
+    question_layers: int = 1
+    attention_dim: int = 32
+    mlp_hidden: int = 32
+    max_column_words: int = 4
+    seed: int = 0
+
+    @property
+    def char_out(self) -> int:
+        return self.char_out_per_width * len(self.char_widths)
+
+    @property
+    def emb_dim(self) -> int:
+        return self.word_dim + self.char_out
+
+
+@dataclass
+class EmbeddedWord:
+    """One word's embedded representation with gradient capture points.
+
+    ``word_leaf`` and ``char_leaf`` are graph *leaves*, so after a
+    backward pass their ``.grad`` holds exactly ``dL/dE_word(w)`` and
+    ``dL/dE_char(w)`` — the quantities the adversarial text method
+    (Section IV-C) measures.
+    """
+
+    word: str
+    word_leaf: Tensor
+    char_leaf: Tensor
+    combined: Tensor
+
+
+class ColumnMentionClassifier(Module):
+    """The machine-comprehension binary classifier of Section IV-B."""
+
+    def __init__(self, embeddings: WordEmbeddings,
+                 config: ClassifierConfig | None = None):
+        super().__init__()
+        self.config = config or ClassifierConfig()
+        if embeddings.dim != self.config.word_dim:
+            raise ModelError(
+                f"embeddings dim {embeddings.dim} != config.word_dim "
+                f"{self.config.word_dim}")
+        self.embeddings = embeddings
+        rng = np.random.default_rng(self.config.seed)
+        cfg = self.config
+
+        self.char_encoder = CharConvEncoder(
+            CHAR_VOCAB_SIZE, cfg.char_dim, cfg.char_out_per_width, rng,
+            widths=cfg.char_widths)
+        self.question_rnn = LSTM(cfg.emb_dim, cfg.hidden, rng,
+                                 num_layers=cfg.question_layers)
+        self.column_rnn = BiLSTM(cfg.emb_dim, cfg.hidden, rng)
+        # Part (iii): attentive BiLSTM over column states.
+        attn_in = 2 * cfg.hidden + cfg.hidden  # [s_t^c ; context over S^q]
+        self.fwd_cell = LSTMCell(attn_in, cfg.hidden, rng)
+        self.bwd_cell = LSTMCell(attn_in, cfg.hidden, rng)
+        # Attention query is [s_t^c ; d_{t-1}] (equivalent to W2 s + W3 d + b).
+        self.attention = AdditiveAttention(
+            memory_dim=cfg.hidden, query_dim=2 * cfg.hidden + cfg.hidden,
+            attention_dim=cfg.attention_dim, rng=rng)
+        # tanh hidden units: the head sees zero-padded features, and a
+        # ReLU hidden layer can die under Adam on this input pattern.
+        # Head input: attentive BiLSTM states plus, per column word, the
+        # max/mean cosine similarity against question words (the
+        # BiDAF-style similarity term; computed in-graph so adversarial
+        # gradients flow to exactly the matching question word).
+        self.head = MLP(
+            [(2 * cfg.hidden + 2) * cfg.max_column_words, cfg.mlp_hidden, 1],
+            rng, hidden_activation="tanh")
+        self._trained = False
+
+    # ------------------------------------------------------------------
+    # Embedding
+    # ------------------------------------------------------------------
+
+    def embed_words(self, words: list[str],
+                    capture: bool = False) -> list[EmbeddedWord]:
+        """Embed a word sequence.
+
+        With ``capture=True`` the word vector and the char-CNN output
+        become graph leaves so their gradients can be read afterwards
+        (inference-time adversarial analysis; training gradients into
+        the char CNN are cut, so use ``capture=False`` when fitting).
+        """
+        out = []
+        for word in words:
+            word_leaf = Tensor(
+                self.embeddings.vector(word).reshape(1, -1),
+                requires_grad=capture)
+            char_vec = self.char_encoder(char_ids(word)).reshape(
+                1, self.config.char_out)
+            if capture:
+                char_vec = Tensor(char_vec.numpy().copy(), requires_grad=True)
+            combined = concat([word_leaf, char_vec], axis=-1)
+            out.append(EmbeddedWord(word, word_leaf, char_vec, combined))
+        return out
+
+    # ------------------------------------------------------------------
+    # Forward
+    # ------------------------------------------------------------------
+
+    def forward(self, question: list[str], column: list[str],
+                capture: bool = False,
+                ) -> tuple[Tensor, list[EmbeddedWord]]:
+        """Return ``(logit, embedded_question_words)``."""
+        if not question or not column:
+            raise ModelError("question and column must be non-empty")
+        cfg = self.config
+        column = column[:cfg.max_column_words]
+
+        q_embedded = self.embed_words(question, capture=capture)
+        c_embedded = self.embed_words(column)
+
+        s_q = self.question_rnn([e.combined for e in q_embedded])
+        s_c = self.column_rnn([e.combined for e in c_embedded])
+        memory = concat(s_q, axis=0)  # (n, hidden)
+
+        # Attentive BiLSTM over the column (part iii).
+        def run_direction(cell, states):
+            h, c = cell.initial_state(1)
+            outputs = []
+            for s_t in states:
+                query = concat([s_t, h], axis=-1).reshape(
+                    s_t.shape[1] + h.shape[1])
+                context, _ = self.attention(memory, query)
+                z_t = concat([s_t, context.reshape(1, -1)], axis=-1)
+                h, c = cell(z_t, h, c)
+                outputs.append(h)
+            return outputs
+
+        fwd = run_direction(self.fwd_cell, s_c)
+        bwd = list(reversed(run_direction(self.bwd_cell, list(reversed(s_c)))))
+        d_states = [concat([f, b], axis=-1) for f, b in zip(fwd, bwd)]
+
+        # BiDAF-style similarity features: per column word, the max and
+        # mean cosine similarity against all question words, computed on
+        # the combined word+char embeddings *inside the graph*.
+        q_matrix = concat([e.combined for e in q_embedded], axis=0)
+        q_norms = ((q_matrix * q_matrix).sum(axis=1, keepdims=True)
+                   + 1e-8) ** 0.5
+        q_unit = q_matrix / q_norms
+        for t, emb_t in enumerate(c_embedded):
+            c_norm = ((emb_t.combined * emb_t.combined).sum(
+                axis=1, keepdims=True) + 1e-8) ** 0.5
+            c_unit = emb_t.combined / c_norm
+            sims = q_unit @ c_unit.reshape(cfg.emb_dim)  # (n,)
+            sim_features = concat(
+                [sims.max(axis=0, keepdims=True),
+                 sims.mean(axis=0, keepdims=True)], axis=-1).reshape(1, 2)
+            d_states[t] = concat([d_states[t], sim_features], axis=-1)
+
+        # Zero-pad to max_column_words and concatenate for the MLP head.
+        pad = Tensor.zeros(1, 2 * cfg.hidden + 2)
+        while len(d_states) < cfg.max_column_words:
+            d_states.append(pad)
+        features = concat(d_states, axis=-1)
+        logit = self.head(features).reshape(1)
+        return logit, q_embedded
+
+    # ------------------------------------------------------------------
+    # Training / inference
+    # ------------------------------------------------------------------
+
+    def fit(self, pairs: list[tuple[list[str], list[str], int]],
+            epochs: int = 5, lr: float = 2e-3, clip: float = 5.0,
+            shuffle_seed: int = 0, verbose: bool = False) -> list[float]:
+        """Train on ``(question_tokens, column_tokens, label)`` triples.
+
+        Returns the per-epoch mean loss.
+        """
+        if not pairs:
+            raise ModelError("fit() needs at least one training pair")
+        optimizer = Adam(self.parameters(), lr=lr)
+        rng = np.random.default_rng(shuffle_seed)
+        losses = []
+        order = np.arange(len(pairs))
+        for epoch in range(epochs):
+            rng.shuffle(order)
+            total = 0.0
+            for idx in order:
+                question, column, label = pairs[idx]
+                optimizer.zero_grad()
+                logit, _ = self(question, column)
+                loss = binary_cross_entropy_with_logits(logit, [float(label)])
+                loss.backward()
+                clip_grad_norm(self.parameters(), clip)
+                optimizer.step()
+                total += loss.item()
+            losses.append(total / len(pairs))
+            if verbose:
+                print(f"[column-classifier] epoch {epoch + 1}: "
+                      f"loss={losses[-1]:.4f}")
+        self._trained = True
+        return losses
+
+    def predict_proba(self, question: list[str], column: list[str]) -> float:
+        """Probability that ``column`` is mentioned in ``question``."""
+        with no_grad():
+            logit, _ = self(question, column)
+        return float(1.0 / (1.0 + np.exp(-logit.numpy()[0])))
+
+    def predict(self, question: list[str], column: list[str],
+                threshold: float = 0.5) -> bool:
+        """Binary mention decision."""
+        return self.predict_proba(question, column) > threshold

@@ -1,0 +1,108 @@
+"""Mention resolution (Section IV-E).
+
+Many (value, column) pairings can be locally plausible — "Jerzy
+Antczak" could be a Director or an Actor.  Resolution picks the globally
+consistent assignment by *structural closeness in the question's
+dependency tree*: each value is paired with the candidate column whose
+mention is closest in the tree, and each column receives at most one
+value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.text import DependencyTree, parse_dependency
+
+__all__ = ["ValueCandidate", "ResolvedPair", "resolve_mentions"]
+
+
+@dataclass(frozen=True)
+class ValueCandidate:
+    """A value span with the columns it could belong to (with scores)."""
+
+    start: int
+    end: int
+    columns: tuple[str, ...]
+    scores: tuple[float, ...] = ()
+
+    def score_of(self, column: str) -> float:
+        if not self.scores:
+            return 1.0
+        try:
+            return self.scores[self.columns.index(column)]
+        except ValueError:
+            return 0.0
+
+
+@dataclass(frozen=True)
+class ResolvedPair:
+    """A resolved (value span → column) assignment."""
+
+    column: str
+    value_start: int
+    value_end: int
+    distance: int
+
+
+def resolve_mentions(tokens: list[str],
+                     column_mentions: dict[str, tuple[int, int]],
+                     value_candidates: list[ValueCandidate],
+                     tree: DependencyTree | None = None,
+                     ) -> list[ResolvedPair]:
+    """Assign each value span to its structurally closest column.
+
+    Parameters
+    ----------
+    tokens:
+        The tokenized question.
+    column_mentions:
+        Column → mention span.  Implicit mentions (empty spans) act as
+        wildcard anchors at their recorded position.
+    value_candidates:
+        Spans that look like values, each with its plausible columns.
+    tree:
+        Pre-parsed dependency tree (parsed from ``tokens`` when absent).
+
+    Greedy assignment in order of increasing tree distance; each column
+    takes at most one value and each value lands on at most one column.
+    """
+    if tree is None:
+        tree = parse_dependency(tokens)
+
+    scored: list[tuple[int, float, int, ValueCandidate, str]] = []
+    for vi, candidate in enumerate(value_candidates):
+        value_span = (candidate.start, candidate.end)
+        for column in candidate.columns:
+            mention = column_mentions.get(column)
+            if mention is None:
+                continue
+            start, end = mention
+            if start == end:  # implicit mention: anchor at its position
+                anchor = min(start, len(tokens) - 1)
+                column_span = (anchor, anchor + 1)
+            else:
+                column_span = (start, end)
+            if _overlaps(value_span, column_span):
+                continue
+            distance = tree.span_distance(value_span, column_span)
+            scored.append((distance, -candidate.score_of(column), vi,
+                           candidate, column))
+
+    scored.sort(key=lambda item: (item[0], item[1], item[2]))
+    used_values: set[int] = set()
+    used_columns: set[str] = set()
+    resolved: list[ResolvedPair] = []
+    for distance, _neg_score, vi, candidate, column in scored:
+        if vi in used_values or column in used_columns:
+            continue
+        used_values.add(vi)
+        used_columns.add(column)
+        resolved.append(ResolvedPair(column, candidate.start, candidate.end,
+                                     distance))
+    resolved.sort(key=lambda pair: pair.value_start)
+    return resolved
+
+
+def _overlaps(a: tuple[int, int], b: tuple[int, int]) -> bool:
+    return a[0] < b[1] and b[0] < a[1]

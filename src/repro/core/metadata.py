@@ -1,0 +1,117 @@
+"""Mining database-specific natural language metadata (Section II).
+
+The paper introduces per-column mention phrases ``P_c`` and describing
+expressions ``D_c`` as *manually provided* knowledge, injected as extra
+mention candidates.  This module automates the collection: given
+(question, SQL) training examples, it mines the n-grams most associated
+with each column (a PMI-style contrast of questions whose SQL uses the
+column against those whose SQL does not) and loads them into a
+:class:`~repro.text.lexicon.KnowledgeBase`.
+
+The mined knowledge is optional and orthogonal to the learned models —
+exactly the role the paper assigns it.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+
+from repro.data.records import Example
+from repro.errors import DataError
+from repro.text import KnowledgeBase, is_stop_word
+
+__all__ = ["MinedPhrase", "mine_column_phrases", "build_knowledge_base"]
+
+
+@dataclass(frozen=True)
+class MinedPhrase:
+    """One mined mention phrase with its association statistics."""
+
+    column: str
+    phrase: str
+    score: float          # smoothed P(phrase | column) / P(phrase | ¬column)
+    support: int          # questions containing the phrase whose SQL uses c
+
+
+def _ngrams(tokens: list[str], max_n: int) -> set[str]:
+    out = set()
+    for n in range(1, max_n + 1):
+        for i in range(len(tokens) - n + 1):
+            window = tokens[i:i + n]
+            # A useful phrase has at least one content word and no
+            # punctuation-only tokens.
+            if all(not any(ch.isalnum() for ch in t) for t in window):
+                continue
+            if all(is_stop_word(t) for t in window):
+                continue
+            out.add(" ".join(window))
+    return out
+
+
+def mine_column_phrases(examples: list[Example], max_ngram: int = 4,
+                        min_support: int = 2, top_k: int = 5,
+                        min_score: float = 3.0) -> list[MinedPhrase]:
+    """Mine candidate ``P_c`` phrases from training examples.
+
+    For every column ``c`` occurring in some example's SQL, n-grams of
+    the questions are contrasted: phrases much more frequent in
+    questions that use ``c`` than in those that do not become mention
+    phrase candidates.  Value surfaces are excluded (they vary per
+    question and are not *column* mentions).
+    """
+    if not examples:
+        raise DataError("mine_column_phrases() needs examples")
+
+    phrase_with: dict[str, Counter] = defaultdict(Counter)
+    phrase_without: Counter = Counter()
+    questions_with: Counter = Counter()
+    total_questions = 0
+
+    for example in examples:
+        tokens = example.question_tokens
+        value_surfaces = {str(c.value).lower()
+                          for c in example.query.conditions}
+        grams = {g for g in _ngrams(tokens, max_ngram)
+                 if g not in value_surfaces}
+        columns = {example.query.select_column.lower()}
+        columns.update(c.column.lower() for c in example.query.conditions)
+        total_questions += 1
+        for column in columns:
+            questions_with[column] += 1
+            for gram in grams:
+                phrase_with[column][gram] += 1
+        for gram in grams:
+            phrase_without[gram] += 1  # corpus-wide count
+
+    mined: list[MinedPhrase] = []
+    for column, counter in phrase_with.items():
+        n_with = questions_with[column]
+        n_without = max(total_questions - n_with, 1)
+        scored = []
+        for gram, count in counter.items():
+            if count < min_support:
+                continue
+            rate_with = (count + 0.5) / (n_with + 1.0)
+            out_count = phrase_without[gram] - count
+            rate_without = (out_count + 0.5) / (n_without + 1.0)
+            score = rate_with / rate_without
+            if score >= min_score:
+                scored.append(MinedPhrase(column, gram, score, count))
+        scored.sort(key=lambda m: (-m.score, -m.support, m.phrase))
+        # Prefer longer, more specific phrases among near-equals.
+        mined.extend(scored[:top_k])
+    mined.sort(key=lambda m: (m.column, -m.score))
+    return mined
+
+
+def build_knowledge_base(examples: list[Example], max_ngram: int = 4,
+                         min_support: int = 2, top_k: int = 5,
+                         min_score: float = 3.0) -> KnowledgeBase:
+    """Mine phrases and package them as a :class:`KnowledgeBase`."""
+    knowledge = KnowledgeBase()
+    for mined in mine_column_phrases(examples, max_ngram=max_ngram,
+                                     min_support=min_support, top_k=top_k,
+                                     min_score=min_score):
+        knowledge.add(mined.column, mention_phrases=[mined.phrase])
+    return knowledge

@@ -1,0 +1,123 @@
+"""Evaluation metrics (Section VII).
+
+Three accuracies, exactly as the paper defines them:
+
+* ``Acc_lf`` — logical-form accuracy: token-by-token agreement
+  (condition order matters);
+* ``Acc_qm`` — query-match accuracy: agreement of canonical
+  representations (condition order ignored);
+* ``Acc_ex`` — execution accuracy: the two queries return the same
+  result on the table.
+
+Plus the Section VII-A.1 *mention-detection* metric: canonical match of
+the WHERE clause's ``$COND_COL``/``$COND_VAL`` pairs, and the Table III
+*pre-recovery* metric computed in annotated-symbol space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.data.records import Example
+from repro.errors import SQLExecutionError
+from repro.sqlengine import Query, execute, results_equal
+
+__all__ = ["EvalResult", "evaluate", "mention_detection_accuracy",
+           "annotated_match"]
+
+
+@dataclass
+class EvalResult:
+    """Aggregated accuracies over an evaluation set."""
+
+    acc_lf: float
+    acc_qm: float
+    acc_ex: float
+    n: int
+
+    def as_row(self) -> str:
+        """Formatted like the paper's tables."""
+        return (f"Acc_lf={self.acc_lf:.1%}  Acc_qm={self.acc_qm:.1%}  "
+                f"Acc_ex={self.acc_ex:.1%}  (n={self.n})")
+
+
+def _execution_match(predicted: Query, example: Example) -> bool:
+    try:
+        expected = execute(example.query, example.table)
+        actual = execute(predicted, example.table)
+    except SQLExecutionError:
+        return False
+    return results_equal(expected, actual)
+
+
+def evaluate(predictions: list[Query | None],
+             examples: list[Example]) -> EvalResult:
+    """Score predictions (``None`` = failed translation) against gold."""
+    if len(predictions) != len(examples):
+        raise ValueError(
+            f"{len(predictions)} predictions vs {len(examples)} examples")
+    if not examples:
+        return EvalResult(0.0, 0.0, 0.0, 0)
+    lf = qm = ex = 0
+    for predicted, example in zip(predictions, examples):
+        if predicted is None:
+            continue
+        if predicted.logical_form_equal(example.query):
+            lf += 1
+        if predicted.query_match_equal(example.query):
+            qm += 1
+        if _execution_match(predicted, example):
+            ex += 1
+    n = len(examples)
+    return EvalResult(lf / n, qm / n, ex / n, n)
+
+
+def mention_detection_accuracy(predictions: list[Query | None],
+                               examples: list[Example]) -> float:
+    """Canonical $COND_COL/$COND_VAL agreement rate (Section VII-A.1)."""
+    if not examples:
+        return 0.0
+    hits = 0
+    for predicted, example in zip(predictions, examples):
+        if predicted is None:
+            continue
+        if predicted.where_canonical() == example.query.where_canonical():
+            hits += 1
+    return hits / len(examples)
+
+
+def annotated_match(predicted_tokens: list[str],
+                    gold_tokens: list[str]) -> bool:
+    """Pre-recovery query match, in annotated-symbol space (Table III).
+
+    Both sequences follow ``select [agg] col where col op val (and …)``;
+    the comparison canonicalizes by sorting conditions, like ``Acc_qm``,
+    but symbols are compared as raw strings (``c1`` ≠ ``g1`` even when
+    both resolve to the same column — recovery fixes that, which is why
+    post-recovery accuracy is higher).
+    """
+    predicted = _annotated_canonical(predicted_tokens)
+    gold = _annotated_canonical(gold_tokens)
+    if predicted is None or gold is None:
+        return False
+    return predicted == gold
+
+
+def _annotated_canonical(tokens: list[str]):
+    if not tokens or tokens[0] != "select":
+        return None
+    try:
+        where = tokens.index("where")
+        head, tail = tokens[1:where], tokens[where + 1:]
+    except ValueError:
+        head, tail = tokens[1:], []
+    conditions = []
+    current: list[str] = []
+    for token in tail + ["and"]:
+        if token == "and":
+            if current:
+                conditions.append(tuple(current))
+            current = []
+        else:
+            current.append(token)
+    return (tuple(head), tuple(sorted(conditions)))

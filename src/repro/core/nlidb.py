@@ -1,0 +1,194 @@
+"""The end-to-end NLIDB: annotate → translate → recover.
+
+:class:`NLIDB` is the library's main entry point.  It owns the
+annotation pipeline (Section IV) and the annotated seq2seq translator
+(Section V), trains both from (question, SQL, table) examples, and
+translates new questions against *any* table — including tables and
+domains never seen in training (the transfer-learnability claim).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.data.records import Example
+from repro.errors import AnnotationError, ModelError, ReproError
+from repro.sqlengine import Query, Table
+from repro.text import KnowledgeBase, WordEmbeddings, tokenize
+
+from repro.core.annotate import (
+    AnnotatedQuestion,
+    build_annotated_sql,
+    recover_sql,
+)
+from repro.core.annotator import Annotator, AnnotatorConfig
+from repro.core.mention import ClassifierConfig
+from repro.core.seq2seq.model import (
+    AnnotatedSeq2Seq,
+    Seq2SeqConfig,
+    TrainingPair,
+)
+
+__all__ = ["NLIDBConfig", "NLIDB", "Translation"]
+
+
+@dataclass
+class NLIDBConfig:
+    """Top-level configuration, including the paper's ablation switches."""
+
+    # Annotation encoding (Section V-A).
+    column_name_appending: bool = True   # ablation: symbol substitution
+    header_encoding: bool = True         # ablation: no table headers
+    # Translator.
+    seq2seq: Seq2SeqConfig = field(default_factory=Seq2SeqConfig)
+    # Annotation pipeline.
+    annotator: AnnotatorConfig = field(default_factory=AnnotatorConfig)
+    classifier: ClassifierConfig | None = None
+    # Training budgets.
+    classifier_epochs: int = 5
+    classifier_lr: float = 2e-3
+    value_epochs: int = 30
+    seq2seq_epochs: int = 10
+    seq2seq_lr: float = 2e-3
+    seed: int = 0
+
+
+@dataclass
+class Translation:
+    """The result of translating one question."""
+
+    query: Query | None
+    annotated_tokens: list[str]
+    predicted_annotated_sql: list[str]
+    annotation: AnnotatedQuestion
+    error: str | None = None
+
+
+class NLIDB:
+    """Natural language interface for databases (the paper's system)."""
+
+    def __init__(self, embeddings: WordEmbeddings | None = None,
+                 config: NLIDBConfig | None = None,
+                 knowledge: KnowledgeBase | None = None,
+                 translator=None):
+        self.embeddings = embeddings or WordEmbeddings(dim=32)
+        self.config = config or NLIDBConfig()
+        classifier_config = (self.config.classifier
+                             or ClassifierConfig(word_dim=self.embeddings.dim))
+        self.annotator = Annotator(self.embeddings,
+                                   config=self.config.annotator,
+                                   classifier_config=classifier_config,
+                                   knowledge=knowledge)
+        # The translator is pluggable: the "+Transformer" ablation swaps
+        # in a TransformerTranslator with the same fit/translate API.
+        self.translator = translator or AnnotatedSeq2Seq(self.embeddings,
+                                                         self.config.seq2seq)
+        self._fitted = False
+
+    # ------------------------------------------------------------------
+    # Training
+    # ------------------------------------------------------------------
+
+    def fit(self, examples: list[Example], verbose: bool = False,
+            reuse_annotator: Annotator | None = None) -> "NLIDB":
+        """Train the annotator, then the translator on annotated pairs.
+
+        ``reuse_annotator`` lets the paper's translator-side ablations
+        share one trained annotation pipeline instead of retraining it.
+        """
+        if not examples:
+            raise ModelError("fit() needs training examples")
+        cfg = self.config
+        if reuse_annotator is not None:
+            self.annotator = reuse_annotator
+        else:
+            self.annotator.fit(examples,
+                               classifier_epochs=cfg.classifier_epochs,
+                               classifier_lr=cfg.classifier_lr,
+                               value_epochs=cfg.value_epochs, seed=cfg.seed,
+                               verbose=verbose)
+        pairs = []
+        skipped = 0
+        for example in examples:
+            try:
+                pairs.append(self.training_pair(example))
+            except ReproError:
+                skipped += 1
+        if not pairs:
+            raise ModelError("annotation failed on every training example")
+        if verbose and skipped:
+            print(f"[nlidb] skipped {skipped} unannotatable examples")
+        self.translator.fit(pairs, epochs=cfg.seq2seq_epochs,
+                            lr=cfg.seq2seq_lr, shuffle_seed=cfg.seed,
+                            verbose=verbose)
+        self._fitted = True
+        return self
+
+    def training_pair(self, example: Example) -> TrainingPair:
+        """Annotate one example into a (source, target) training pair."""
+        annotation = self.annotator.annotate(example.question_tokens,
+                                             example.table)
+        source = annotation.annotated_tokens(
+            append=self.config.column_name_appending,
+            header_encoding=self.config.header_encoding)
+        target = build_annotated_sql(
+            annotation, example.query,
+            header_encoding=self.config.header_encoding)
+        return TrainingPair(source=source, target=target,
+                            header_tokens=self._header_tokens(example.table),
+                            extra_symbols=self._symbols(annotation))
+
+    @staticmethod
+    def _symbols(annotation: AnnotatedQuestion) -> tuple[str, ...]:
+        symbols = [f"c{ann.index}" for ann in annotation.columns]
+        symbols.extend(f"v{ann.index}" for ann in annotation.values)
+        return tuple(symbols)
+
+    @staticmethod
+    def _header_tokens(table: Table) -> list[str]:
+        tokens: list[str] = []
+        for name in table.column_names:
+            tokens.extend(tokenize(name))
+        return tokens
+
+    # ------------------------------------------------------------------
+    # Inference
+    # ------------------------------------------------------------------
+
+    def translate(self, question: str | list[str], table: Table,
+                  beam_width: int | None = None) -> Translation:
+        """Translate a question into an executable SQL query.
+
+        Never raises on model errors: a failed recovery yields a
+        :class:`Translation` with ``query=None`` and the error message,
+        which the metrics count as incorrect.
+        """
+        if not self._fitted:
+            raise ModelError("translate() called before fit()")
+        annotation = self.annotator.annotate(question, table)
+        source = annotation.annotated_tokens(
+            append=self.config.column_name_appending,
+            header_encoding=self.config.header_encoding)
+        predicted = self.translator.translate(
+            source, self._header_tokens(table),
+            extra_symbols=self._symbols(annotation), beam_width=beam_width)
+        try:
+            query = recover_sql(predicted, annotation)
+        except AnnotationError as exc:
+            return Translation(query=None, annotated_tokens=source,
+                               predicted_annotated_sql=predicted,
+                               annotation=annotation, error=str(exc))
+        return Translation(query=query, annotated_tokens=source,
+                           predicted_annotated_sql=predicted,
+                           annotation=annotation)
+
+    def to_sql(self, question: str | list[str], table: Table) -> str:
+        """Convenience: question text in, SQL text out.
+
+        Raises :class:`AnnotationError` when recovery fails.
+        """
+        translation = self.translate(question, table)
+        if translation.query is None:
+            raise AnnotationError(
+                f"could not recover SQL: {translation.error}")
+        return translation.query.to_sql()

@@ -1,0 +1,18 @@
+"""Annotated sequence-to-sequence translation (Section V)."""
+
+from repro.core.seq2seq.model import AnnotatedSeq2Seq, Seq2SeqConfig, TrainingPair
+from repro.core.seq2seq.vocab import (
+    EOS,
+    SOS,
+    STRUCTURAL_TOKENS,
+    TokenEmbedder,
+    build_candidates,
+    is_symbol,
+    symbol_parts,
+)
+
+__all__ = [
+    "AnnotatedSeq2Seq", "Seq2SeqConfig", "TrainingPair",
+    "TokenEmbedder", "build_candidates", "STRUCTURAL_TOKENS",
+    "EOS", "SOS", "is_symbol", "symbol_parts",
+]

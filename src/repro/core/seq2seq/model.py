@@ -1,0 +1,313 @@
+"""The annotated seq2seq translator (Section V-B).
+
+Encoder: stacked bidirectional GRU with per-layer affine transforms.
+Decoder: attentive GRU (Bahdanau) with the paper's custom copy
+mechanism::
+
+    p(s_i | qᵃ, s_{1:i-1}) ∝ exp(U[d_i, β_i]) + M_i
+    M_i[token] = Σ_{j : input_j = token} exp(e_ij)
+
+i.e. the generation distribution gets extra unnormalized mass from the
+attention scores of input positions holding the same token, *added
+before normalization* (unlike the vanilla softmax-only formulation —
+the distinction the paper emphasizes).
+
+Output scores are tied to token embeddings: ``U[d_i, β_i]`` is projected
+into embedding space and scored against each candidate token's
+embedding, so the output space follows the example (symbols + input
+tokens + headers) instead of a fixed vocabulary — this is what makes
+zero-shot transfer to unseen domains possible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.nn import (
+    Adam,
+    BiGRU,
+    GRUCell,
+    Linear,
+    Module,
+    Tensor,
+    clip_grad_norm,
+    concat,
+    no_grad,
+)
+from repro.text import WordEmbeddings
+
+from repro.core.seq2seq.vocab import (
+    EOS,
+    TokenEmbedder,
+    build_candidates,
+)
+
+__all__ = ["Seq2SeqConfig", "AnnotatedSeq2Seq", "TrainingPair"]
+
+
+@dataclass
+class Seq2SeqConfig:
+    """Hyper-parameters of the translator.
+
+    The paper uses hidden 400 (encoder) / 800 (decoder) with GloVe-300;
+    we scale down proportionally for the numpy substrate.  The "half
+    hidden size" ablation divides ``hidden`` by two.
+    """
+
+    hidden: int = 48
+    encoder_layers: int = 1
+    attention_dim: int = 48
+    max_decode_len: int = 26
+    beam_width: int = 5
+    use_copy: bool = True
+    grad_clip: float = 5.0
+    max_symbol_index: int = 30
+    seed: int = 0
+
+
+@dataclass
+class TrainingPair:
+    """One (annotated question, annotated SQL) training pair.
+
+    ``extra_symbols`` are annotation symbols that can appear in the
+    target but not in the source (implicit column mentions).
+    """
+
+    source: list[str]
+    target: list[str]
+    header_tokens: list[str]
+    extra_symbols: tuple[str, ...] = ()
+
+
+class AnnotatedSeq2Seq(Module):
+    """Sequence-to-sequence translation of ``qᵃ`` into ``sᵃ``."""
+
+    def __init__(self, embeddings: WordEmbeddings,
+                 config: Seq2SeqConfig | None = None):
+        super().__init__()
+        self.config = config or Seq2SeqConfig()
+        cfg = self.config
+        rng = np.random.default_rng(cfg.seed)
+        self.embedder = TokenEmbedder(embeddings,
+                                      max_symbol_index=cfg.max_symbol_index,
+                                      seed=cfg.seed)
+        dim = self.embedder.dim
+        self.encoder = BiGRU(dim, cfg.hidden, rng,
+                             num_layers=cfg.encoder_layers)
+        enc_dim = 2 * cfg.hidden
+        self.decoder_cell = GRUCell(dim + enc_dim, enc_dim, rng)
+        self.init_proj = Linear(enc_dim, enc_dim, rng)
+        # Bahdanau attention: e_ij = v^T tanh(W2 h_j + W3 d_i).
+        self.att_memory = Linear(enc_dim, cfg.attention_dim, rng, bias=False)
+        self.att_query = Linear(enc_dim, cfg.attention_dim, rng)
+        self.att_v = Linear(cfg.attention_dim, 1, rng, bias=False)
+        # Output: project [d_i, β_i] into embedding space (tied weights).
+        self.out_proj = Linear(2 * enc_dim, dim, rng)
+        self._fitted = False
+
+    # ------------------------------------------------------------------
+    # Encoding
+    # ------------------------------------------------------------------
+
+    def encode(self, tokens: list[str]) -> list[Tensor]:
+        """Encoder states ``h_j``, one ``(1, 2*hidden)`` tensor per token."""
+        if not tokens:
+            raise ModelError("cannot encode an empty sequence")
+        return self.encoder(self.embedder.embed_sequence(tokens))
+
+    def _initial_state(self, states: list[Tensor]) -> Tensor:
+        hidden = self.config.hidden
+        fwd_last = states[-1][:, :hidden]
+        bwd_first = states[0][:, hidden:]
+        return self.init_proj(concat([fwd_last, bwd_first], axis=-1)).tanh()
+
+    # ------------------------------------------------------------------
+    # One decoder step
+    # ------------------------------------------------------------------
+
+    def _attend(self, memory: Tensor, memory_proj: Tensor,
+                d: Tensor) -> tuple[Tensor, Tensor]:
+        """Return (raw attention scores e_i (T,), context β_i (1, enc_dim))."""
+        scores = self.att_v(
+            (memory_proj + self.att_query(d)).tanh()).reshape(memory.shape[0])
+        # The softmax shift is invariant here, so detaching it is exact.
+        shifted = scores - scores.max(axis=0, keepdims=True).detach()
+        weights = shifted.exp()
+        weights = weights / weights.sum(axis=0, keepdims=True)
+        context = weights.reshape(1, memory.shape[0]) @ memory
+        return scores, context
+
+    def _step_distribution(self, d: Tensor, context: Tensor,
+                           attention_scores: Tensor, copy_map: np.ndarray,
+                           candidate_matrix: Tensor) -> Tensor:
+        """Probability over candidates: ``∝ exp(U[d,β]) + M_i``.
+
+        Generation logits and copy scores must share ONE numerical
+        shift: the normalization is only shift-invariant (and the
+        detached shift only gradient-exact) when the same constant
+        multiplies both mass terms.
+        """
+        projected = self.out_proj(concat([d, context], axis=-1))
+        gen_logits = candidate_matrix @ projected.reshape(projected.shape[1])
+        if self.config.use_copy:
+            shift = max(float(gen_logits.numpy().max()),
+                        float(attention_scores.numpy().max()))
+            mass = ((gen_logits - shift).exp()
+                    + Tensor(copy_map) @ (attention_scores - shift).exp())
+        else:
+            shift = float(gen_logits.numpy().max())
+            mass = (gen_logits - shift).exp()
+        return mass / mass.sum(axis=0, keepdims=True)
+
+    @staticmethod
+    def _copy_map(candidates: list[str],
+                  input_tokens: list[str]) -> np.ndarray:
+        """(C, T) matrix: 1 where candidate c equals input token at j."""
+        index = {token: i for i, token in enumerate(candidates)}
+        copy_map = np.zeros((len(candidates), len(input_tokens)))
+        for j, token in enumerate(input_tokens):
+            i = index.get(token)
+            if i is not None:
+                copy_map[i, j] = 1.0
+        return copy_map
+
+    # ------------------------------------------------------------------
+    # Training
+    # ------------------------------------------------------------------
+
+    def loss(self, pair: TrainingPair) -> Tensor:
+        """Teacher-forced negative log-likelihood of one pair."""
+        candidates = build_candidates(pair.source, pair.header_tokens,
+                                      pair.extra_symbols)
+        cand_index = {t: i for i, t in enumerate(candidates)}
+        target = list(pair.target) + [EOS]
+        for token in target:
+            if token not in cand_index:
+                raise ModelError(
+                    f"target token {token!r} missing from candidate set")
+
+        states = self.encode(pair.source)
+        memory = concat(states, axis=0)
+        memory_proj = self.att_memory(memory)
+        candidate_matrix = self.embedder.candidate_matrix(candidates)
+        copy_map = self._copy_map(candidates, pair.source)
+
+        d = self._initial_state(states)
+        _, context = self._attend(memory, memory_proj, d)
+        nll = None
+        prev_token = None
+        for token in target:
+            prev_emb = (self.embedder.embed(prev_token) if prev_token
+                        else Tensor.zeros(1, self.embedder.dim))
+            d = self.decoder_cell(concat([prev_emb, context], axis=-1), d)
+            att_scores, context = self._attend(memory, memory_proj, d)
+            probs = self._step_distribution(d, context, att_scores, copy_map,
+                                            candidate_matrix)
+            step_nll = -(probs[cand_index[token]] + 1e-12).log()
+            nll = step_nll if nll is None else nll + step_nll
+            prev_token = token
+        return nll / len(target)
+
+    def reachable(self, pair: TrainingPair) -> bool:
+        """Whether every target token is in the pair's candidate set.
+
+        Symbol-substitution annotation can erase literal value tokens
+        from the source, making some targets unproducible — those pairs
+        are skipped by :meth:`fit` (and are part of why the substitution
+        ablation underperforms).
+        """
+        candidates = set(build_candidates(pair.source, pair.header_tokens,
+                                          pair.extra_symbols))
+        return all(t in candidates for t in list(pair.target) + [EOS])
+
+    def fit(self, pairs: list[TrainingPair], epochs: int = 10,
+            lr: float = 2e-3, shuffle_seed: int = 0,
+            verbose: bool = False) -> list[float]:
+        """Train with Adam + gradient clipping; returns per-epoch loss.
+
+        Pairs with unreachable targets are skipped (counted in
+        ``self.skipped_pairs``).
+        """
+        total_input = len(pairs)
+        pairs = [p for p in pairs if self.reachable(p)]
+        self.skipped_pairs = total_input - len(pairs)
+        if verbose and self.skipped_pairs:
+            print(f"[seq2seq] skipped {self.skipped_pairs} pairs with "
+                  f"unreachable targets")
+        if not pairs:
+            raise ModelError("fit() needs at least one training pair")
+        optimizer = Adam(self.parameters(), lr=lr)
+        rng = np.random.default_rng(shuffle_seed)
+        order = np.arange(len(pairs))
+        losses = []
+        for epoch in range(epochs):
+            rng.shuffle(order)
+            total = 0.0
+            for idx in order:
+                optimizer.zero_grad()
+                loss = self.loss(pairs[idx])
+                loss.backward()
+                clip_grad_norm(self.parameters(), self.config.grad_clip)
+                optimizer.step()
+                total += loss.item()
+            losses.append(total / len(pairs))
+            if verbose:
+                print(f"[seq2seq] epoch {epoch + 1}: loss={losses[-1]:.4f}")
+        self._fitted = True
+        return losses
+
+    # ------------------------------------------------------------------
+    # Inference (beam search)
+    # ------------------------------------------------------------------
+
+    def translate(self, source: list[str], header_tokens: list[str],
+                  extra_symbols: tuple[str, ...] = (),
+                  beam_width: int | None = None) -> list[str]:
+        """Decode the most likely annotated SQL token sequence."""
+        width = beam_width or self.config.beam_width
+        candidates = build_candidates(source, header_tokens, extra_symbols)
+        with no_grad():
+            states = self.encode(source)
+            memory = concat(states, axis=0)
+            memory_proj = self.att_memory(memory)
+            candidate_matrix = self.embedder.candidate_matrix(candidates)
+            copy_map = self._copy_map(candidates, source)
+
+            d0 = self._initial_state(states)
+            _, context0 = self._attend(memory, memory_proj, d0)
+            beams = [(0.0, [], d0, context0, None)]  # (nll, tokens, d, ctx, prev)
+            finished: list[tuple[float, list[str]]] = []
+            for _ in range(self.config.max_decode_len):
+                expansions = []
+                for nll, tokens, d, context, prev in beams:
+                    prev_emb = (self.embedder.embed(prev) if prev
+                                else Tensor.zeros(1, self.embedder.dim))
+                    d_next = self.decoder_cell(
+                        concat([prev_emb, context], axis=-1), d)
+                    att_scores, ctx_next = self._attend(memory, memory_proj,
+                                                     d_next)
+                    probs = self._step_distribution(
+                        d_next, ctx_next, att_scores, copy_map,
+                        candidate_matrix).numpy()
+                    top = np.argsort(probs)[::-1][:width]
+                    for ci in top:
+                        token = candidates[int(ci)]
+                        new_nll = nll - float(np.log(probs[ci] + 1e-12))
+                        if token == EOS:
+                            finished.append((new_nll / (len(tokens) + 1),
+                                             tokens))
+                        else:
+                            expansions.append((new_nll, tokens + [token],
+                                               d_next, ctx_next, token))
+                if not expansions:
+                    break
+                expansions.sort(key=lambda b: b[0])
+                beams = expansions[:width]
+            if not finished:
+                finished = [(nll / max(len(tokens), 1), tokens)
+                            for nll, tokens, *_ in beams]
+        finished.sort(key=lambda b: b[0])
+        return finished[0][1]

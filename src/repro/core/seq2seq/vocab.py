@@ -1,0 +1,117 @@
+"""Token embedding and candidate-set machinery for the translator.
+
+The paper ties embedding weights between the input and output layers and
+represents annotation symbols (``c_i``/``v_i``/``g_j``) as the
+concatenation of a *type* embedding and an *index* embedding
+(Section VII-A.2).  We reproduce that exactly:
+
+* regular words use the frozen, lexicon-structured hash embeddings
+  (the GloVe stand-in) — any string has a vector, so unseen domains
+  never hit an OOV wall (this is what enables zero-shot transfer);
+* symbols use trainable type ⊕ index embeddings;
+* the output layer scores *candidate tokens* by the dot product of
+  their (tied) embedding with a projection of the decoder state, so the
+  output space adapts per example instead of being a fixed vocabulary.
+
+The candidate set of an example is: structural SQL tokens + the symbols
+present in the input + the input tokens themselves + the table's header
+tokens.  Every valid annotated-SQL token is guaranteed to be in it.
+"""
+
+from __future__ import annotations
+
+import re
+
+import numpy as np
+
+from repro.errors import VocabularyError
+from repro.nn import Embedding, Module, Tensor, concat
+from repro.text import WordEmbeddings
+
+__all__ = ["STRUCTURAL_TOKENS", "EOS", "SOS", "is_symbol", "symbol_parts",
+           "TokenEmbedder", "build_candidates"]
+
+EOS = "<eos>"
+SOS = "<sos>"
+
+STRUCTURAL_TOKENS = [
+    "select", "where", "and", "=", ">", "<",
+    "max", "min", "count", "sum", "avg", EOS,
+]
+
+_SYMBOL_RE = re.compile(r"^([cvg])(\d+)$")
+_TYPE_IDS = {"c": 0, "v": 1, "g": 2}
+
+
+def is_symbol(token: str) -> bool:
+    """Whether a token is an annotation symbol (``c1``, ``v2``, ``g3``)."""
+    return _SYMBOL_RE.match(token) is not None
+
+
+def symbol_parts(token: str) -> tuple[str, int]:
+    """Split a symbol into (type, index); raises on non-symbols."""
+    match = _SYMBOL_RE.match(token)
+    if not match:
+        raise VocabularyError(f"not an annotation symbol: {token!r}")
+    return match.group(1), int(match.group(2))
+
+
+class TokenEmbedder(Module):
+    """Tied token embeddings: frozen hash vectors + trainable symbols."""
+
+    def __init__(self, embeddings: WordEmbeddings, max_symbol_index: int = 30,
+                 seed: int = 0):
+        super().__init__()
+        if embeddings.dim % 2 != 0:
+            raise VocabularyError("embedding dim must be even for symbols")
+        self.embeddings = embeddings
+        self.dim = embeddings.dim
+        self.max_symbol_index = max_symbol_index
+        rng = np.random.default_rng(seed)
+        half = self.dim // 2
+        self.type_embedding = Embedding(len(_TYPE_IDS), half, rng)
+        self.index_embedding = Embedding(max_symbol_index + 1, half, rng)
+
+    def embed(self, token: str) -> Tensor:
+        """Embedding of one token, shape ``(1, dim)``."""
+        match = _SYMBOL_RE.match(token)
+        if match:
+            kind, index = match.group(1), int(match.group(2))
+            if index > self.max_symbol_index:
+                raise VocabularyError(
+                    f"symbol index {index} exceeds maximum "
+                    f"{self.max_symbol_index}")
+            type_vec = self.type_embedding([_TYPE_IDS[kind]])
+            index_vec = self.index_embedding([index])
+            return concat([type_vec, index_vec], axis=-1)
+        return Tensor(self.embeddings.vector(token).reshape(1, self.dim))
+
+    def embed_sequence(self, tokens: list[str]) -> list[Tensor]:
+        """Per-token embeddings for a sequence."""
+        return [self.embed(t) for t in tokens]
+
+    def candidate_matrix(self, candidates: list[str]) -> Tensor:
+        """Stacked embeddings of candidate tokens, shape ``(C, dim)``."""
+        if not candidates:
+            raise VocabularyError("candidate set must be non-empty")
+        return concat([self.embed(t) for t in candidates], axis=0)
+
+
+def build_candidates(input_tokens: list[str], header_tokens: list[str],
+                     extra_symbols: list[str] | tuple[str, ...] = (),
+                     ) -> list[str]:
+    """Candidate output tokens for one example (deduplicated, ordered).
+
+    Structural tokens come first so their indices are stable; then the
+    input tokens (symbols and words), header-name tokens, and any extra
+    symbols — e.g. ``c_i`` of *implicit* column mentions, which appear
+    in the annotated SQL even though they never occur in ``qᵃ``
+    (Figure 1(d): county is referenced only through ``v2``).
+    """
+    seen = set(STRUCTURAL_TOKENS)
+    out = list(STRUCTURAL_TOKENS)
+    for token in list(input_tokens) + list(header_tokens) + list(extra_symbols):
+        if token not in seen:
+            seen.add(token)
+            out.append(token)
+    return out

@@ -1,0 +1,32 @@
+"""Synthetic dataset generators standing in for WikiSQL, OVERNIGHT, and
+ParaphraseBench (unavailable offline).
+
+See DESIGN.md for the substitution rationale: the generators reproduce
+the structural properties the paper's evaluation depends on (unseen
+tables per split, paraphrased/implicit mentions, counterfactual values,
+sketch-compatibility filtering, controlled linguistic variation).
+"""
+
+from repro.data.domains import generic_templates, make_template, training_domains
+from repro.data.overnight import SUBDOMAINS, generate_overnight, overnight_domains
+from repro.data.paraphrase import (
+    CATEGORIES,
+    build_patients_table,
+    generate_paraphrase_bench,
+)
+from repro.data.records import Example, MentionSpan, load_jsonl, save_jsonl
+from repro.data.template import ColumnSpec, DomainSpec, QuestionTemplate, render
+from repro.data.wikisql import (
+    WikiSQLStyleDataset,
+    generate_split,
+    generate_wikisql_style,
+)
+
+__all__ = [
+    "Example", "MentionSpan", "save_jsonl", "load_jsonl",
+    "ColumnSpec", "DomainSpec", "QuestionTemplate", "render",
+    "training_domains", "generic_templates", "make_template",
+    "WikiSQLStyleDataset", "generate_wikisql_style", "generate_split",
+    "SUBDOMAINS", "overnight_domains", "generate_overnight",
+    "CATEGORIES", "build_patients_table", "generate_paraphrase_bench",
+]

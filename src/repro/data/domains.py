@@ -1,0 +1,405 @@
+"""The WikiSQL-style training domains.
+
+Ten topical domains, each with a five-column schema, per-column mention
+surfaces (synonyms/paraphrases), and idiomatic templates that reproduce
+the paper's running examples (Figure 1, Figure 2, Figure 5, Table I).
+
+The OVERNIGHT-style transfer domains (basketball, calendar, housing,
+recipes, restaurants) are deliberately *excluded* here so zero-shot
+transfer evaluation is honest.
+"""
+
+from __future__ import annotations
+
+from repro.sqlengine import Aggregate, Operator
+from repro.sqlengine.types import DataType
+
+from repro.data import pools
+from repro.data.template import ColumnSpec, DomainSpec, QuestionTemplate
+
+__all__ = ["training_domains", "generic_templates", "make_template"]
+
+EQ, GT, LT = Operator.EQ, Operator.GT, Operator.LT
+TEXT, REAL = DataType.TEXT, DataType.REAL
+
+_ADJECTIVES = ["silent", "golden", "broken", "hidden", "crimson", "lonely",
+               "electric", "frozen", "burning", "midnight"]
+_NOUNS = ["river", "horizon", "promise", "garden", "mirror", "harbor",
+          "letters", "kingdom", "voyage", "shadows"]
+
+_title = pools.compound(pools.enum(["the"]), pools.enum(_ADJECTIVES),
+                        pools.enum(_NOUNS))
+
+
+def make_template(segments, aggregate=Aggregate.NONE, operators=(), select=None,
+                  cond_columns=None, select_dtype=None) -> QuestionTemplate:
+    """Convenience constructor for :class:`QuestionTemplate`."""
+    return QuestionTemplate(
+        segments=list(segments),
+        aggregate=aggregate,
+        operators=list(operators),
+        select=select,
+        cond_columns=list(cond_columns) if cond_columns else [],
+        select_dtype=select_dtype,
+    )
+
+
+_t = make_template
+
+
+def generic_templates(entity: str, key_column: str) -> list[QuestionTemplate]:
+    """Domain-independent templates instantiated for one domain.
+
+    ``entity`` is the head noun ("film", "county"); ``key_column`` is
+    the identifier column used as the COUNT target.
+    """
+    return [
+        # SELECT with one equality condition — several phrasings.
+        _t([("text", "what is the"), ("sel", None), ("text", "of the"),
+            ("text", entity), ("text", "with"), ("col", 0), ("val", 0),
+            ("text", "?")], operators=[EQ]),
+        _t([("text", "which"), ("sel", None), ("text", "has"), ("col", 0),
+            ("val", 0), ("text", "?")], operators=[EQ]),
+        _t([("text", "name the"), ("sel", None), ("text", "when the"),
+            ("col", 0), ("text", "is"), ("val", 0)], operators=[EQ]),
+        _t([("text", "tell me the"), ("sel", None), ("text", "for the"),
+            ("text", entity), ("text", "whose"), ("col", 0), ("text", "is"),
+            ("val", 0)], operators=[EQ]),
+        # SELECT with two equality conditions.
+        _t([("text", "what is the"), ("sel", None), ("text", "when the"),
+            ("col", 0), ("text", "is"), ("val", 0), ("text", "and the"),
+            ("col", 1), ("text", "is"), ("val", 1), ("text", "?")],
+           operators=[EQ, EQ]),
+        _t([("text", "which"), ("sel", None), ("text", "with"), ("col", 0),
+            ("val", 0), ("text", "has"), ("col", 1), ("val", 1),
+            ("text", "?")], operators=[EQ, EQ]),
+        # Ordering conditions.
+        _t([("text", "which"), ("sel", None), ("text", "has a"), ("col", 0),
+            ("text", "over"), ("val", 0), ("text", "?")], operators=[GT]),
+        _t([("text", "name the"), ("sel", None), ("text", "with a"),
+            ("col", 0), ("text", "below"), ("val", 0)], operators=[LT]),
+        # COUNT.
+        _t([("text", f"how many {entity} records have"), ("col", 0),
+            ("val", 0), ("text", "?")], aggregate=Aggregate.COUNT,
+           operators=[EQ], select=key_column),
+        _t([("text", f"count the {entity} entries where the"), ("col", 0),
+            ("text", "is"), ("val", 0)], aggregate=Aggregate.COUNT,
+           operators=[EQ], select=key_column),
+        # MAX / MIN / SUM / AVG over numeric columns.
+        _t([("text", "what is the highest"), ("sel", None), ("text", "?")],
+           aggregate=Aggregate.MAX),
+        _t([("text", "what is the largest"), ("sel", None),
+            ("text", "when the"), ("col", 0), ("text", "is"), ("val", 0),
+            ("text", "?")], aggregate=Aggregate.MAX, operators=[EQ]),
+        _t([("text", "what is the lowest"), ("sel", None), ("text", "?")],
+           aggregate=Aggregate.MIN),
+        _t([("text", "what is the smallest"), ("sel", None),
+            ("text", "with"), ("col", 0), ("val", 0), ("text", "?")],
+           aggregate=Aggregate.MIN, operators=[EQ]),
+        _t([("text", "what is the total"), ("sel", None), ("text", "for"),
+            ("col", 0), ("val", 0), ("text", "?")],
+           aggregate=Aggregate.SUM, operators=[EQ]),
+        _t([("text", "what is the average"), ("sel", None),
+            ("text", "when the"), ("col", 0), ("text", "is"), ("val", 0),
+            ("text", "?")], aggregate=Aggregate.AVG, operators=[EQ]),
+    ]
+
+
+def _films() -> DomainSpec:
+    columns = [
+        ColumnSpec("film name", TEXT, _title,
+                   ["film name", "film", "movie", "picture", "title"]),
+        ColumnSpec("director", TEXT, pools.person_name,
+                   ["director", "directed by", "filmmaker"]),
+        ColumnSpec("actor", TEXT, pools.person_name,
+                   ["actor", "star", "starring", "actress"]),
+        ColumnSpec("year", REAL, pools.year(1950, 2021), ["year", "season"]),
+        ColumnSpec("genre", TEXT,
+                   pools.enum(["drama", "comedy", "thriller", "romance",
+                               "documentary", "horror", "western"]),
+                   ["genre", "kind of film", "category"]),
+    ]
+    idiomatic = [
+        # Figure 1(c): which film directed by X did Y star in ?
+        _t([("text", "which"), ("selp", "film"), ("colp", (0, "directed by")),
+            ("val", 0), ("text", "did"), ("val", 1), ("colp", (1, "star")),
+            ("text", "in ?")], operators=[EQ, EQ],
+           select="film name", cond_columns=["director", "actor"]),
+        _t([("text", "who"), ("colp", (0, "directed")), ("text", "the"),
+            ("text", "movie"), ("val", 0), ("text", "?")], operators=[EQ],
+           select="director", cond_columns=["film name"]),
+    ]
+    return DomainSpec("films", "film", columns,
+                      generic_templates("film", "film name") + idiomatic)
+
+
+def _geography() -> DomainSpec:
+    columns = [
+        ColumnSpec("county", TEXT, pools.place_name,
+                   ["county", "region", "district"]),
+        ColumnSpec("english name", TEXT, pools.compound(
+            pools.enum(["carrowteige", "aran islands", "bangor", "dingle",
+                        "clifden", "belmullet", "spiddal", "gweedore"])),
+                   ["english name", "english title"]),
+        ColumnSpec("irish name", TEXT, pools.compound(
+            pools.enum(["ceathru thaidhg", "oileain arann", "baingear",
+                        "daingean", "an clochan", "beal an mhuirthead"])),
+                   ["irish name", "irish title"]),
+        ColumnSpec("population", REAL, pools.integer(100, 5000),
+                   ["population", "number of residents", "inhabitants"]),
+        ColumnSpec("area", REAL, pools.integer(10, 900),
+                   ["area", "size"]),
+    ]
+    idiomatic = [
+        # Figure 1(d): how many people live in X who have the english name Y ?
+        _t([("selp", "how many people live in"), ("val", 0),
+            ("text", "who have the"), ("colp", (1, "english name")),
+            ("val", 1), ("text", "?")], operators=[EQ, EQ],
+           select="population", cond_columns=["county", "english name"]),
+        _t([("selp", "how many people live in"), ("text", "the place with"),
+            ("colp", (0, "irish name")), ("val", 0), ("text", "?")],
+           operators=[EQ], select="population", cond_columns=["irish name"]),
+    ]
+    return DomainSpec("geography", "place", columns,
+                      generic_templates("place", "county") + idiomatic)
+
+
+def _golf() -> DomainSpec:
+    columns = [
+        ColumnSpec("player", TEXT, pools.person_name,
+                   ["player", "golfer", "athlete", "competitor"]),
+        ColumnSpec("country", TEXT,
+                   pools.enum(["northern ireland", "spain", "sweden",
+                               "australia", "fiji", "south africa",
+                               "argentina", "scotland"]),
+                   ["country", "nation"]),
+        ColumnSpec("score", REAL, pools.integer(60, 80),
+                   ["score", "result", "points"]),
+        ColumnSpec("year won", REAL, pools.year(1980, 2020),
+                   ["year won", "winning year", "year of victory"]),
+        ColumnSpec("prize money", REAL, pools.integer(10000, 2000000),
+                   ["prize money", "earnings", "payout"]),
+    ]
+    idiomatic = [
+        # Table I: who is the golfer that golfs for Northern Ireland ?
+        _t([("text", "who is the"), ("selp", "golfer that golfs"),
+            ("text", "for"), ("val", 0), ("text", "?")], operators=[EQ],
+           select="player", cond_columns=["country"]),
+        _t([("text", "which"), ("selp", "golfer"), ("colp", (0, "won")),
+            ("text", "in"), ("val", 0), ("text", "?")], operators=[EQ],
+           select="player", cond_columns=["year won"]),
+    ]
+    return DomainSpec("golf", "player", columns,
+                      generic_templates("player", "player") + idiomatic)
+
+
+def _games() -> DomainSpec:
+    team = pools.compound(pools.enum(PLACE_TEAMS), pools.enum(TEAM_NOUNS))
+    columns = [
+        ColumnSpec("date", TEXT, pools.date_text, ["date", "day"]),
+        ColumnSpec("opponent", TEXT, team, ["opponent", "rival", "against"]),
+        ColumnSpec("venue", TEXT, pools.place_name,
+                   ["venue", "location", "stadium", "place"]),
+        ColumnSpec("attendance", REAL, pools.integer(1000, 90000),
+                   ["attendance", "crowd", "spectators"]),
+        ColumnSpec("result", TEXT, pools.enum(["win", "loss", "draw"]),
+                   ["result", "outcome"]),
+    ]
+    idiomatic = [
+        # Table I: when did the Baltimore Ravens play at home ?
+        _t([("selp", "when did"), ("text", "the"), ("val", 0),
+            ("text", "play at home ?")], operators=[EQ],
+           select="date", cond_columns=["opponent"]),
+        # Table I: where was the game played on 20 May ?
+        _t([("selp", "where was"), ("text", "the game played on"),
+            ("val", 0), ("text", "?")], operators=[EQ],
+           select="venue", cond_columns=["date"]),
+    ]
+    return DomainSpec("games", "game", columns,
+                      generic_templates("game", "date") + idiomatic)
+
+
+PLACE_TEAMS = ["baltimore", "denver", "chicago", "dallas", "oakland",
+               "seattle", "atlanta", "phoenix", "houston", "cleveland"]
+TEAM_NOUNS = ["ravens", "eagles", "bears", "sharks", "wolves", "hawks",
+              "titans", "comets", "rangers", "pirates"]
+
+
+def _missions() -> DomainSpec:
+    mission = pools.compound(
+        pools.enum(["ares", "luna", "vega", "orion", "zenith", "aurora",
+                    "pioneer", "meridian"]),
+        pools.enum(["1", "2", "3", "4", "5", "7", "9", "11"]))
+    columns = [
+        ColumnSpec("mission", TEXT, mission, ["mission", "missions", "flight"]),
+        ColumnSpec("launch date", TEXT, pools.date_text,
+                   ["launch date", "launch", "launched on", "lift off date"]),
+        ColumnSpec("crew size", REAL, pools.integer(1, 8),
+                   ["crew size", "number of astronauts", "crew"]),
+        ColumnSpec("duration days", REAL, pools.integer(1, 400),
+                   ["duration days", "length in days", "duration"]),
+        ColumnSpec("agency", TEXT,
+                   pools.enum(["nasa", "esa", "jaxa", "isro", "roscosmos"]),
+                   ["agency", "organization"]),
+    ]
+    idiomatic = [
+        # Figure 2: which missions were scheduled to launch on <date> ?
+        _t([("text", "which"), ("selp", "missions"), ("text", "were"),
+            ("colp", (0, "scheduled to launch on")), ("val", 0),
+            ("text", "?")], operators=[EQ],
+           select="mission", cond_columns=["launch date"]),
+    ]
+    return DomainSpec("missions", "mission", columns,
+                      generic_templates("mission", "mission") + idiomatic)
+
+
+def _music() -> DomainSpec:
+    columns = [
+        ColumnSpec("song", TEXT, _title, ["song", "track", "single", "tune"]),
+        ColumnSpec("artist", TEXT, pools.person_name,
+                   ["artist", "singer", "musician", "performer"]),
+        ColumnSpec("album", TEXT, _title, ["album", "record", "release"]),
+        ColumnSpec("year", REAL, pools.year(1960, 2021), ["year"]),
+        ColumnSpec("label", TEXT,
+                   pools.enum(["northstar", "bluebird", "harbor", "sable",
+                               "motif", "grange"]),
+                   ["label", "record company"]),
+    ]
+    idiomatic = [
+        _t([("text", "who"), ("colp", (0, "sang")), ("text", "the song"),
+            ("val", 0), ("text", "?")], operators=[EQ],
+           select="artist", cond_columns=["song"]),
+    ]
+    return DomainSpec("music", "song", columns,
+                      generic_templates("song", "song") + idiomatic)
+
+
+def _elections() -> DomainSpec:
+    columns = [
+        ColumnSpec("candidate", TEXT, pools.person_name,
+                   ["candidate", "nominee", "contender"]),
+        ColumnSpec("party", TEXT,
+                   pools.enum(["unionist", "federalist", "labour", "green",
+                               "liberal", "reform"]),
+                   ["party", "affiliation"]),
+        ColumnSpec("votes", REAL, pools.integer(500, 90000),
+                   ["votes", "ballots", "number of votes"]),
+        ColumnSpec("district", TEXT, pools.place_name,
+                   ["district", "constituency", "area"]),
+        ColumnSpec("year", REAL, pools.year(1990, 2021), ["year"]),
+    ]
+    idiomatic = [
+        _t([("text", "which"), ("selp", "candidate"),
+            ("text", "ran in the"), ("val", 0), ("colp", (0, "district")),
+            ("text", "?")], operators=[EQ],
+           select="candidate", cond_columns=["district"]),
+        _t([("selp", "how many votes"), ("text", "did"), ("val", 0),
+            ("text", "get ?")], operators=[EQ],
+           select="votes", cond_columns=["candidate"]),
+    ]
+    return DomainSpec("elections", "candidate", columns,
+                      generic_templates("election", "candidate") + idiomatic)
+
+
+def _racing() -> DomainSpec:
+    race = pools.compound(pools.enum(PLACE_TEAMS), pools.enum(["grand prix"]))
+    columns = [
+        ColumnSpec("race", TEXT, race, ["race", "grand prix", "event"]),
+        ColumnSpec("winning driver", TEXT, pools.person_name,
+                   ["winning driver", "winner", "driver who won"]),
+        ColumnSpec("team", TEXT,
+                   pools.enum(["apex", "meteor", "vortex", "falcon",
+                               "corsair", "ember"]),
+                   ["team", "constructor"]),
+        ColumnSpec("laps", REAL, pools.integer(40, 80), ["laps", "circuits"]),
+        ColumnSpec("date", TEXT, pools.date_text, ["date", "day"]),
+    ]
+    idiomatic = [
+        # Figure 5: which driver won the <race> ?
+        _t([("text", "which"), ("selp", "driver won"), ("text", "the"),
+            ("val", 0), ("text", "?")], operators=[EQ],
+           select="winning driver", cond_columns=["race"]),
+        _t([("text", "who was the"), ("selp", "win"), ("text", "of the"),
+            ("val", 0), ("text", "?")], operators=[EQ],
+           select="winning driver", cond_columns=["race"]),
+    ]
+    return DomainSpec("racing", "race", columns,
+                      generic_templates("race", "race") + idiomatic)
+
+
+def _employees() -> DomainSpec:
+    columns = [
+        ColumnSpec("employee", TEXT, pools.person_name,
+                   ["employee", "worker", "staff member"]),
+        ColumnSpec("department", TEXT,
+                   pools.enum(["engineering", "finance", "marketing",
+                               "operations", "research", "legal"]),
+                   ["department", "division", "unit"]),
+        ColumnSpec("salary", REAL, pools.integer(30000, 200000),
+                   ["salary", "pay", "wage", "earnings"]),
+        ColumnSpec("city", TEXT, pools.place_name, ["city", "town"]),
+        ColumnSpec("hire year", REAL, pools.year(2000, 2021),
+                   ["hire year", "year hired", "joining year"]),
+    ]
+    idiomatic = [
+        _t([("selp", "how much does"), ("val", 0), ("text", "earn ?")],
+           operators=[EQ], select="salary", cond_columns=["employee"]),
+    ]
+    return DomainSpec("employees", "employee", columns,
+                      generic_templates("employee", "employee") + idiomatic)
+
+
+def _books() -> DomainSpec:
+    columns = [
+        ColumnSpec("book", TEXT, _title, ["book", "novel", "title"]),
+        ColumnSpec("author", TEXT, pools.person_name,
+                   ["author", "writer", "written by", "novelist"]),
+        ColumnSpec("publisher", TEXT,
+                   pools.enum(["lighthouse", "foxglove", "quill", "arbor",
+                               "latitude", "easel"]),
+                   ["publisher", "publishing house"]),
+        ColumnSpec("year", REAL, pools.year(1900, 2021), ["year"]),
+        ColumnSpec("pages", REAL, pools.integer(80, 1200),
+                   ["pages", "length", "page count"]),
+    ]
+    idiomatic = [
+        _t([("text", "who"), ("colp", (0, "wrote")), ("text", "the book"),
+            ("val", 0), ("text", "?")], operators=[EQ],
+           select="author", cond_columns=["book"]),
+    ]
+    return DomainSpec("books", "book", columns,
+                      generic_templates("book", "book") + idiomatic)
+
+
+def _athletics() -> DomainSpec:
+    columns = [
+        ColumnSpec("athlete", TEXT, pools.person_name,
+                   ["athlete", "runner", "competitor"]),
+        ColumnSpec("event", TEXT,
+                   pools.enum(["100 metres", "marathon", "high jump",
+                               "long jump", "javelin", "relay"]),
+                   ["event", "discipline", "competition"]),
+        ColumnSpec("time seconds", REAL, pools.decimal(9.5, 200.0, 2),
+                   ["time seconds", "time", "finishing time"]),
+        ColumnSpec("nationality", TEXT,
+                   pools.enum(["kenyan", "american", "jamaican", "british",
+                               "ethiopian", "dutch"]),
+                   ["nationality", "citizenship"]),
+        ColumnSpec("rank", REAL, pools.integer(1, 20),
+                   ["rank", "position", "standing"]),
+    ]
+    idiomatic = [
+        _t([("text", "which"), ("selp", "athlete"),
+            ("colp", (0, "competed in")), ("text", "the"), ("val", 0),
+            ("text", "?")], operators=[EQ],
+           select="athlete", cond_columns=["event"]),
+    ]
+    return DomainSpec("athletics", "athlete", columns,
+                      generic_templates("athlete", "athlete") + idiomatic)
+
+
+def training_domains() -> list[DomainSpec]:
+    """All WikiSQL-style training domains (fresh specs each call)."""
+    return [_films(), _geography(), _golf(), _games(), _missions(),
+            _music(), _elections(), _racing(), _employees(), _books(),
+            _athletics()]

@@ -1,0 +1,155 @@
+"""ParaphraseBench-style robustness benchmark (Section VII-B.2).
+
+DBPal's ParaphraseBench tests an NLIDB on one fixed *patients* table
+with six controlled linguistic-variation categories.  We regenerate the
+benchmark: a patients table plus, for each patient/column fact, one
+question per category:
+
+* ``naive`` — the direct phrasing;
+* ``syntactic`` — word-order variation;
+* ``lexical`` — rarer synonym for the column word;
+* ``morphological`` — inflected word forms;
+* ``semantic`` — whole-question paraphrase with no shared column word;
+* ``missing`` — under-specified question lacking the column signal
+  (mostly unanswerable — the paper scores 3.86% here).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import DataError
+from repro.sqlengine import (
+    Aggregate,
+    Column,
+    Condition,
+    Operator,
+    Query,
+    Table,
+)
+from repro.sqlengine.types import DataType
+from repro.text.tokenizer import tokenize
+
+from repro.data import pools
+from repro.data.records import Example, MentionSpan
+
+__all__ = ["CATEGORIES", "build_patients_table", "generate_paraphrase_bench"]
+
+CATEGORIES = ["naive", "syntactic", "lexical", "morphological",
+              "semantic", "missing"]
+
+_DIAGNOSES = ["influenza", "asthma", "fracture", "migraine", "bronchitis",
+              "appendicitis"]
+
+# Question builders per target column.  Each returns the question text;
+# "{n}" is replaced by the patient name.
+_QUESTION_FORMS: dict[str, dict[str, str]] = {
+    "age": {
+        "naive": "what is the age of patient {n} ?",
+        "syntactic": "of patient {n} , what is the age ?",
+        "lexical": "what is the maturity of patient {n} ?",
+        "morphological": "what is the aged value for patient {n} ?",
+        "semantic": "how old is {n} ?",
+        "missing": "what about patient {n} ?",
+    },
+    "diagnosis": {
+        "naive": "what is the diagnosis of patient {n} ?",
+        "syntactic": "for patient {n} , what is the diagnosis ?",
+        "lexical": "what is the ailment of patient {n} ?",
+        "morphological": "what was {n} diagnosed with ?",
+        "semantic": "why is {n} in the hospital ?",
+        "missing": "tell me about {n}",
+    },
+    "length of stay": {
+        "naive": "what is the length of stay of patient {n} ?",
+        "syntactic": "the length of stay of patient {n} is what ?",
+        "lexical": "what is the duration of stay of patient {n} ?",
+        "morphological": "how long is patient {n} staying ?",
+        "semantic": "since when is {n} here ?",
+        "missing": "give me the record of {n}",
+    },
+    "doctor": {
+        "naive": "what is the doctor of patient {n} ?",
+        "syntactic": "patient {n} has which doctor ?",
+        "lexical": "what is the physician of patient {n} ?",
+        "morphological": "who is doctoring patient {n} ?",
+        "semantic": "who treats {n} ?",
+        "missing": "look up {n} please",
+    },
+}
+
+
+def build_patients_table(seed: int = 7, n_rows: int = 12) -> Table:
+    """Sample the fixed patients table."""
+    rng = np.random.default_rng(seed)
+    columns = [
+        Column("patient name", DataType.TEXT),
+        Column("age", DataType.REAL),
+        Column("gender", DataType.TEXT),
+        Column("diagnosis", DataType.TEXT),
+        Column("length of stay", DataType.REAL),
+        Column("doctor", DataType.TEXT),
+    ]
+    rows = []
+    seen: set[str] = set()
+    while len(rows) < n_rows:
+        name = pools.person_name(rng)
+        if name in seen:
+            continue
+        seen.add(name)
+        rows.append((
+            name,
+            int(rng.integers(18, 95)),
+            str(rng.choice(["female", "male"])),
+            str(rng.choice(_DIAGNOSES)),
+            int(rng.integers(1, 30)),
+            pools.person_name(rng),
+        ))
+    return Table("patients", columns, rows)
+
+
+def generate_paraphrase_bench(seed: int = 7, n_rows: int = 12,
+                              ) -> dict[str, list[Example]]:
+    """Generate the per-category example lists.
+
+    Every example's gold query is
+    ``SELECT <column> WHERE patient name = <name>``; only the question's
+    phrasing varies across categories.
+    """
+    table = build_patients_table(seed=seed, n_rows=n_rows)
+    output: dict[str, list[Example]] = {c: [] for c in CATEGORIES}
+    name_idx = table.column_index("patient name")
+    for row in table.rows:
+        name = row[name_idx]
+        for column, forms in _QUESTION_FORMS.items():
+            for category in CATEGORIES:
+                question = forms[category].format(n=name)
+                tokens = tokenize(question)
+                name_tokens = tokenize(str(name))
+                start = _find_subsequence(tokens, name_tokens)
+                mentions = []
+                if start is not None:
+                    mentions.append(MentionSpan("patient name", "value",
+                                                start, start + len(name_tokens)))
+                query = Query(
+                    select_column=column,
+                    aggregate=Aggregate.NONE,
+                    conditions=[Condition("patient name", Operator.EQ, name)],
+                )
+                output[category].append(Example(
+                    question=question,
+                    table=table,
+                    query=query,
+                    mentions=mentions,
+                    domain="patients",
+                ))
+    return output
+
+
+def _find_subsequence(haystack: list[str], needle: list[str]) -> int | None:
+    if not needle:
+        raise DataError("empty needle")
+    for i in range(len(haystack) - len(needle) + 1):
+        if haystack[i:i + len(needle)] == needle:
+            return i
+    return None

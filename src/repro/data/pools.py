@@ -1,0 +1,105 @@
+"""Value vocabularies and samplers for the synthetic dataset generators.
+
+Each sampler takes a ``numpy.random.Generator`` and returns a cell
+value.  Pools are deliberately large enough that train/dev/test tables
+(sampled independently) rarely share rows, reproducing WikiSQL's
+unseen-tables-at-test-time property.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+__all__ = [
+    "FIRST_NAMES", "LAST_NAMES", "PLACES", "MONTHS",
+    "person_name", "place_name", "date_text", "year", "integer",
+    "decimal", "enum", "compound",
+]
+
+FIRST_NAMES = [
+    "james", "mary", "robert", "patricia", "john", "jennifer", "michael",
+    "linda", "david", "elizabeth", "william", "barbara", "richard", "susan",
+    "joseph", "jessica", "thomas", "sarah", "charles", "karen", "piotr",
+    "levan", "jerzy", "nana", "marta", "henrik", "luca", "ingrid", "tomas",
+    "elena", "marco", "sofia", "andrei", "freya", "diego", "anika", "oscar",
+    "petra", "felix", "greta",
+]
+
+LAST_NAMES = [
+    "smith", "johnson", "williams", "brown", "jones", "garcia", "miller",
+    "davis", "wilson", "anderson", "taylor", "moore", "jackson", "martin",
+    "lee", "thompson", "white", "harris", "clark", "lewis", "antczak",
+    "adamczyk", "djordjadze", "kovacs", "lindgren", "rossi", "novak",
+    "fischer", "larsen", "moretti", "haugen", "petrov", "keller", "dubois",
+    "svensson", "romano", "vasquez", "okafor", "tanaka", "murphy",
+]
+
+PLACES = [
+    "mayo", "galway", "kerry", "cork", "dublin", "sligo", "derry",
+    "toronto", "boston", "chicago", "denver", "seattle", "austin",
+    "portland", "atlanta", "phoenix", "detroit", "memphis", "oslo",
+    "bergen", "lyon", "porto", "seville", "krakow", "gdansk", "turin",
+    "valencia", "leipzig", "ghent", "malmo", "tampere", "brno",
+]
+
+MONTHS = ["january", "february", "march", "april", "may", "june", "july",
+          "august", "september", "october", "november", "december"]
+
+Sampler = Callable[[np.random.Generator], object]
+
+
+def person_name(rng: np.random.Generator) -> str:
+    """A two-word person name, e.g. ``piotr adamczyk``."""
+    return f"{rng.choice(FIRST_NAMES)} {rng.choice(LAST_NAMES)}"
+
+
+def place_name(rng: np.random.Generator) -> str:
+    """A place name from the shared pool."""
+    return str(rng.choice(PLACES))
+
+
+def date_text(rng: np.random.Generator) -> str:
+    """A textual date, e.g. ``november 16 2006``."""
+    month = rng.choice(MONTHS)
+    day = int(rng.integers(1, 29))
+    yr = int(rng.integers(1990, 2021))
+    return f"{month} {day} {yr}"
+
+
+def year(lo: int = 1950, hi: int = 2021) -> Sampler:
+    """Sampler factory for a year in ``[lo, hi)``."""
+    def sample(rng: np.random.Generator) -> int:
+        return int(rng.integers(lo, hi))
+    return sample
+
+
+def integer(lo: int, hi: int) -> Sampler:
+    """Sampler factory for integers in ``[lo, hi)``."""
+    def sample(rng: np.random.Generator) -> int:
+        return int(rng.integers(lo, hi))
+    return sample
+
+
+def decimal(lo: float, hi: float, digits: int = 1) -> Sampler:
+    """Sampler factory for rounded decimals in ``[lo, hi)``."""
+    def sample(rng: np.random.Generator) -> float:
+        return round(float(rng.uniform(lo, hi)), digits)
+    return sample
+
+
+def enum(options: list[str]) -> Sampler:
+    """Sampler factory drawing from a fixed option list."""
+    if not options:
+        raise ValueError("enum pool must be non-empty")
+    def sample(rng: np.random.Generator) -> str:
+        return str(rng.choice(options))
+    return sample
+
+
+def compound(*parts: Sampler, sep: str = " ") -> Sampler:
+    """Sampler factory concatenating several samplers' outputs."""
+    def sample(rng: np.random.Generator) -> str:
+        return sep.join(str(p(rng)) for p in parts)
+    return sample

@@ -1,0 +1,130 @@
+"""Dataset record types and JSONL (de)serialization.
+
+An :class:`Example` is one (question, table, SQL) record in the WikiSQL
+format, optionally carrying gold *mention spans* produced by the
+synthetic generators.  Span supervision is only used to *evaluate*
+mention detection — training follows the paper and needs only
+(question, SQL) pairs plus metadata.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+
+from repro.errors import DataError
+from repro.sqlengine import Column, DataType, Query, Table, parse_sql
+from repro.text.tokenizer import tokenize
+
+__all__ = ["MentionSpan", "Example", "save_jsonl", "load_jsonl"]
+
+
+@dataclass(frozen=True)
+class MentionSpan:
+    """A gold mention: a token span ``[start, end)`` referring to a column.
+
+    ``kind`` is ``"column"`` (the span mentions the column itself) or
+    ``"value"`` (the span is a value belonging to the column).  For
+    *implicit* column mentions (challenge 3) ``start == end`` and the
+    span is empty.
+    """
+
+    column: str
+    kind: str
+    start: int
+    end: int
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("column", "value"):
+            raise DataError(f"unknown mention kind {self.kind!r}")
+        if self.start > self.end or self.start < 0:
+            raise DataError(f"invalid span [{self.start}, {self.end})")
+
+    @property
+    def is_implicit(self) -> bool:
+        return self.start == self.end
+
+
+@dataclass
+class Example:
+    """One dataset record: a question against a table with gold SQL."""
+
+    question: str
+    table: Table
+    query: Query
+    mentions: list[MentionSpan] = field(default_factory=list)
+    domain: str = ""
+    sketch_compatible: bool = True
+
+    @property
+    def question_tokens(self) -> list[str]:
+        """Tokenized question (lowercased)."""
+        return tokenize(self.question)
+
+    def column_mentions(self) -> dict[str, MentionSpan]:
+        """Column-kind mentions keyed by column name."""
+        return {m.column: m for m in self.mentions if m.kind == "column"}
+
+    def value_mentions(self) -> dict[str, MentionSpan]:
+        """Value-kind mentions keyed by column name."""
+        return {m.column: m for m in self.mentions if m.kind == "value"}
+
+
+# ----------------------------------------------------------------------
+# JSONL IO
+# ----------------------------------------------------------------------
+
+
+def _example_to_dict(example: Example) -> dict:
+    return {
+        "question": example.question,
+        "table": {
+            "name": example.table.name,
+            "columns": [[c.name, c.dtype.value] for c in example.table.columns],
+            "rows": [list(r) for r in example.table.rows],
+        },
+        "sql": example.query.to_sql(),
+        "mentions": [[m.column, m.kind, m.start, m.end] for m in example.mentions],
+        "domain": example.domain,
+        "sketch_compatible": example.sketch_compatible,
+    }
+
+
+def _example_from_dict(payload: dict) -> Example:
+    try:
+        table_spec = payload["table"]
+        table = Table(
+            table_spec["name"],
+            [Column(name, DataType(dtype)) for name, dtype in table_spec["columns"]],
+            [tuple(r) for r in table_spec["rows"]],
+        )
+        return Example(
+            question=payload["question"],
+            table=table,
+            query=parse_sql(payload["sql"]),
+            mentions=[MentionSpan(c, k, s, e)
+                      for c, k, s, e in payload.get("mentions", [])],
+            domain=payload.get("domain", ""),
+            sketch_compatible=payload.get("sketch_compatible", True),
+        )
+    except (KeyError, ValueError, TypeError) as exc:
+        raise DataError(f"malformed example record: {exc}") from exc
+
+
+def save_jsonl(examples: list[Example], path: str | os.PathLike) -> None:
+    """Write examples to a JSON-lines file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        for example in examples:
+            handle.write(json.dumps(_example_to_dict(example)) + "\n")
+
+
+def load_jsonl(path: str | os.PathLike) -> list[Example]:
+    """Read examples from a JSON-lines file."""
+    examples = []
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                examples.append(_example_from_dict(json.loads(line)))
+    return examples

@@ -1,0 +1,235 @@
+"""Question-template machinery with gold mention-span tracking.
+
+A :class:`QuestionTemplate` is a list of segments that render into a
+natural language question while simultaneously producing the gold SQL
+query and the gold mention spans (used to *evaluate* mention detection;
+training never sees spans, as in the paper).
+
+Segment kinds:
+
+``("text", "literal words")``
+    Plain words.
+``("sel", None)``
+    A surface mention of the select column (sampled from the column's
+    mention list).
+``("selp", "fixed phrase")``
+    A fixed paraphrase that mentions the select column (e.g. "how many
+    people live in" for Population) — exercises challenge 2.
+``("col", i)``
+    A surface mention of the ``i``-th condition column.
+``("colp", (i, "fixed phrase"))``
+    A fixed surface mention of the ``i``-th condition column (used by
+    idiomatic domain templates).
+``("val", i)``
+    The ``i``-th condition's value.  If no ``("col", i)`` segment exists
+    the column is mentioned *implicitly* (challenge 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import DataError
+from repro.sqlengine import Aggregate, Condition, Operator, Query, Table
+from repro.sqlengine.types import DataType
+from repro.text.tokenizer import tokenize
+
+from repro.data.records import Example, MentionSpan
+
+__all__ = ["ColumnSpec", "QuestionTemplate", "DomainSpec", "render"]
+
+Segment = tuple[str, object]
+
+
+@dataclass
+class ColumnSpec:
+    """Generator-side description of one column.
+
+    ``mentions`` are the surface forms a question may use to refer to
+    the column — the first entry is the column name itself, later
+    entries are synonyms/paraphrases (non-exact matching, challenge 1).
+    """
+
+    name: str
+    dtype: DataType
+    sample: object  # Sampler: rng -> cell value
+    mentions: list[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.mentions:
+            self.mentions = [self.name.lower()]
+
+
+@dataclass
+class QuestionTemplate:
+    """One renderable question/SQL pattern."""
+
+    segments: list[Segment]
+    aggregate: Aggregate = Aggregate.NONE
+    operators: list[Operator] = field(default_factory=list)
+    # Fixed column names (or None to sample) for the select/conditions.
+    select: str | None = None
+    cond_columns: list[str | None] = field(default_factory=list)
+    # Sampling constraint: numeric aggregates need a REAL select column.
+    select_dtype: DataType | None = None
+
+    @property
+    def n_conditions(self) -> int:
+        return len(self.operators)
+
+    def __post_init__(self) -> None:
+        if self.cond_columns and len(self.cond_columns) != self.n_conditions:
+            raise DataError("cond_columns length must match operators length")
+        if not self.cond_columns:
+            self.cond_columns = [None] * self.n_conditions
+        needs_real = self.aggregate in (
+            Aggregate.MAX, Aggregate.MIN, Aggregate.SUM, Aggregate.AVG)
+        if needs_real and self.select_dtype is None:
+            self.select_dtype = DataType.REAL
+
+
+@dataclass
+class DomainSpec:
+    """A topical domain: schema plus its question templates."""
+
+    name: str
+    entity: str  # head noun for generic templates ("film", "county", ...)
+    columns: list[ColumnSpec]
+    templates: list[QuestionTemplate] = field(default_factory=list)
+
+    def column(self, name: str) -> ColumnSpec:
+        for spec in self.columns:
+            if spec.name.lower() == name.lower():
+                return spec
+        raise DataError(f"domain {self.name!r} has no column {name!r}")
+
+    def build_table(self, rng: np.random.Generator, n_rows: int,
+                    table_name: str | None = None) -> Table:
+        """Sample a fresh table instance for this domain."""
+        from repro.sqlengine import Column
+        columns = [Column(c.name, c.dtype) for c in self.columns]
+        rows = [tuple(c.sample(rng) for c in self.columns) for _ in range(n_rows)]
+        return Table(table_name or self.name, columns, rows)
+
+
+def _value_surface(value) -> str:
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return str(value)
+
+
+def render(template: QuestionTemplate, domain: DomainSpec, table: Table,
+           rng: np.random.Generator, counterfactual_rate: float = 0.15) -> Example:
+    """Render a template into a full :class:`Example`.
+
+    Condition values are drawn from a single random row of the table
+    (consistent multi-condition questions) or — with probability
+    ``counterfactual_rate`` — freshly sampled, which may produce values
+    absent from the table (challenge 4).
+    """
+    numeric = [c.name for c in domain.columns if c.dtype == DataType.REAL]
+    textual = [c.name for c in domain.columns if c.dtype == DataType.TEXT]
+
+    # --- choose columns -------------------------------------------------
+    select = template.select
+    if select is None:
+        pool = numeric if template.select_dtype == DataType.REAL else (
+            textual if template.select_dtype == DataType.TEXT
+            else [c.name for c in domain.columns])
+        if not pool:
+            raise DataError(f"domain {domain.name!r} has no column for template")
+        select = str(rng.choice(pool))
+
+    cond_cols: list[str] = []
+    taken = {select.lower()}
+    for fixed, operator in zip(template.cond_columns, template.operators):
+        if fixed is not None:
+            cond_cols.append(fixed)
+            taken.add(fixed.lower())
+            continue
+        pool = (numeric if operator in (Operator.GT, Operator.LT) else
+                [c.name for c in domain.columns])
+        pool = [c for c in pool if c.lower() not in taken]
+        if not pool:
+            raise DataError(f"cannot sample condition column in {domain.name!r}")
+        chosen = str(rng.choice(pool))
+        cond_cols.append(chosen)
+        taken.add(chosen.lower())
+
+    # --- choose values --------------------------------------------------
+    if not table.rows:
+        raise DataError("cannot render against an empty table")
+    row = table.rows[int(rng.integers(0, len(table.rows)))]
+    values = []
+    for col, operator in zip(cond_cols, template.operators):
+        spec = domain.column(col)
+        if operator is Operator.EQ and rng.random() >= counterfactual_rate:
+            values.append(row[table.column_index(col)])
+        else:
+            values.append(spec.sample(rng))
+
+    # --- render segments with span tracking ------------------------------
+    tokens: list[str] = []
+    mentions: list[MentionSpan] = []
+    mentioned_cols: set[str] = set()
+
+    def emit(text: str) -> tuple[int, int]:
+        start = len(tokens)
+        tokens.extend(tokenize(text))
+        return start, len(tokens)
+
+    for kind, payload in template.segments:
+        if kind == "text":
+            emit(str(payload))
+        elif kind == "sel":
+            surface = str(rng.choice(domain.column(select).mentions))
+            start, end = emit(surface)
+            mentions.append(MentionSpan(select, "column", start, end))
+            mentioned_cols.add(select.lower())
+        elif kind == "selp":
+            start, end = emit(str(payload))
+            mentions.append(MentionSpan(select, "column", start, end))
+            mentioned_cols.add(select.lower())
+        elif kind == "col":
+            col = cond_cols[int(payload)]
+            surface = str(rng.choice(domain.column(col).mentions))
+            start, end = emit(surface)
+            mentions.append(MentionSpan(col, "column", start, end))
+            mentioned_cols.add(col.lower())
+        elif kind == "colp":
+            idx, phrase = payload
+            col = cond_cols[int(idx)]
+            start, end = emit(str(phrase))
+            mentions.append(MentionSpan(col, "column", start, end))
+            mentioned_cols.add(col.lower())
+        elif kind == "val":
+            idx = int(payload)
+            col = cond_cols[idx]
+            start, end = emit(_value_surface(values[idx]))
+            mentions.append(MentionSpan(col, "value", start, end))
+        else:
+            raise DataError(f"unknown segment kind {kind!r}")
+
+    # Record implicit column mentions (a value appears, its column does not).
+    for col in cond_cols:
+        if col.lower() not in mentioned_cols:
+            value_span = next((m for m in mentions
+                               if m.kind == "value" and m.column == col), None)
+            anchor = value_span.start if value_span else len(tokens)
+            mentions.append(MentionSpan(col, "column", anchor, anchor))
+
+    query = Query(
+        select_column=select,
+        aggregate=template.aggregate,
+        conditions=[Condition(c, op, v) for c, op, v
+                    in zip(cond_cols, template.operators, values)],
+    )
+    return Example(
+        question=" ".join(tokens),
+        table=table,
+        query=query,
+        mentions=mentions,
+        domain=domain.name,
+    )

@@ -1,0 +1,52 @@
+"""Shared exception hierarchy for the ``repro`` library.
+
+Every subsystem raises errors derived from :class:`ReproError` so callers
+can catch library failures with a single ``except`` clause while still
+being able to distinguish subsystems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class ShapeError(ReproError):
+    """An operation received tensors with incompatible shapes."""
+
+
+class GradientError(ReproError):
+    """Backward pass was invoked in an invalid state."""
+
+
+class SQLError(ReproError):
+    """Base class for SQL substrate errors."""
+
+
+class SQLParseError(SQLError):
+    """The SQL text could not be parsed into a query AST."""
+
+
+class SQLExecutionError(SQLError):
+    """A query could not be executed against the given table."""
+
+
+class SchemaError(SQLError):
+    """A schema definition is invalid or a column does not exist."""
+
+
+class DataError(ReproError):
+    """A dataset record is malformed or a generator was misconfigured."""
+
+
+class AnnotationError(ReproError):
+    """Question annotation or recovery failed."""
+
+
+class VocabularyError(ReproError):
+    """A token could not be mapped through a vocabulary."""
+
+
+class ModelError(ReproError):
+    """A model was used in an invalid state (e.g. decode before fit)."""

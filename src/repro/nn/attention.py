@@ -1,0 +1,67 @@
+"""Bahdanau-style additive attention.
+
+Used twice in the paper: inside the column-mention classifier (the
+column-side LSTM attends over question states, Section IV-B part iii)
+and inside the seq2seq decoder (Section V-B).  Both compute
+
+``e_j = v^T tanh(W_1 s_j + W_2 query + b)``, ``α = softmax(e)``,
+``context = Σ_j α_j s_j``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.nn import init
+from repro.nn.functional import masked_softmax, softmax
+from repro.nn.layers import Linear
+from repro.nn.module import Module, Parameter
+from repro.nn.tensor import Tensor
+
+__all__ = ["AdditiveAttention"]
+
+
+class AdditiveAttention(Module):
+    """Additive (Bahdanau) attention over a memory matrix.
+
+    Parameters
+    ----------
+    memory_dim:
+        Dimension of each memory vector (encoder state size).
+    query_dim:
+        Dimension of the query vector (decoder state / column state).
+    attention_dim:
+        Size of the hidden comparison space.
+    """
+
+    def __init__(self, memory_dim: int, query_dim: int, attention_dim: int,
+                 rng: np.random.Generator):
+        super().__init__()
+        self.memory_proj = Linear(memory_dim, attention_dim, rng, bias=False)
+        self.query_proj = Linear(query_dim, attention_dim, rng, bias=True)
+        self.v = Parameter(init.uniform(rng, (attention_dim,), 0.1))
+
+    def scores(self, memory: Tensor, query: Tensor) -> Tensor:
+        """Return unnormalized attention scores ``e`` of shape ``(T,)``.
+
+        ``memory`` is ``(T, memory_dim)``; ``query`` is ``(query_dim,)``
+        or ``(1, query_dim)``.
+        """
+        if memory.ndim != 2:
+            raise ShapeError(f"attention memory must be 2-D, got {memory.shape}")
+        if query.ndim == 1:
+            query = query.reshape(1, query.shape[0])
+        hidden = (self.memory_proj(memory) + self.query_proj(query)).tanh()
+        return hidden @ self.v
+
+    def forward(self, memory: Tensor, query: Tensor,
+                mask: np.ndarray | None = None) -> tuple[Tensor, Tensor]:
+        """Return ``(context, weights)`` for one query over the memory."""
+        e = self.scores(memory, query)
+        if mask is not None:
+            weights = masked_softmax(e, np.asarray(mask, dtype=bool), axis=-1)
+        else:
+            weights = softmax(e, axis=-1)
+        context = weights.reshape(1, weights.shape[0]) @ memory
+        return context.reshape(memory.shape[1]), weights

@@ -1,0 +1,39 @@
+"""Deterministic weight initializers.
+
+All initializers take an explicit ``numpy.random.Generator`` so every
+model in the library is reproducible from a seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["xavier_uniform", "uniform", "orthogonal", "zeros"]
+
+
+def xavier_uniform(rng: np.random.Generator, fan_in: int, fan_out: int,
+                   shape: tuple[int, ...] | None = None) -> np.ndarray:
+    """Glorot/Xavier uniform initialization."""
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    if shape is None:
+        shape = (fan_in, fan_out)
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def uniform(rng: np.random.Generator, shape: tuple[int, ...],
+            scale: float = 0.1) -> np.ndarray:
+    """Uniform initialization in ``[-scale, scale]``."""
+    return rng.uniform(-scale, scale, size=shape)
+
+
+def orthogonal(rng: np.random.Generator, rows: int, cols: int) -> np.ndarray:
+    """Orthogonal initialization (useful for recurrent weights)."""
+    a = rng.standard_normal((max(rows, cols), min(rows, cols)))
+    q, _ = np.linalg.qr(a)
+    q = q[:rows, :cols] if q.shape[0] >= rows else q.T[:rows, :cols]
+    return q
+
+
+def zeros(shape: tuple[int, ...]) -> np.ndarray:
+    """All-zeros initialization (biases)."""
+    return np.zeros(shape)

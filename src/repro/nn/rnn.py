@@ -1,0 +1,189 @@
+"""Recurrent cells and sequence layers (LSTM / GRU, uni- and bi-directional).
+
+Sequences are represented as Python lists of ``(batch, features)``
+tensors — one entry per time step.  This keeps per-step autodiff graphs
+simple and lets the attention layers index encoder states directly.
+
+The stacked variants insert an affine transformation before each layer,
+exactly as the paper specifies for both the classifier's question/column
+LSTMs (Section IV-B) and the seq2seq encoder (Section V-B):
+``x_i^(l+1) = L^(l+1)(h_i^(l))`` with ``L^l(x) = W_0^l x + b_0^l``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.nn.layers import Linear
+from repro.nn.module import Module
+from repro.nn.tensor import Tensor, concat
+
+__all__ = ["LSTMCell", "GRUCell", "LSTM", "BiLSTM", "GRU", "BiGRU"]
+
+
+class LSTMCell(Module):
+    """A single LSTM cell with fused gates."""
+
+    def __init__(self, input_size: int, hidden_size: int, rng: np.random.Generator):
+        super().__init__()
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self.gates = Linear(input_size + hidden_size, 4 * hidden_size, rng)
+
+    def initial_state(self, batch: int) -> tuple[Tensor, Tensor]:
+        """Return zero hidden/memory states for ``batch`` sequences."""
+        return Tensor.zeros(batch, self.hidden_size), Tensor.zeros(batch, self.hidden_size)
+
+    def forward(self, x: Tensor, h: Tensor, c: Tensor) -> tuple[Tensor, Tensor]:
+        if x.shape[-1] != self.input_size:
+            raise ShapeError(f"LSTMCell expected input {self.input_size}, got {x.shape}")
+        z = self.gates(concat([x, h], axis=-1))
+        hs = self.hidden_size
+        i = z[:, 0 * hs:1 * hs].sigmoid()
+        f = z[:, 1 * hs:2 * hs].sigmoid()
+        g = z[:, 2 * hs:3 * hs].tanh()
+        o = z[:, 3 * hs:4 * hs].sigmoid()
+        c_next = f * c + i * g
+        h_next = o * c_next.tanh()
+        return h_next, c_next
+
+
+class GRUCell(Module):
+    """A single GRU cell (update/reset gates + candidate state)."""
+
+    def __init__(self, input_size: int, hidden_size: int, rng: np.random.Generator):
+        super().__init__()
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self.zr = Linear(input_size + hidden_size, 2 * hidden_size, rng)
+        self.candidate = Linear(input_size + hidden_size, hidden_size, rng)
+
+    def initial_state(self, batch: int) -> Tensor:
+        """Return a zero hidden state for ``batch`` sequences."""
+        return Tensor.zeros(batch, self.hidden_size)
+
+    def forward(self, x: Tensor, h: Tensor) -> Tensor:
+        if x.shape[-1] != self.input_size:
+            raise ShapeError(f"GRUCell expected input {self.input_size}, got {x.shape}")
+        gates = self.zr(concat([x, h], axis=-1))
+        hs = self.hidden_size
+        z = gates[:, :hs].sigmoid()
+        r = gates[:, hs:].sigmoid()
+        h_tilde = self.candidate(concat([x, r * h], axis=-1)).tanh()
+        return (1.0 - z) * h + z * h_tilde
+
+
+def _check_steps(steps: list[Tensor]) -> None:
+    if not steps:
+        raise ShapeError("RNN received an empty sequence")
+
+
+class LSTM(Module):
+    """Stacked unidirectional LSTM with per-layer affine pre-transforms."""
+
+    def __init__(self, input_size: int, hidden_size: int,
+                 rng: np.random.Generator, num_layers: int = 1):
+        super().__init__()
+        self.hidden_size = hidden_size
+        self.num_layers = num_layers
+        self.pre = [Linear(input_size if l == 0 else hidden_size, hidden_size, rng)
+                    for l in range(num_layers)]
+        self.cells = [LSTMCell(hidden_size, hidden_size, rng) for _ in range(num_layers)]
+
+    def forward(self, steps: list[Tensor]) -> list[Tensor]:
+        """Run over a sequence; return top-layer hidden states per step."""
+        _check_steps(steps)
+        batch = steps[0].shape[0]
+        outputs = steps
+        for pre, cell in zip(self.pre, self.cells):
+            h, c = cell.initial_state(batch)
+            layer_out = []
+            for x in outputs:
+                h, c = cell(pre(x), h, c)
+                layer_out.append(h)
+            outputs = layer_out
+        return outputs
+
+
+class BiLSTM(Module):
+    """Bidirectional LSTM; output per step is ``[forward; backward]``."""
+
+    def __init__(self, input_size: int, hidden_size: int,
+                 rng: np.random.Generator, num_layers: int = 1):
+        super().__init__()
+        self.hidden_size = hidden_size
+        self.forward_rnn = LSTM(input_size, hidden_size, rng, num_layers)
+        self.backward_rnn = LSTM(input_size, hidden_size, rng, num_layers)
+
+    def forward(self, steps: list[Tensor]) -> list[Tensor]:
+        _check_steps(steps)
+        fwd = self.forward_rnn(steps)
+        bwd = list(reversed(self.backward_rnn(list(reversed(steps)))))
+        return [concat([f, b], axis=-1) for f, b in zip(fwd, bwd)]
+
+
+class GRU(Module):
+    """Stacked unidirectional GRU with per-layer affine pre-transforms."""
+
+    def __init__(self, input_size: int, hidden_size: int,
+                 rng: np.random.Generator, num_layers: int = 1):
+        super().__init__()
+        self.hidden_size = hidden_size
+        self.num_layers = num_layers
+        self.pre = [Linear(input_size if l == 0 else hidden_size, hidden_size, rng)
+                    for l in range(num_layers)]
+        self.cells = [GRUCell(hidden_size, hidden_size, rng) for _ in range(num_layers)]
+
+    def forward(self, steps: list[Tensor]) -> list[Tensor]:
+        """Run over a sequence; return top-layer hidden states per step."""
+        _check_steps(steps)
+        batch = steps[0].shape[0]
+        outputs = steps
+        for pre, cell in zip(self.pre, self.cells):
+            h = cell.initial_state(batch)
+            layer_out = []
+            for x in outputs:
+                h = cell(pre(x), h)
+                layer_out.append(h)
+            outputs = layer_out
+        return outputs
+
+
+class BiGRU(Module):
+    """Stacked bidirectional GRU — the paper's seq2seq encoder backbone.
+
+    Layer ``l+1`` consumes the concatenated forward/backward states of
+    layer ``l`` through an affine transform, matching Section V-B.
+    """
+
+    def __init__(self, input_size: int, hidden_size: int,
+                 rng: np.random.Generator, num_layers: int = 1):
+        super().__init__()
+        self.hidden_size = hidden_size
+        self.num_layers = num_layers
+        self.pre = [Linear(input_size if l == 0 else 2 * hidden_size, hidden_size, rng)
+                    for l in range(num_layers)]
+        self.fwd_cells = [GRUCell(hidden_size, hidden_size, rng) for _ in range(num_layers)]
+        self.bwd_cells = [GRUCell(hidden_size, hidden_size, rng) for _ in range(num_layers)]
+
+    def forward(self, steps: list[Tensor]) -> list[Tensor]:
+        """Return per-step ``[forward; backward]`` states of the top layer."""
+        _check_steps(steps)
+        batch = steps[0].shape[0]
+        outputs = steps
+        for pre, fwd_cell, bwd_cell in zip(self.pre, self.fwd_cells, self.bwd_cells):
+            inputs = [pre(x) for x in outputs]
+            h = fwd_cell.initial_state(batch)
+            fwd = []
+            for x in inputs:
+                h = fwd_cell(x, h)
+                fwd.append(h)
+            h = bwd_cell.initial_state(batch)
+            bwd = []
+            for x in reversed(inputs):
+                h = bwd_cell(x, h)
+                bwd.append(h)
+            bwd.reverse()
+            outputs = [concat([f, b], axis=-1) for f, b in zip(fwd, bwd)]
+        return outputs

@@ -1,0 +1,27 @@
+"""Save / load model parameters as ``.npz`` archives."""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.nn.module import Module
+
+__all__ = ["save_module", "load_module"]
+
+
+def save_module(module: Module, path: str | os.PathLike) -> None:
+    """Write a module's state dict to a ``.npz`` archive."""
+    state = module.state_dict()
+    if not state:
+        raise ModelError("module has no parameters to save")
+    np.savez(path, **state)
+
+
+def load_module(module: Module, path: str | os.PathLike) -> None:
+    """Load a ``.npz`` archive into a module (strict name/shape match)."""
+    with np.load(path) as archive:
+        state = {name: archive[name] for name in archive.files}
+    module.load_state_dict(state)

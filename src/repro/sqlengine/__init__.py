@@ -1,0 +1,21 @@
+"""In-memory relational engine for the WikiSQL query sketch.
+
+Provides typed tables, a query AST, a SQL parser, an executor (used for
+execution-accuracy scoring), and canonicalization (used for query-match
+scoring).
+"""
+
+from repro.sqlengine.ast import Condition, Query
+from repro.sqlengine.canonical import canonical_equal, canonicalize
+from repro.sqlengine.executor import execute, results_equal
+from repro.sqlengine.parser import parse_sql
+from repro.sqlengine.table import Column, Database, Table
+from repro.sqlengine.types import Aggregate, DataType, Operator
+
+__all__ = [
+    "DataType", "Aggregate", "Operator",
+    "Column", "Table", "Database",
+    "Condition", "Query",
+    "parse_sql", "execute", "results_equal",
+    "canonicalize", "canonical_equal",
+]

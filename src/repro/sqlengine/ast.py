@@ -1,0 +1,125 @@
+"""Query AST for the WikiSQL sketch.
+
+A :class:`Query` is ``SELECT [agg] select_column WHERE cond AND ...``
+with conditions ``(column, operator, value)``.  The AST provides the
+three comparison views the paper's metrics need:
+
+* :meth:`Query.tokens` — the token-by-token *logical form* (condition
+  order preserved), for ``Acc_lf``;
+* :meth:`Query.canonical` — a canonical representation (lower-cased,
+  conditions sorted), for *query-match* ``Acc_qm``;
+* :meth:`Query.to_sql` — printable SQL text.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sqlengine.types import Aggregate, Operator
+
+__all__ = ["Condition", "Query"]
+
+
+def _format_value(value) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, (int, float)):
+        if isinstance(value, float) and value.is_integer():
+            return str(int(value))
+        return str(value)
+    return f'"{value}"'
+
+
+def _canonical_value(value) -> str:
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        return _format_value(value)
+    text = str(value).strip().lower()
+    # Numeric strings compare equal to their numeric form.
+    try:
+        return _format_value(float(text))
+    except ValueError:
+        return text
+
+
+@dataclass(frozen=True)
+class Condition:
+    """One WHERE condition: ``column operator value``."""
+
+    column: str
+    operator: Operator
+    value: object
+
+    def to_sql(self) -> str:
+        return f"{self.column} {self.operator.value} {_format_value(self.value)}"
+
+    def canonical(self) -> tuple[str, str, str]:
+        return (self.column.strip().lower(), self.operator.value,
+                _canonical_value(self.value))
+
+
+@dataclass
+class Query:
+    """A WikiSQL-sketch query."""
+
+    select_column: str
+    aggregate: Aggregate = Aggregate.NONE
+    conditions: list[Condition] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+
+    def to_sql(self) -> str:
+        """Render as SQL text (the paper's single-table dialect omits FROM)."""
+        if self.aggregate is Aggregate.NONE:
+            select = f"SELECT {self.select_column}"
+        else:
+            select = f"SELECT {self.aggregate.value}({self.select_column})"
+        if not self.conditions:
+            return select
+        where = " AND ".join(c.to_sql() for c in self.conditions)
+        return f"{select} WHERE {where}"
+
+    def tokens(self) -> list[str]:
+        """Logical-form token sequence (condition order preserved)."""
+        out = ["select"]
+        if self.aggregate is not Aggregate.NONE:
+            out.append(self.aggregate.value.lower())
+        out.append(self.select_column.strip().lower())
+        if self.conditions:
+            out.append("where")
+            for i, cond in enumerate(self.conditions):
+                if i:
+                    out.append("and")
+                col, op, val = cond.canonical()
+                out.extend([col, op, val])
+        return out
+
+    def canonical(self) -> tuple:
+        """Order-insensitive canonical form used for query-match accuracy."""
+        return (
+            self.aggregate.value,
+            self.select_column.strip().lower(),
+            tuple(sorted(c.canonical() for c in self.conditions)),
+        )
+
+    # ------------------------------------------------------------------
+    # Comparisons
+    # ------------------------------------------------------------------
+
+    def logical_form_equal(self, other: "Query") -> bool:
+        """Token-by-token equality (condition order matters) — Acc_lf."""
+        return self.tokens() == other.tokens()
+
+    def query_match_equal(self, other: "Query") -> bool:
+        """Canonical equality (condition order ignored) — Acc_qm."""
+        return self.canonical() == other.canonical()
+
+    def where_canonical(self) -> tuple:
+        """Canonical (column, value) pairs of the WHERE clause only.
+
+        Used for the Section VII-A.1 mention-detection metric, which
+        scores ``$COND_COL`` / ``$COND_VAL`` agreement.
+        """
+        return tuple(sorted((c.canonical()[0], c.canonical()[2])
+                            for c in self.conditions))

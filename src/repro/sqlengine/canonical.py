@@ -1,0 +1,29 @@
+"""Canonical representations of SQL text for query-match comparison.
+
+The paper's *query-match accuracy* "converts both synthesized SQL query
+and the ground truth into canonical representations before comparison"
+(Section VII).  This module exposes that conversion for raw SQL strings,
+delegating to the AST for structure.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SQLParseError
+from repro.sqlengine.ast import Query
+from repro.sqlengine.parser import parse_sql
+
+__all__ = ["canonicalize", "canonical_equal"]
+
+
+def canonicalize(sql_or_query: str | Query) -> tuple:
+    """Return the canonical tuple form of SQL text or a Query."""
+    query = sql_or_query if isinstance(sql_or_query, Query) else parse_sql(sql_or_query)
+    return query.canonical()
+
+
+def canonical_equal(a: str | Query, b: str | Query) -> bool:
+    """Whether two queries match canonically; unparseable input ≠ anything."""
+    try:
+        return canonicalize(a) == canonicalize(b)
+    except SQLParseError:
+        return False

@@ -1,0 +1,117 @@
+"""Query executor for the WikiSQL sketch.
+
+Executes a :class:`~repro.sqlengine.ast.Query` against a
+:class:`~repro.sqlengine.table.Table` and returns a result that can be
+compared across queries — the basis of the paper's *execution accuracy*
+(``Acc_ex``) metric.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SQLExecutionError, SchemaError
+from repro.sqlengine.ast import Condition, Query
+from repro.sqlengine.table import Table
+from repro.sqlengine.types import Aggregate, DataType, Operator
+
+__all__ = ["execute", "results_equal"]
+
+
+def _coerce_number(value) -> float:
+    if isinstance(value, bool):
+        raise SQLExecutionError("boolean cell cannot be compared numerically")
+    if isinstance(value, (int, float)):
+        return float(value)
+    try:
+        return float(str(value).strip())
+    except ValueError as exc:
+        raise SQLExecutionError(f"cell value {value!r} is not numeric") from exc
+
+
+def _match_condition(cell, cond: Condition, dtype: DataType) -> bool:
+    if cond.operator is Operator.EQ:
+        if dtype is DataType.REAL:
+            try:
+                return _coerce_number(cell) == _coerce_number(cond.value)
+            except SQLExecutionError:
+                return False
+        return str(cell).strip().lower() == str(cond.value).strip().lower()
+    # Ordering comparisons are numeric; text cells that fail to coerce
+    # simply do not match (a question can mention counterfactual values).
+    try:
+        lhs = _coerce_number(cell)
+        rhs = _coerce_number(cond.value)
+    except SQLExecutionError:
+        return False
+    return lhs > rhs if cond.operator is Operator.GT else lhs < rhs
+
+
+def execute(query: Query, table: Table):
+    """Run ``query`` on ``table``.
+
+    Returns
+    -------
+    For ``Aggregate.NONE``: a sorted list of the selected cells.
+    For ``COUNT``: an integer.  For ``MAX/MIN/SUM/AVG``: a float (``None``
+    when no rows match).
+
+    Raises
+    ------
+    SQLExecutionError
+        If the selected/conditioned columns do not exist, or a numeric
+        aggregate is applied to non-numeric data.
+    """
+    try:
+        select_idx = table.column_index(query.select_column)
+    except SchemaError as exc:
+        raise SQLExecutionError(str(exc)) from exc
+
+    cond_meta = []
+    for cond in query.conditions:
+        try:
+            idx = table.column_index(cond.column)
+        except SchemaError as exc:
+            raise SQLExecutionError(str(exc)) from exc
+        cond_meta.append((idx, cond, table.columns[idx].dtype))
+
+    selected = []
+    for row in table.rows:
+        if all(_match_condition(row[idx], cond, dtype)
+               for idx, cond, dtype in cond_meta):
+            selected.append(row[select_idx])
+
+    agg = query.aggregate
+    if agg is Aggregate.NONE:
+        return sorted(selected, key=lambda v: str(v))
+    if agg is Aggregate.COUNT:
+        return len(selected)
+    if not selected:
+        return None
+    numbers = [_coerce_number(v) for v in selected]
+    if agg is Aggregate.MAX:
+        return max(numbers)
+    if agg is Aggregate.MIN:
+        return min(numbers)
+    if agg is Aggregate.SUM:
+        return sum(numbers)
+    if agg is Aggregate.AVG:
+        return sum(numbers) / len(numbers)
+    raise SQLExecutionError(f"unsupported aggregate {agg!r}")
+
+
+def results_equal(a, b) -> bool:
+    """Compare two execution results with numeric tolerance."""
+    if isinstance(a, list) != isinstance(b, list):
+        return False
+    if isinstance(a, list):
+        if len(a) != len(b):
+            return False
+        return all(_cell_equal(x, y) for x, y in zip(a, b))
+    return _cell_equal(a, b)
+
+
+def _cell_equal(a, b) -> bool:
+    if a is None or b is None:
+        return a is None and b is None
+    if isinstance(a, (int, float)) and isinstance(b, (int, float)):
+        return abs(float(a) - float(b)) < 1e-9
+    return str(a).strip().lower() == str(b).strip().lower()

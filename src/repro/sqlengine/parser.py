@@ -1,0 +1,119 @@
+"""Parser for the WikiSQL-sketch SQL dialect.
+
+Grammar (case-insensitive keywords)::
+
+    query  := SELECT [AGG '('] column [')'] [WHERE cond (AND cond)*]
+    cond   := column op value
+    op     := '=' | '>' | '<'
+    value  := '"' text '"' | number | bareword+
+
+Column names may contain spaces (e.g. ``Film Name``); inside a condition
+the column is everything before the operator.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import SQLParseError
+from repro.sqlengine.ast import Condition, Query
+from repro.sqlengine.types import Aggregate, Operator
+
+__all__ = ["parse_sql"]
+
+_AGG_RE = re.compile(
+    r"^\s*(max|min|count|sum|avg)\s*\(\s*(.+?)\s*\)\s*$", re.IGNORECASE)
+_SPLIT_WHERE_RE = re.compile(r"\bwhere\b", re.IGNORECASE)
+_SPLIT_AND_RE = re.compile(r"\band\b", re.IGNORECASE)
+_COND_RE = re.compile(r"^\s*(.+?)\s*(=|>|<)\s*(.+?)\s*$")
+
+
+def _parse_value(text: str):
+    """Interpret a condition's right-hand side: quoted text or number."""
+    text = text.strip()
+    if len(text) >= 2 and text[0] == '"' and text[-1] == '"':
+        return text[1:-1]
+    if len(text) >= 2 and text[0] == "'" and text[-1] == "'":
+        return text[1:-1]
+    try:
+        number = float(text)
+    except ValueError:
+        return text  # bare words act as unquoted text values
+    return int(number) if number.is_integer() else number
+
+
+def _parse_select(select_text: str) -> tuple[Aggregate, str]:
+    select_text = select_text.strip()
+    if not select_text:
+        raise SQLParseError("empty SELECT clause")
+    agg_match = _AGG_RE.match(select_text)
+    if agg_match:
+        return Aggregate.from_token(agg_match.group(1)), agg_match.group(2).strip()
+    # Also accept "AGG column" without parentheses (annotated SQL style).
+    head, _, rest = select_text.partition(" ")
+    if head.upper() in {"MAX", "MIN", "COUNT", "SUM", "AVG"} and rest.strip():
+        return Aggregate.from_token(head), rest.strip()
+    return Aggregate.NONE, select_text
+
+
+def parse_sql(text: str) -> Query:
+    """Parse SQL text into a :class:`~repro.sqlengine.ast.Query`.
+
+    Raises
+    ------
+    SQLParseError
+        If the text does not follow the WikiSQL sketch.
+    """
+    if not text or not text.strip():
+        raise SQLParseError("empty SQL text")
+    stripped = text.strip().rstrip(";")
+    lowered = stripped.lower()
+    if not lowered.startswith("select"):
+        raise SQLParseError(f"query must start with SELECT: {text!r}")
+    body = stripped[len("select"):].strip()
+
+    parts = _SPLIT_WHERE_RE.split(body, maxsplit=1)
+    select_part = parts[0]
+    # Tolerate an explicit FROM clause (we are single-table).
+    from_split = re.split(r"\bfrom\b", select_part, maxsplit=1, flags=re.IGNORECASE)
+    select_part = from_split[0]
+    aggregate, column = _parse_select(select_part)
+
+    conditions: list[Condition] = []
+    if len(parts) == 2:
+        where_body = parts[1].strip()
+        if not where_body:
+            raise SQLParseError(f"WHERE clause is empty: {text!r}")
+        for chunk in _split_conditions(where_body):
+            cond_match = _COND_RE.match(chunk)
+            if not cond_match:
+                raise SQLParseError(f"cannot parse condition {chunk!r}")
+            col, op, val = cond_match.groups()
+            conditions.append(
+                Condition(col.strip(), Operator.from_token(op), _parse_value(val)))
+    return Query(select_column=column, aggregate=aggregate, conditions=conditions)
+
+
+def _split_conditions(where_body: str) -> list[str]:
+    """Split on AND, but never inside a quoted value."""
+    chunks: list[str] = []
+    current: list[str] = []
+    in_quote: str | None = None
+    tokens = re.split(r"(\s+)", where_body)
+    for token in tokens:
+        bare = token.strip()
+        if in_quote is None and bare.lower() == "and":
+            chunks.append("".join(current))
+            current = []
+            continue
+        for ch in token:
+            if in_quote is None and ch in "\"'":
+                in_quote = ch
+            elif in_quote == ch:
+                in_quote = None
+        current.append(token)
+    chunks.append("".join(current))
+    chunks = [c.strip() for c in chunks if c.strip()]
+    if not chunks:
+        raise SQLParseError("WHERE clause has no conditions")
+    return chunks

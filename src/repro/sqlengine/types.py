@@ -1,0 +1,58 @@
+"""Column data types and operator/aggregate vocabularies.
+
+The engine implements the WikiSQL query sketch::
+
+    SELECT [AGG] column WHERE column OP value (AND column OP value)*
+
+which is exactly the query class the paper's experiments use
+(Section VII-A; the sketch shown for TypeSQL comparison).
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+__all__ = ["DataType", "Aggregate", "Operator"]
+
+
+class DataType(str, Enum):
+    """Data type of a table column."""
+
+    TEXT = "text"
+    REAL = "real"
+
+
+class Aggregate(str, Enum):
+    """Aggregates supported by the WikiSQL sketch."""
+
+    NONE = ""
+    MAX = "MAX"
+    MIN = "MIN"
+    COUNT = "COUNT"
+    SUM = "SUM"
+    AVG = "AVG"
+
+    @classmethod
+    def from_token(cls, token: str) -> "Aggregate":
+        token = token.strip().upper()
+        if not token:
+            return cls.NONE
+        try:
+            return cls(token)
+        except ValueError as exc:
+            raise ValueError(f"unknown aggregate {token!r}") from exc
+
+
+class Operator(str, Enum):
+    """Comparison operators supported in WHERE conditions."""
+
+    EQ = "="
+    GT = ">"
+    LT = "<"
+
+    @classmethod
+    def from_token(cls, token: str) -> "Operator":
+        try:
+            return cls(token.strip())
+        except ValueError as exc:
+            raise ValueError(f"unknown operator {token!r}") from exc

@@ -1,0 +1,36 @@
+"""Text substrate: tokenization, distances, embeddings, dependency trees.
+
+Stands in for the NLP toolchain the paper relies on (GloVe vectors and a
+dependency parser) with deterministic, offline equivalents.
+"""
+
+from repro.text.dependency import DependencyTree, parse_dependency
+from repro.text.edit_distance import levenshtein, normalized_edit_similarity
+from repro.text.embeddings import WordEmbeddings
+from repro.text.lexicon import (
+    SYNONYM_GROUPS,
+    ColumnKnowledge,
+    KnowledgeBase,
+    stem,
+    synonym_group_of,
+)
+from repro.text.stats import column_statistics, span_statistics
+from repro.text.stopwords import STOP_WORDS, is_stop_word
+from repro.text.tokenizer import (
+    CHAR_VOCAB_SIZE,
+    char_ids,
+    detokenize,
+    normalize,
+    tokenize,
+)
+
+__all__ = [
+    "tokenize", "detokenize", "char_ids", "normalize", "CHAR_VOCAB_SIZE",
+    "levenshtein", "normalized_edit_similarity",
+    "STOP_WORDS", "is_stop_word",
+    "SYNONYM_GROUPS", "synonym_group_of", "stem",
+    "ColumnKnowledge", "KnowledgeBase",
+    "WordEmbeddings",
+    "DependencyTree", "parse_dependency",
+    "column_statistics", "span_statistics",
+]

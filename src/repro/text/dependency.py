@@ -1,0 +1,185 @@
+"""Heuristic dependency tree for mention resolution.
+
+Section IV-E resolves ambiguous (value, column) pairings by *structural
+closeness in the question's dependency tree* — "a value is often the
+closest child node of the paired column".  The resolution step only
+consumes pairwise tree distances, so a full statistical parser is not
+required; this module builds a rule-based arc-attachment tree that
+preserves the locality signal:
+
+* the first main (non-auxiliary) verb is the root; other verbs attach
+  to it;
+* a preposition attaches to the nearest verb or noun on its left;
+* a token following a preposition attaches to that preposition;
+* consecutive capitalizable content words chain (multi-word entities
+  stay together);
+* any other content word attaches to the nearest verb (ties go left);
+* determiners and wh-words attach to the following content word.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+__all__ = ["DependencyTree", "parse_dependency"]
+
+_AUX = frozenset("""
+is are was were be been being am do does did have has had
+will would shall should can could may might must
+""".split())
+
+_VERBS = frozenset("""
+play played plays playing win won wins winning live lives lived living
+direct directed directs star starred stars sing sang sung sings write
+wrote written writes serve serves served hold held holds score scored
+scores elect elected cost costs open opened opens locate located
+schedule scheduled release released record recorded nominate nominated
+graduate graduated earn earns earned weigh weighs weighed run ran runs
+coach coached host hosted launch launched born reside resides work
+worked works made make makes represent represented compete competed
+golfs golf visited visit
+""".split())
+
+_PREPS = frozenset("""
+by in on at of for with from to as against during
+""".split())
+
+_DETS = frozenset("the a an this that these those".split())
+
+_WH = frozenset("what which who whom whose when where why how".split())
+
+
+def _is_content(token: str) -> bool:
+    t = token.lower()
+    return (t not in _AUX and t not in _PREPS and t not in _DETS
+            and t not in _WH and t.isalnum())
+
+
+@dataclass
+class DependencyTree:
+    """Parent-array tree over question tokens with BFS distances."""
+
+    tokens: list[str]
+    parents: list[int]  # parents[i] = index of head; root has -1
+
+    def __post_init__(self) -> None:
+        n = len(self.tokens)
+        self._adj: list[list[int]] = [[] for _ in range(n)]
+        for child, parent in enumerate(self.parents):
+            if parent >= 0:
+                self._adj[child].append(parent)
+                self._adj[parent].append(child)
+
+    @property
+    def root(self) -> int:
+        """Index of the root token."""
+        return self.parents.index(-1)
+
+    def distance(self, i: int, j: int) -> int:
+        """Number of tree edges between tokens ``i`` and ``j``."""
+        if i == j:
+            return 0
+        seen = {i}
+        queue = deque([(i, 0)])
+        while queue:
+            node, depth = queue.popleft()
+            for nxt in self._adj[node]:
+                if nxt == j:
+                    return depth + 1
+                if nxt not in seen:
+                    seen.add(nxt)
+                    queue.append((nxt, depth + 1))
+        return len(self.tokens)  # disconnected should not happen; be safe
+
+    def span_distance(self, span_a: tuple[int, int], span_b: tuple[int, int]) -> int:
+        """Minimum token-pair distance between two ``[start, end)`` spans."""
+        return min(self.distance(i, j)
+                   for i in range(*span_a) for j in range(*span_b))
+
+
+def parse_dependency(tokens: list[str]) -> DependencyTree:
+    """Build the heuristic dependency tree for a token sequence."""
+    n = len(tokens)
+    if n == 0:
+        return DependencyTree([], [])
+    lowered = [t.lower() for t in tokens]
+
+    verb_idx = [i for i, t in enumerate(lowered) if t in _VERBS]
+    aux_idx = [i for i, t in enumerate(lowered) if t in _AUX]
+    if verb_idx:
+        root = verb_idx[0]
+    elif aux_idx:
+        root = aux_idx[0]
+    else:
+        root = 0
+
+    parents = [-2] * n  # -2 = unassigned
+    parents[root] = -1
+
+    # Other verbs (and auxiliaries) attach to the root.
+    for i in verb_idx + aux_idx:
+        if parents[i] == -2:
+            parents[i] = root
+
+    def nearest_verb(i: int) -> int:
+        candidates = [v for v in verb_idx if v != i] or [root]
+        return min(candidates, key=lambda v: (abs(v - i), v > i))
+
+    for i, token in enumerate(lowered):
+        if parents[i] != -2:
+            continue
+        if token in _PREPS:
+            # Attach to nearest verb or content word on the left.
+            head = root
+            for j in range(i - 1, -1, -1):
+                if j in verb_idx or j in aux_idx or _is_content(lowered[j]):
+                    head = j
+                    break
+            parents[i] = head if head != i else root
+        elif token in _DETS or token in _WH:
+            # Attach forward to the next content word.
+            head = root
+            for j in range(i + 1, n):
+                if _is_content(lowered[j]):
+                    head = j
+                    break
+            parents[i] = head if head != i else root
+        elif _is_content(token):
+            prev = lowered[i - 1] if i > 0 else ""
+            if i > 0 and prev in _PREPS:
+                parents[i] = i - 1
+            elif i > 0 and _is_content(prev) and parents[i - 1] != -2:
+                # Chain multi-word entities/compounds to their first word.
+                parents[i] = i - 1
+            else:
+                head = nearest_verb(i)
+                parents[i] = head if head != i else root
+        else:
+            # Punctuation and anything else hangs off the root.
+            parents[i] = root
+
+    # Break accidental self-loops or unassigned slots defensively.
+    for i in range(n):
+        if parents[i] == -2 or parents[i] == i:
+            parents[i] = root if i != root else -1
+
+    tree = DependencyTree(list(tokens), parents)
+    _break_cycles(tree)
+    return tree
+
+
+def _break_cycles(tree: DependencyTree) -> None:
+    """Ensure every token reaches the root (re-attach stray cycles)."""
+    root = tree.parents.index(-1)
+    for start in range(len(tree.tokens)):
+        seen = set()
+        node = start
+        while node != -1 and node not in seen:
+            seen.add(node)
+            node = tree.parents[node]
+        if node != -1:
+            # Cycle detected: cut it by re-attaching the visited node to root.
+            tree.parents[node] = root
+    # Rebuild adjacency after surgery.
+    tree.__post_init__()

@@ -1,0 +1,39 @@
+"""Edit (Levenshtein) distance and derived similarity.
+
+Used by the mention matcher for the *context-free* cases the paper
+resolves with string distances (Section III, footnote 1).
+"""
+
+from __future__ import annotations
+
+__all__ = ["levenshtein", "normalized_edit_similarity"]
+
+
+def levenshtein(a: str, b: str) -> int:
+    """Minimum number of insert/delete/substitute operations a → b."""
+    if a == b:
+        return 0
+    if not a:
+        return len(b)
+    if not b:
+        return len(a)
+    if len(a) < len(b):
+        a, b = b, a
+    previous = list(range(len(b) + 1))
+    for i, ch_a in enumerate(a, start=1):
+        current = [i]
+        for j, ch_b in enumerate(b, start=1):
+            cost = 0 if ch_a == ch_b else 1
+            current.append(min(previous[j] + 1,      # deletion
+                               current[j - 1] + 1,   # insertion
+                               previous[j - 1] + cost))  # substitution
+        previous = current
+    return previous[-1]
+
+
+def normalized_edit_similarity(a: str, b: str) -> float:
+    """1 − distance/max_len, in ``[0, 1]``; 1.0 means identical strings."""
+    if not a and not b:
+        return 1.0
+    longest = max(len(a), len(b))
+    return 1.0 - levenshtein(a, b) / longest

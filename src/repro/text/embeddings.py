@@ -1,0 +1,118 @@
+"""Deterministic, lexicon-structured word embeddings.
+
+The paper initializes its models with pre-trained GloVe vectors, whose
+only property the pipeline actually relies on is *semantic proximity*:
+related words (synonyms, morphological variants) are close in L2/cosine
+space, unrelated words are far.  Offline we reproduce that property
+directly: every word's vector is seeded from a stable hash, and words in
+the same :data:`~repro.text.lexicon.SYNONYM_GROUPS` group share a common
+base direction plus a small word-specific displacement.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+from repro.text.lexicon import stem, synonym_group_of
+from repro.text.tokenizer import tokenize
+
+__all__ = ["WordEmbeddings"]
+
+
+def _hash_rng(key: str, salt: int) -> np.random.Generator:
+    digest = hashlib.md5(f"{salt}:{key}".encode("utf-8")).digest()
+    return np.random.default_rng(int.from_bytes(digest[:8], "little"))
+
+
+class WordEmbeddings:
+    """Deterministic embedding table with semantic structure.
+
+    Parameters
+    ----------
+    dim:
+        Vector dimension (default 64; the paper used GloVe-300 but the
+        pipeline is dimension-agnostic).
+    seed:
+        Salt mixed into every hash so different seeds give independent
+        embedding spaces.
+    group_weight:
+        How strongly group members pull toward the shared base
+        direction; higher = tighter synonym clusters.
+    """
+
+    def __init__(self, dim: int = 64, seed: int = 0, group_weight: float = 0.85):
+        if dim < 2:
+            raise ValueError("embedding dimension must be >= 2")
+        if not 0.0 <= group_weight < 1.0:
+            raise ValueError("group_weight must be in [0, 1)")
+        self.dim = dim
+        self.seed = seed
+        self.group_weight = group_weight
+        self._cache: dict[str, np.ndarray] = {}
+
+    # ------------------------------------------------------------------
+    # Vectors
+    # ------------------------------------------------------------------
+
+    def _raw(self, key: str, salt_offset: int = 0) -> np.ndarray:
+        rng = _hash_rng(key, self.seed + salt_offset)
+        vec = rng.standard_normal(self.dim)
+        return vec / np.linalg.norm(vec)
+
+    def vector(self, word: str) -> np.ndarray:
+        """Embedding for a single word (deterministic, unit-ish norm)."""
+        word = word.lower()
+        cached = self._cache.get(word)
+        if cached is not None:
+            return cached
+        group = synonym_group_of(word)
+        if group is not None:
+            base = self._raw(f"group:{group}", salt_offset=1)
+            noise = self._raw(f"word:{stem(word)}")
+            vec = self.group_weight * base + (1.0 - self.group_weight) * noise
+        else:
+            # Morphological variants share a stem vector with a small
+            # surface-form displacement (keeps "candidate"/"candidates"
+            # close even outside any synonym group).
+            base = self._raw(f"stem:{stem(word)}", salt_offset=2)
+            noise = self._raw(f"surface:{word}", salt_offset=3)
+            vec = 0.9 * base + 0.1 * noise
+        vec = vec / np.linalg.norm(vec)
+        self._cache[word] = vec
+        return vec
+
+    def matrix(self, words: list[str]) -> np.ndarray:
+        """Stacked embeddings, shape ``(len(words), dim)``."""
+        if not words:
+            return np.zeros((0, self.dim))
+        return np.stack([self.vector(w) for w in words])
+
+    def phrase_vector(self, phrase: str) -> np.ndarray:
+        """Average embedding of a phrase's tokens."""
+        tokens = tokenize(phrase)
+        if not tokens:
+            return np.zeros(self.dim)
+        return self.matrix(tokens).mean(axis=0)
+
+    # ------------------------------------------------------------------
+    # Distances
+    # ------------------------------------------------------------------
+
+    def distance(self, a: str, b: str) -> float:
+        """Semantic (Euclidean) distance between two words."""
+        return float(np.linalg.norm(self.vector(a) - self.vector(b)))
+
+    def similarity(self, a: str, b: str) -> float:
+        """Cosine similarity between two words."""
+        va, vb = self.vector(a), self.vector(b)
+        return float(va @ vb / (np.linalg.norm(va) * np.linalg.norm(vb)))
+
+    def phrase_similarity(self, a: str, b: str) -> float:
+        """Cosine similarity between two phrases (mean-pooled)."""
+        va, vb = self.phrase_vector(a), self.phrase_vector(b)
+        na, nb = np.linalg.norm(va), np.linalg.norm(vb)
+        if na == 0.0 or nb == 0.0:
+            return 0.0
+        return float(va @ vb / (na * nb))

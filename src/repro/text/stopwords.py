@@ -1,0 +1,31 @@
+"""English stop words.
+
+The value-detection classifier only considers candidate spans that
+contain no stop words (Section IV-D: "we only consider q[i, j] only if
+no k with q[k] ∈ StopWords").
+"""
+
+from __future__ import annotations
+
+__all__ = ["STOP_WORDS", "is_stop_word"]
+
+STOP_WORDS: frozenset[str] = frozenset("""
+a an the this that these those
+i you he she it we they me him her us them
+my your his its our their
+is are was were be been being am
+do does did done doing
+have has had having
+will would shall should can could may might must
+and or but nor so yet for
+of in on at by to from with without into onto over under
+up down out off about above below between among through during
+as if then than too very just only also not no
+what which who whom whose when where why how
+there here
+""".split())
+
+
+def is_stop_word(token: str) -> bool:
+    """Whether a (lowercased) token is a stop word."""
+    return token.lower() in STOP_WORDS

@@ -1,0 +1,63 @@
+"""Word and character tokenization.
+
+The paper treats a question as a sequence of words and each word as a
+sequence of characters (Section IV-B).  The tokenizer keeps numbers,
+percentages, and hyphenated season spans (e.g. ``2006-07``) as single
+tokens because the adversarial case studies (Figure 7) depend on them.
+"""
+
+from __future__ import annotations
+
+import re
+
+__all__ = ["tokenize", "detokenize", "char_ids", "CHAR_VOCAB_SIZE", "normalize"]
+
+_TOKEN_RE = re.compile(
+    r"[A-Za-z]+(?:'[A-Za-z]+)?"      # words, contractions
+    r"|\d+(?:[.,]\d+)*(?:-\d+)?%?"   # numbers, decimals, spans, percents
+    r"|[^\sA-Za-z\d]"                # single punctuation marks
+)
+
+# Character vocabulary: printable ASCII mapped to ids 1..95; 0 = unknown.
+_CHAR_BASE = 32
+CHAR_VOCAB_SIZE = 97
+
+
+def tokenize(text: str, lowercase: bool = True) -> list[str]:
+    """Split text into word tokens."""
+    if lowercase:
+        text = text.lower()
+    return _TOKEN_RE.findall(text)
+
+
+def detokenize(tokens: list[str]) -> str:
+    """Join tokens back into readable text (spaces except before punctuation)."""
+    out: list[str] = []
+    for token in tokens:
+        if out and re.fullmatch(r"[^\w%]", token):
+            out[-1] = out[-1] + token
+        else:
+            out.append(token)
+    return " ".join(out)
+
+
+def char_ids(word: str) -> list[int]:
+    """Map a word to character ids in ``[0, CHAR_VOCAB_SIZE)``.
+
+    Printable ASCII gets a stable id; anything else maps to 0 (unknown).
+    Empty words yield a single unknown id so downstream convolutions
+    always have input.
+    """
+    ids = []
+    for ch in word:
+        code = ord(ch)
+        if _CHAR_BASE <= code < _CHAR_BASE + CHAR_VOCAB_SIZE - 1:
+            ids.append(code - _CHAR_BASE + 1)
+        else:
+            ids.append(0)
+    return ids or [0]
+
+
+def normalize(text: str) -> str:
+    """Lowercase and collapse whitespace — used before string matching."""
+    return " ".join(text.lower().split())

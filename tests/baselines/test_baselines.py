@@ -1,0 +1,115 @@
+"""Tests for the Seq2SQL-, SQLNet-, and TypeSQL-like baselines."""
+
+import pytest
+
+from repro.baselines import Seq2SQLBaseline, SQLNetBaseline, TypeSQLBaseline
+from repro.core import evaluate
+from repro.core.seq2seq.model import Seq2SeqConfig
+from repro.data import generate_wikisql_style
+from repro.errors import ModelError
+from repro.sqlengine import Aggregate
+from repro.text import WordEmbeddings
+
+EMB = WordEmbeddings(dim=32, seed=0)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return generate_wikisql_style(seed=21, train_size=60, dev_size=20,
+                                  test_size=0, rows_per_table=8)
+
+
+@pytest.fixture(scope="module")
+def sqlnet(dataset):
+    return SQLNetBaseline(EMB).fit(dataset.train, epochs=15)
+
+
+@pytest.fixture(scope="module")
+def typesql(dataset):
+    return TypeSQLBaseline(EMB).fit(dataset.train, epochs=15)
+
+
+class TestSQLNet:
+    def test_produces_sketch_queries(self, sqlnet, dataset):
+        for ex in dataset.dev[:10]:
+            query = sqlnet.translate(ex.question_tokens, ex.table)
+            assert query is not None
+            assert ex.table.has_column(query.select_column)
+            assert len(query.conditions) <= 2
+
+    def test_beats_chance(self, sqlnet, dataset):
+        preds = [sqlnet.translate(e.question_tokens, e.table)
+                 for e in dataset.dev]
+        # Select-column accuracy alone should beat uniform (1/5).
+        hits = sum(p.select_column.lower() == e.query.select_column.lower()
+                   for p, e in zip(preds, dataset.dev))
+        assert hits / len(dataset.dev) > 0.3
+
+    def test_aggregate_vocabulary(self, sqlnet, dataset):
+        ex = dataset.dev[0]
+        query = sqlnet.translate(ex.question_tokens, ex.table)
+        assert isinstance(query.aggregate, Aggregate)
+
+    def test_untrained_raises(self, dataset):
+        with pytest.raises(ModelError):
+            SQLNetBaseline(EMB).translate("q", dataset.dev[0].table)
+
+    def test_fit_requires_examples(self):
+        with pytest.raises(ModelError):
+            SQLNetBaseline(EMB).fit([])
+
+
+class TestTypeSQL:
+    def test_content_sensitive_flag(self, typesql):
+        assert typesql.content_sensitive
+
+    def test_produces_queries(self, typesql, dataset):
+        for ex in dataset.dev[:10]:
+            query = typesql.translate(ex.question_tokens, ex.table)
+            assert query is not None
+
+    def test_type_evidence_found_for_in_table_values(self, typesql, dataset):
+        for ex in dataset.dev:
+            for cond in ex.query.conditions:
+                cells = {str(v).lower()
+                         for v in ex.table.column_values(cond.column)}
+                if str(cond.value).lower() in cells:
+                    evidence = typesql._content_evidence(
+                        ex.question_tokens, ex.table)
+                    assert evidence
+                    return
+        pytest.skip("no in-table value in this sample")
+
+    def test_typesql_mention_accuracy_at_least_sqlnet(self, sqlnet, typesql,
+                                                      dataset):
+        """Content sensitivity should not hurt WHERE-clause detection."""
+        from repro.core import mention_detection_accuracy
+        sn = [sqlnet.translate(e.question_tokens, e.table)
+              for e in dataset.dev]
+        ts = [typesql.translate(e.question_tokens, e.table)
+              for e in dataset.dev]
+        assert (mention_detection_accuracy(ts, dataset.dev)
+                >= mention_detection_accuracy(sn, dataset.dev) - 0.10)
+
+
+class TestSeq2SQL:
+    @pytest.fixture(scope="class")
+    def seq2sql(self, dataset):
+        model = Seq2SQLBaseline(EMB, Seq2SeqConfig(hidden=24,
+                                                   attention_dim=24))
+        return model.fit(dataset.train, epochs=4)
+
+    def test_translate_runs(self, seq2sql, dataset):
+        ex = dataset.dev[0]
+        query = seq2sql.translate(ex.question_tokens, ex.table)
+        assert query is None or query.select_column
+
+    def test_evaluation_runs(self, seq2sql, dataset):
+        preds = [seq2sql.translate(e.question_tokens, e.table)
+                 for e in dataset.dev]
+        result = evaluate(preds, dataset.dev)
+        assert 0.0 <= result.acc_qm <= 1.0
+
+    def test_untrained_raises(self, dataset):
+        with pytest.raises(ModelError):
+            Seq2SQLBaseline(EMB).translate("q", dataset.dev[0].table)

@@ -1,0 +1,186 @@
+"""Tests for AnnotatedQuestion, annotated-SQL building, and recovery."""
+
+import pytest
+
+from repro.core import (
+    AnnotatedQuestion,
+    ColumnAnnotation,
+    ValueAnnotation,
+    build_annotated_sql,
+    recover_sql,
+)
+from repro.errors import AnnotationError
+from repro.sqlengine import Column, DataType, Table, parse_sql
+from repro.text import tokenize
+
+
+def films_table():
+    return Table("films", [Column("film name"), Column("director"),
+                           Column("actor"), Column("year", DataType.REAL)])
+
+
+def figure1_annotation():
+    """The paper's Figure 1(c) example as an AnnotatedQuestion."""
+    tokens = tokenize("which film directed by jerzy antczak did "
+                      "piotr adamczyk star in ?")
+    return AnnotatedQuestion(
+        question_tokens=tokens,
+        table=films_table(),
+        columns=[
+            ColumnAnnotation("film name", 1, (1, 2)),       # film
+            ColumnAnnotation("director", 2, (2, 4)),        # directed by
+            ColumnAnnotation("actor", 3, (9, 10)),          # star
+        ],
+        values=[
+            ValueAnnotation("director", 2, (4, 6), "jerzy antczak"),
+            ValueAnnotation("actor", 3, (7, 9), "piotr adamczyk"),
+        ],
+    )
+
+
+class TestAnnotatedTokens:
+    def test_append_mode_keeps_text(self):
+        ann = figure1_annotation()
+        tokens = ann.annotated_tokens(append=True, header_encoding=False)
+        assert tokens == ["which", "c1", "film", "c2", "directed", "by",
+                          "v2", "jerzy", "antczak", "did", "v3", "piotr",
+                          "adamczyk", "c3", "star", "in", "?"]
+
+    def test_substitute_mode_replaces_text(self):
+        ann = figure1_annotation()
+        tokens = ann.annotated_tokens(append=False, header_encoding=False)
+        assert tokens == ["which", "c1", "c2", "v2", "did", "v3", "c3",
+                          "in", "?"]
+
+    def test_header_encoding_appends_g_symbols(self):
+        ann = figure1_annotation()
+        tokens = ann.annotated_tokens(append=True, header_encoding=True)
+        tail = tokens[-9:]
+        assert tail == ["g1", "film", "name", "g2", "director", "g3",
+                        "actor", "g4", "year"]
+
+    def test_implicit_columns_emit_no_symbol(self):
+        ann = figure1_annotation()
+        ann.columns.append(ColumnAnnotation("year", 4, None))
+        tokens = ann.annotated_tokens(append=True, header_encoding=False)
+        assert "c4" not in tokens
+
+    def test_symbol_lookup(self):
+        ann = figure1_annotation()
+        assert ann.column_for_symbol("c2") == "director"
+        assert ann.column_for_symbol("g4") == "year"
+        assert ann.value_for_symbol("v3") == "piotr adamczyk"
+
+    def test_bad_symbols_raise(self):
+        ann = figure1_annotation()
+        with pytest.raises(AnnotationError):
+            ann.column_for_symbol("c9")
+        with pytest.raises(AnnotationError):
+            ann.column_for_symbol("g9")
+        with pytest.raises(AnnotationError):
+            ann.value_for_symbol("v9")
+        with pytest.raises(AnnotationError):
+            ann.column_for_symbol("x1")
+
+    def test_annotation_views(self):
+        ann = figure1_annotation()
+        assert ann.column_annotation("DIRECTOR").index == 2
+        assert ann.column_annotation("missing") is None
+        assert ann.value_annotation("actor").surface == "piotr adamczyk"
+        assert ann.value_annotation("film name") is None
+
+
+class TestBuildAnnotatedSql:
+    def test_figure1_target(self):
+        """Figure 1: sᵃ = SELECT c1 WHERE c2 = v2 AND c3 = v3."""
+        ann = figure1_annotation()
+        gold = parse_sql('SELECT film name WHERE director = "jerzy antczak" '
+                         'AND actor = "piotr adamczyk"')
+        target = build_annotated_sql(ann, gold)
+        assert target == ["select", "c1", "where", "c2", "=", "v2",
+                          "and", "c3", "=", "v3"]
+
+    def test_unmentioned_column_uses_header_symbol(self):
+        ann = figure1_annotation()
+        gold = parse_sql('SELECT year WHERE director = "jerzy antczak"')
+        target = build_annotated_sql(ann, gold, header_encoding=True)
+        assert target[:2] == ["select", "g4"]
+
+    def test_unmentioned_column_literal_without_headers(self):
+        ann = figure1_annotation()
+        gold = parse_sql('SELECT year WHERE director = "jerzy antczak"')
+        target = build_annotated_sql(ann, gold, header_encoding=False)
+        assert target[:2] == ["select", "year"]
+
+    def test_undetected_value_stays_literal(self):
+        ann = figure1_annotation()
+        gold = parse_sql('SELECT film name WHERE year = 2002')
+        target = build_annotated_sql(ann, gold)
+        assert target == ["select", "c1", "where", "g4", "=", "2002"]
+
+    def test_aggregate_token(self):
+        ann = figure1_annotation()
+        gold = parse_sql("SELECT COUNT(film name)")
+        assert build_annotated_sql(ann, gold) == ["select", "count", "c1"]
+
+    def test_value_annotation_must_match_surface(self):
+        """A value symbol is only used when surfaces agree exactly."""
+        ann = figure1_annotation()
+        gold = parse_sql('SELECT film name WHERE director = "someone else"')
+        target = build_annotated_sql(ann, gold)
+        assert target == ["select", "c1", "where", "c2", "=",
+                          "someone", "else"]
+
+
+class TestRecovery:
+    def test_roundtrip_figure1(self):
+        ann = figure1_annotation()
+        gold = parse_sql('SELECT film name WHERE director = "jerzy antczak" '
+                         'AND actor = "piotr adamczyk"')
+        target = build_annotated_sql(ann, gold)
+        recovered = recover_sql(target, ann)
+        assert recovered.query_match_equal(gold)
+
+    def test_recovers_header_symbol(self):
+        ann = figure1_annotation()
+        query = recover_sql(["select", "g4", "where", "c2", "=", "v2"], ann)
+        assert query.select_column == "year"
+        assert query.conditions[0].value == "jerzy antczak"
+
+    def test_recovers_aggregate(self):
+        ann = figure1_annotation()
+        query = recover_sql(["select", "count", "c1"], ann)
+        assert query.aggregate.value == "COUNT"
+
+    def test_recovers_numeric_literal(self):
+        ann = figure1_annotation()
+        query = recover_sql(["select", "c1", "where", "g4", "=", "2002"], ann)
+        assert query.conditions[0].value == 2002
+
+    def test_recovers_multiword_literals(self):
+        ann = figure1_annotation()
+        query = recover_sql(
+            ["select", "c1", "where", "g4", ">", "some", "text"], ann)
+        assert query.conditions[0].value == "some text"
+
+    @pytest.mark.parametrize("bad", [
+        [],
+        ["where", "c1"],
+        ["select"],
+        ["select", "c1", "where"],
+        ["select", "c1", "where", "c2"],
+        ["select", "c1", "where", "c2", "=", ""][:5],
+    ])
+    def test_malformed_sequences_raise(self, bad):
+        with pytest.raises(AnnotationError):
+            recover_sql(bad, figure1_annotation())
+
+    def test_recovery_never_hurts_well_formed_targets(self):
+        """Round-tripping gold targets through recovery is lossless."""
+        ann = figure1_annotation()
+        for sql in ['SELECT film name WHERE director = "jerzy antczak"',
+                    "SELECT MAX(year)",
+                    'SELECT COUNT(film name) WHERE actor = "piotr adamczyk"']:
+            gold = parse_sql(sql)
+            target = build_annotated_sql(ann, gold)
+            assert recover_sql(target, ann).query_match_equal(gold)

@@ -1,0 +1,95 @@
+"""Property-based tests: annotation targets always recover to gold.
+
+For any annotation state and any gold query over the table, the
+training-target construction followed by deterministic recovery must be
+information-preserving (canonically equal to gold).  This is the
+invariant that guarantees the seq2seq's supervision is lossless.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import AnnotatedQuestion, ColumnAnnotation, ValueAnnotation
+from repro.core import build_annotated_sql, recover_sql
+from repro.sqlengine import (
+    Aggregate,
+    Column,
+    Condition,
+    DataType,
+    Operator,
+    Query,
+    Table,
+)
+
+COLUMN_NAMES = ["alpha", "beta", "gamma", "delta"]
+WORDS = ["mayo", "cork", "film", "quill", "harbor", "356", "2006"]
+
+
+@st.composite
+def annotation_and_query(draw):
+    n_cols = draw(st.integers(2, 4))
+    names = COLUMN_NAMES[:n_cols]
+    table = Table("t", [Column(n, DataType.TEXT) for n in names])
+
+    # Question tokens: a pool of words; mentions point into it.
+    tokens = draw(st.lists(st.sampled_from(WORDS), min_size=4, max_size=8))
+
+    # Randomly annotate a subset of columns.
+    annotated = draw(st.lists(st.sampled_from(names), unique=True,
+                              max_size=n_cols))
+    columns = []
+    values = []
+    for i, name in enumerate(annotated, start=1):
+        explicit = draw(st.booleans())
+        span = None
+        if explicit:
+            start = draw(st.integers(0, len(tokens) - 1))
+            span = (start, start + 1)
+        columns.append(ColumnAnnotation(name, i, span))
+        if draw(st.booleans()):
+            vstart = draw(st.integers(0, len(tokens) - 1))
+            values.append(ValueAnnotation(name, i, (vstart, vstart + 1),
+                                          tokens[vstart]))
+    annotation = AnnotatedQuestion(question_tokens=tokens, table=table,
+                                   columns=columns, values=values)
+
+    # A gold query over the table's columns.
+    select = draw(st.sampled_from(names))
+    aggregate = draw(st.sampled_from(list(Aggregate)))
+    n_conds = draw(st.integers(0, 2))
+    cond_cols = draw(st.lists(st.sampled_from(names), unique=True,
+                              min_size=n_conds, max_size=n_conds))
+    conditions = [Condition(c, Operator.EQ, draw(st.sampled_from(WORDS)))
+                  for c in cond_cols]
+    return annotation, Query(select, aggregate, conditions)
+
+
+class TestLosslessSupervision:
+    @given(annotation_and_query())
+    @settings(max_examples=120, deadline=None)
+    def test_build_then_recover_matches_gold(self, pair):
+        annotation, query = pair
+        target = build_annotated_sql(annotation, query, header_encoding=True)
+        recovered = recover_sql(target, annotation)
+        assert recovered.query_match_equal(query), (target, query.to_sql())
+
+    @given(annotation_and_query())
+    @settings(max_examples=60, deadline=None)
+    def test_build_without_headers_still_recovers(self, pair):
+        annotation, query = pair
+        target = build_annotated_sql(annotation, query, header_encoding=False)
+        recovered = recover_sql(target, annotation)
+        assert recovered.query_match_equal(query)
+
+    @given(annotation_and_query())
+    @settings(max_examples=60, deadline=None)
+    def test_annotated_tokens_well_formed(self, pair):
+        annotation, _query = pair
+        for append in (True, False):
+            for headers in (True, False):
+                tokens = annotation.annotated_tokens(
+                    append=append, header_encoding=headers)
+                assert all(isinstance(t, str) and t for t in tokens)
+                if headers:
+                    n_cols = len(annotation.table.columns)
+                    assert f"g{n_cols}" in tokens

@@ -1,0 +1,33 @@
+"""End-to-end CLI test: generate → train → evaluate through main()."""
+
+import pytest
+
+from repro.cli import main
+from repro.data import load_jsonl
+
+
+class TestCLITrainFlow:
+    def test_generate_train_evaluate(self, tmp_path, capsys):
+        train_file = tmp_path / "train.jsonl"
+        model_dir = tmp_path / "model"
+
+        assert main(["generate", "--out", str(train_file),
+                     "--size", "40", "--seed", "3"]) == 0
+        assert len(load_jsonl(train_file)) == 40
+
+        assert main(["train", "--data", str(train_file),
+                     "--model-dir", str(model_dir),
+                     "--hidden", "24", "--classifier-epochs", "1",
+                     "--seq2seq-epochs", "3", "--quiet"]) == 0
+        assert (model_dir / "translator.npz").exists()
+
+        assert main(["evaluate", "--data", str(train_file),
+                     "--model-dir", str(model_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "Acc_ex" in out
+
+    def test_generate_dev_split(self, tmp_path):
+        dev_file = tmp_path / "dev.jsonl"
+        assert main(["generate", "--out", str(dev_file), "--size", "5",
+                     "--split", "dev"]) == 0
+        assert len(load_jsonl(dev_file)) == 5

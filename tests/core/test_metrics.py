@@ -1,0 +1,99 @@
+"""Tests for the evaluation metrics."""
+
+import pytest
+
+from repro.core import EvalResult, annotated_match, evaluate, mention_detection_accuracy
+from repro.data import Example
+from repro.sqlengine import Column, DataType, Table, parse_sql
+
+
+def example(sql='SELECT name WHERE city = "mayo"'):
+    table = Table("t", [Column("name"), Column("city"),
+                        Column("pop", DataType.REAL)],
+                  [("anna", "mayo", 10), ("bob", "cork", 20)])
+    return Example(question="who lives in mayo ?", table=table,
+                   query=parse_sql(sql))
+
+
+class TestEvaluate:
+    def test_perfect_predictions(self):
+        ex = example()
+        result = evaluate([ex.query], [ex])
+        assert result.acc_lf == result.acc_qm == result.acc_ex == 1.0
+
+    def test_none_prediction_counts_wrong(self):
+        result = evaluate([None], [example()])
+        assert result.acc_lf == result.acc_qm == result.acc_ex == 0.0
+
+    def test_condition_order_distinguishes_lf_from_qm(self):
+        ex = example('SELECT name WHERE city = "mayo" AND pop = 10')
+        pred = parse_sql('SELECT name WHERE pop = 10 AND city = "mayo"')
+        result = evaluate([pred], [ex])
+        assert result.acc_lf == 0.0
+        assert result.acc_qm == 1.0
+        assert result.acc_ex == 1.0
+
+    def test_execution_equivalence_without_query_match(self):
+        # Different queries, same result set on this table.
+        ex = example('SELECT name WHERE city = "mayo"')
+        pred = parse_sql("SELECT name WHERE pop = 10")
+        result = evaluate([pred], [ex])
+        assert result.acc_qm == 0.0
+        assert result.acc_ex == 1.0
+
+    def test_invalid_column_fails_execution(self):
+        pred = parse_sql("SELECT nothing")
+        result = evaluate([pred], [example()])
+        assert result.acc_ex == 0.0
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            evaluate([], [example()])
+
+    def test_empty_set(self):
+        result = evaluate([], [])
+        assert result.n == 0
+
+    def test_as_row_format(self):
+        row = EvalResult(0.5, 0.6, 0.7, 10).as_row()
+        assert "50.0%" in row and "60.0%" in row and "70.0%" in row
+
+
+class TestMentionDetectionAccuracy:
+    def test_matching_where_clause(self):
+        ex = example('SELECT name WHERE city = "mayo"')
+        pred = parse_sql('SELECT pop WHERE city = "MAYO"')  # select differs
+        assert mention_detection_accuracy([pred], [ex]) == 1.0
+
+    def test_wrong_value(self):
+        ex = example()
+        pred = parse_sql('SELECT name WHERE city = "cork"')
+        assert mention_detection_accuracy([pred], [ex]) == 0.0
+
+    def test_none_counts_zero(self):
+        assert mention_detection_accuracy([None], [example()]) == 0.0
+
+    def test_empty(self):
+        assert mention_detection_accuracy([], []) == 0.0
+
+
+class TestAnnotatedMatch:
+    def test_exact(self):
+        assert annotated_match(["select", "c1", "where", "c2", "=", "v2"],
+                               ["select", "c1", "where", "c2", "=", "v2"])
+
+    def test_condition_order_ignored(self):
+        a = ["select", "c1", "where", "c2", "=", "v2", "and", "c3", "=", "v3"]
+        b = ["select", "c1", "where", "c3", "=", "v3", "and", "c2", "=", "v2"]
+        assert annotated_match(a, b)
+
+    def test_symbol_mismatch_fails(self):
+        """c1 vs g1 differ pre-recovery even if they resolve alike."""
+        assert not annotated_match(["select", "c1"], ["select", "g1"])
+
+    def test_malformed_never_matches(self):
+        assert not annotated_match(["where"], ["where"])
+
+    def test_no_where(self):
+        assert annotated_match(["select", "max", "c1"],
+                               ["select", "max", "c1"])

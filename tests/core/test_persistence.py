@@ -1,0 +1,64 @@
+"""Model persistence: save/load round trips for the neural components."""
+
+import numpy as np
+
+from repro.core.mention import ColumnMentionClassifier
+from repro.core.seq2seq.model import AnnotatedSeq2Seq, Seq2SeqConfig
+from repro.core.seq2seq.transformer import TransformerConfig, TransformerTranslator
+from repro.nn import load_module, save_module
+from repro.text import WordEmbeddings, tokenize
+
+EMB = WordEmbeddings(dim=32, seed=0)
+
+
+class TestClassifierPersistence:
+    def test_roundtrip_preserves_predictions(self, tmp_path):
+        clf = ColumnMentionClassifier(EMB)
+        pairs = [(tokenize("which film did he star in ?"),
+                  ["film"], 1),
+                 (tokenize("which film did he star in ?"),
+                  ["year"], 0)]
+        clf.fit(pairs, epochs=3, lr=5e-3)
+        path = tmp_path / "classifier.npz"
+        save_module(clf, path)
+
+        other = ColumnMentionClassifier(EMB)
+        load_module(other, path)
+        question = tokenize("which film did he star in ?")
+        assert other.predict_proba(question, ["film"]) == \
+            clf.predict_proba(question, ["film"])
+
+
+class TestSeq2SeqPersistence:
+    def test_roundtrip_preserves_decoding(self, tmp_path):
+        from repro.core.seq2seq.model import TrainingPair
+        cfg = Seq2SeqConfig(hidden=12, attention_dim=12)
+        model = AnnotatedSeq2Seq(EMB, cfg)
+        pairs = [TrainingPair(["which", "c1", "x9", "v1", "?"],
+                              ["select", "c1", "where", "c1", "=", "v1"],
+                              ["a", "b"], ("c1", "v1"))]
+        model.fit(pairs, epochs=15, lr=4e-3)
+        path = tmp_path / "s2s.npz"
+        save_module(model, path)
+
+        other = AnnotatedSeq2Seq(EMB, cfg)
+        load_module(other, path)
+        out_a = model.translate(pairs[0].source, pairs[0].header_tokens,
+                                pairs[0].extra_symbols)
+        out_b = other.translate(pairs[0].source, pairs[0].header_tokens,
+                                pairs[0].extra_symbols)
+        assert out_a == out_b
+
+
+class TestTransformerPersistence:
+    def test_roundtrip_state_dict(self, tmp_path):
+        cfg = TransformerConfig(heads=2, layers=1, ff_hidden=16)
+        model = TransformerTranslator(EMB, cfg)
+        path = tmp_path / "transformer.npz"
+        save_module(model, path)
+        other = TransformerTranslator(EMB, cfg)
+        load_module(other, path)
+        for (name_a, pa), (name_b, pb) in zip(model.named_parameters(),
+                                              other.named_parameters()):
+            assert name_a == name_b
+            np.testing.assert_array_equal(pa.numpy(), pb.numpy())

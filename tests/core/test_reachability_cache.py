@@ -1,0 +1,79 @@
+"""Tests for target reachability filtering and the annotator stats cache."""
+
+import numpy as np
+
+from repro.core.annotator import Annotator
+from repro.core.seq2seq.model import AnnotatedSeq2Seq, Seq2SeqConfig, TrainingPair
+from repro.core.seq2seq.transformer import TransformerConfig, TransformerTranslator
+from repro.sqlengine import Column, Table
+from repro.text import WordEmbeddings
+
+EMB = WordEmbeddings(dim=32, seed=0)
+
+
+class TestReachability:
+    def make_pairs(self):
+        good = TrainingPair(["which", "c1", "film", "v1"],
+                            ["select", "c1", "where", "c1", "=", "v1"],
+                            ["film"], ("c1", "v1"))
+        # Target literal "215" appears nowhere in source/headers/symbols.
+        bad = TrainingPair(["which", "c1", "v1"],
+                           ["select", "c1", "where", "c1", "=", "215"],
+                           ["film"], ("c1", "v1"))
+        return good, bad
+
+    def test_seq2seq_reachable(self):
+        model = AnnotatedSeq2Seq(EMB, Seq2SeqConfig(hidden=8,
+                                                    attention_dim=8))
+        good, bad = self.make_pairs()
+        assert model.reachable(good)
+        assert not model.reachable(bad)
+
+    def test_seq2seq_fit_skips_unreachable(self):
+        model = AnnotatedSeq2Seq(EMB, Seq2SeqConfig(hidden=8,
+                                                    attention_dim=8))
+        good, bad = self.make_pairs()
+        model.fit([good, bad], epochs=1, lr=1e-3)
+        assert model.skipped_pairs == 1
+
+    def test_transformer_reachable(self):
+        model = TransformerTranslator(
+            EMB, TransformerConfig(heads=2, layers=1, ff_hidden=16))
+        good, bad = self.make_pairs()
+        assert model.reachable(good)
+        assert not model.reachable(bad)
+
+    def test_transformer_fit_skips_unreachable(self):
+        model = TransformerTranslator(
+            EMB, TransformerConfig(heads=2, layers=1, ff_hidden=16))
+        good, bad = self.make_pairs()
+        model.fit([good, bad], epochs=1, lr=1e-3)
+        assert model.skipped_pairs == 1
+
+
+class TestStatsCache:
+    def test_same_table_cached(self):
+        annotator = Annotator(EMB)
+        table = Table("t", [Column("a")], [("x",)])
+        assert annotator._stats_for(table) is annotator._stats_for(table)
+
+    def test_different_table_same_name_not_confused(self):
+        annotator = Annotator(EMB)
+        t1 = Table("t", [Column("a")], [("x",)])
+        t2 = Table("t", [Column("a")], [("completely different",)])
+        s1 = annotator._stats_for(t1)
+        s2 = annotator._stats_for(t2)
+        assert not np.allclose(s1["a"], s2["a"])
+
+    def test_recycled_id_detected(self):
+        """A new table at a recycled id must not get stale statistics."""
+        annotator = Annotator(EMB)
+        t1 = Table("t", [Column("a")], [("x",)])
+        s1 = annotator._stats_for(t1)
+        fake_id = id(t1)
+        t2 = Table("t", [Column("a")], [("other words entirely",)])
+        # Simulate id reuse by planting t1's entry under t2's slot.
+        annotator._column_stats_cache[id(t2)] = annotator._column_stats_cache[
+            fake_id]
+        s2 = annotator._stats_for(t2)
+        assert not np.allclose(s1["a"], s2["a"])

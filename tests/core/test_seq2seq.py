@@ -1,0 +1,185 @@
+"""Tests for the seq2seq translator, token embedder, and candidates."""
+
+import numpy as np
+import pytest
+
+from repro.core.seq2seq import (
+    EOS,
+    STRUCTURAL_TOKENS,
+    AnnotatedSeq2Seq,
+    Seq2SeqConfig,
+    TokenEmbedder,
+    TrainingPair,
+    build_candidates,
+    is_symbol,
+    symbol_parts,
+)
+from repro.errors import ModelError, VocabularyError
+from repro.text import WordEmbeddings
+
+EMB = WordEmbeddings(dim=32, seed=0)
+
+
+class TestSymbols:
+    def test_is_symbol(self):
+        assert is_symbol("c1") and is_symbol("v12") and is_symbol("g3")
+        assert not is_symbol("c") and not is_symbol("x1")
+        assert not is_symbol("cat") and not is_symbol("c1x")
+
+    def test_symbol_parts(self):
+        assert symbol_parts("v12") == ("v", 12)
+        with pytest.raises(VocabularyError):
+            symbol_parts("select")
+
+
+class TestTokenEmbedder:
+    def setup_method(self):
+        self.embedder = TokenEmbedder(EMB, max_symbol_index=10)
+
+    def test_word_embedding_matches_hash_vectors(self):
+        vec = self.embedder.embed("film").numpy()
+        np.testing.assert_allclose(vec.reshape(-1), EMB.vector("film"))
+
+    def test_symbol_embedding_is_type_plus_index(self):
+        c1 = self.embedder.embed("c1").numpy()
+        c2 = self.embedder.embed("c2").numpy()
+        v1 = self.embedder.embed("v1").numpy()
+        half = EMB.dim // 2
+        # Same type, different index: first half equal.
+        np.testing.assert_allclose(c1[0, :half], c2[0, :half])
+        assert np.abs(c1[0, half:] - c2[0, half:]).max() > 0
+        # Same index, different type: second half equal.
+        np.testing.assert_allclose(c1[0, half:], v1[0, half:])
+        assert np.abs(c1[0, :half] - v1[0, :half]).max() > 0
+
+    def test_symbol_embeddings_trainable(self):
+        out = self.embedder.embed("c1")
+        out.sum().backward()
+        assert self.embedder.type_embedding.weight.grad is not None
+
+    def test_index_out_of_range_raises(self):
+        with pytest.raises(VocabularyError):
+            self.embedder.embed("c11")
+
+    def test_odd_dim_raises(self):
+        with pytest.raises(VocabularyError):
+            TokenEmbedder(WordEmbeddings(dim=33))
+
+    def test_candidate_matrix_shape(self):
+        matrix = self.embedder.candidate_matrix(["select", "c1", "film"])
+        assert matrix.shape == (3, EMB.dim)
+
+    def test_empty_candidates_raise(self):
+        with pytest.raises(VocabularyError):
+            self.embedder.candidate_matrix([])
+
+
+class TestBuildCandidates:
+    def test_structural_first(self):
+        out = build_candidates(["which", "film"], ["year"])
+        assert out[:len(STRUCTURAL_TOKENS)] == STRUCTURAL_TOKENS
+
+    def test_dedup(self):
+        out = build_candidates(["film", "film", "select"], ["film"])
+        assert out.count("film") == 1
+        assert out.count("select") == 1
+
+    def test_extra_symbols_included(self):
+        out = build_candidates(["which"], [], extra_symbols=("c3",))
+        assert "c3" in out
+
+    def test_all_inputs_present(self):
+        inputs = ["which", "c1", "film", "v1", "jerzy"]
+        out = build_candidates(inputs, ["year", "name"])
+        for token in inputs + ["year", "name"]:
+            assert token in out
+
+
+def make_pairs():
+    return [
+        TrainingPair(["which", "c1", "film", "c2", "year", "v2", "1999", "?"],
+                     ["select", "c1", "where", "c2", "=", "v2"],
+                     ["film", "year"], ("c1", "v2", "c2")),
+        TrainingPair(["count", "c1", "items", "c2", "color", "v2", "red"],
+                     ["select", "count", "c1", "where", "c2", "=", "v2"],
+                     ["item", "color"], ("c1", "v2", "c2")),
+    ]
+
+
+class TestAnnotatedSeq2Seq:
+    def make_model(self, **kwargs):
+        cfg = Seq2SeqConfig(hidden=12, attention_dim=12, **kwargs)
+        return AnnotatedSeq2Seq(EMB, cfg)
+
+    def test_fit_reduces_loss(self):
+        model = self.make_model()
+        losses = model.fit(make_pairs(), epochs=10, lr=3e-3)
+        assert losses[-1] < losses[0]
+
+    def test_overfits_tiny_set(self):
+        model = self.make_model()
+        pairs = make_pairs()
+        model.fit(pairs, epochs=40, lr=4e-3)
+        for pair in pairs:
+            out = model.translate(pair.source, pair.header_tokens,
+                                  pair.extra_symbols)
+            assert out == pair.target
+
+    def test_loss_rejects_unreachable_target(self):
+        model = self.make_model()
+        pair = TrainingPair(["a1"], ["zzz"], [], ())
+        with pytest.raises(ModelError):
+            model.loss(pair)
+
+    def test_encode_empty_raises(self):
+        with pytest.raises(ModelError):
+            self.make_model().encode([])
+
+    def test_fit_requires_pairs(self):
+        with pytest.raises(ModelError):
+            self.make_model().fit([])
+
+    def test_no_copy_config(self):
+        model = self.make_model(use_copy=False)
+        losses = model.fit(make_pairs(), epochs=5, lr=3e-3)
+        assert np.isfinite(losses).all()
+
+    def test_beam_width_one_works(self):
+        model = self.make_model()
+        model.fit(make_pairs(), epochs=5, lr=3e-3)
+        out = model.translate(make_pairs()[0].source, ["film", "year"],
+                              ("c1", "v2", "c2"), beam_width=1)
+        assert isinstance(out, list)
+        assert EOS not in out
+
+    def test_decode_length_bounded(self):
+        model = self.make_model()
+        model.fit(make_pairs(), epochs=2, lr=1e-3)
+        out = model.translate(["a1", "b2"], [], ())
+        assert len(out) <= model.config.max_decode_len
+
+    def test_copy_map(self):
+        copy_map = AnnotatedSeq2Seq._copy_map(
+            ["select", "film", "v1"], ["film", "v1", "unknown_tok"])
+        assert copy_map.shape == (3, 3)
+        assert copy_map[1, 0] == 1.0 and copy_map[2, 1] == 1.0
+        assert copy_map.sum() == 2.0
+
+    def test_gradcheck_loss(self):
+        """Analytic gradient of the full pipeline matches finite diffs."""
+        model = self.make_model()
+        pair = make_pairs()[0]
+        model.zero_grad()
+        model.loss(pair).backward()
+        param = model.out_proj.weight
+        idx = tuple(np.unravel_index(np.argmax(np.abs(param.grad)),
+                                     param.grad.shape))
+        eps = 1e-6
+        orig = param.data[idx]
+        param.data[idx] = orig + eps
+        plus = model.loss(pair).item()
+        param.data[idx] = orig - eps
+        minus = model.loss(pair).item()
+        param.data[idx] = orig
+        numeric = (plus - minus) / (2 * eps)
+        assert numeric == pytest.approx(param.grad[idx], rel=1e-4, abs=1e-7)

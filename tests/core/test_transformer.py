@@ -1,0 +1,102 @@
+"""Tests for the Transformer ablation."""
+
+import numpy as np
+import pytest
+
+from repro.core.seq2seq.model import TrainingPair
+from repro.core.seq2seq.transformer import (
+    MultiHeadAttention,
+    TransformerConfig,
+    TransformerTranslator,
+    sinusoidal_positions,
+)
+from repro.errors import ModelError, ShapeError
+from repro.nn import Tensor
+from repro.text import WordEmbeddings
+
+EMB = WordEmbeddings(dim=32, seed=0)
+RNG = np.random.default_rng(0)
+
+
+class TestPositionalEncoding:
+    def test_shape_and_range(self):
+        table = sinusoidal_positions(10, 16)
+        assert table.shape == (10, 16)
+        assert (np.abs(table) <= 1.0).all()
+
+    def test_positions_distinct(self):
+        table = sinusoidal_positions(6, 16)
+        assert np.abs(table[0] - table[3]).max() > 0.1
+
+
+class TestMultiHeadAttention:
+    def test_output_shape(self):
+        attn = MultiHeadAttention(16, 4, RNG)
+        q = Tensor(RNG.standard_normal((3, 16)))
+        kv = Tensor(RNG.standard_normal((5, 16)))
+        assert attn(q, kv, kv).shape == (3, 16)
+
+    def test_indivisible_heads_raise(self):
+        with pytest.raises(ShapeError):
+            MultiHeadAttention(10, 3, RNG)
+
+    def test_causal_mask_blocks_future(self):
+        attn = MultiHeadAttention(8, 2, np.random.default_rng(1))
+        x = RNG.standard_normal((4, 8))
+        mask = np.tril(np.ones((4, 4), dtype=bool))
+        base = attn(Tensor(x), Tensor(x), Tensor(x), mask=mask).numpy()
+        x2 = x.copy()
+        x2[3] += 10.0  # perturb the last position
+        out2 = attn(Tensor(x2), Tensor(x2), Tensor(x2), mask=mask).numpy()
+        np.testing.assert_allclose(base[0], out2[0], atol=1e-10)
+        np.testing.assert_allclose(base[2], out2[2], atol=1e-10)
+        assert np.abs(base[3] - out2[3]).max() > 1e-6
+
+
+def make_pairs():
+    return [
+        TrainingPair(["which", "c1", "film", "v1", "x9", "?"],
+                     ["select", "c1", "where", "c1", "=", "v1"],
+                     ["film", "year"], ("c1", "v1")),
+        TrainingPair(["count", "c1", "rows", "c2", "v2", "blue"],
+                     ["select", "count", "c1", "where", "c2", "=", "v2"],
+                     ["item", "color"], ("c1", "c2", "v2")),
+    ]
+
+
+class TestTransformerTranslator:
+    def make_model(self):
+        return TransformerTranslator(
+            EMB, TransformerConfig(heads=2, layers=1, ff_hidden=32))
+
+    def test_fit_reduces_loss(self):
+        model = self.make_model()
+        losses = model.fit(make_pairs(), epochs=10, lr=2e-3)
+        assert losses[-1] < losses[0]
+
+    def test_overfits_tiny_set(self):
+        model = self.make_model()
+        pairs = make_pairs()
+        model.fit(pairs, epochs=40, lr=2e-3)
+        out = model.translate(pairs[0].source, pairs[0].header_tokens,
+                              pairs[0].extra_symbols)
+        assert out == pairs[0].target
+
+    def test_unreachable_target_raises(self):
+        model = self.make_model()
+        with pytest.raises(ModelError):
+            model.loss(["a1"], ["zzz"], [], ())
+
+    def test_encode_empty_raises(self):
+        with pytest.raises(ModelError):
+            self.make_model().encode([])
+
+    def test_fit_requires_pairs(self):
+        with pytest.raises(ModelError):
+            self.make_model().fit([])
+
+    def test_decode_bounded(self):
+        model = self.make_model()
+        model.fit(make_pairs(), epochs=2, lr=1e-3)
+        out = model.translate(["a1", "b2"], [], ())
+        assert len(out) <= model.config.max_decode_len

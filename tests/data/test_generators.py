@@ -1,0 +1,140 @@
+"""Tests for the WikiSQL-style generator: spans, executability, splits."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    DomainSpec,
+    generate_wikisql_style,
+    render,
+    training_domains,
+)
+from repro.sqlengine import execute
+from repro.text import tokenize
+
+DATASET = generate_wikisql_style(seed=3, train_size=120, dev_size=40,
+                                 test_size=40)
+ALL_EXAMPLES = DATASET.train + DATASET.dev + DATASET.test
+
+
+class TestDomains:
+    def test_eleven_domains(self):
+        assert len(training_domains()) == 11
+
+    def test_every_domain_has_templates(self):
+        for domain in training_domains():
+            assert domain.templates, domain.name
+
+    def test_no_overnight_domain_leakage(self):
+        names = {d.name for d in training_domains()}
+        assert names.isdisjoint(
+            {"basketball", "calendar", "housing", "recipes", "restaurants"})
+
+    def test_build_table_shapes(self):
+        rng = np.random.default_rng(0)
+        domain = training_domains()[0]
+        table = domain.build_table(rng, 7)
+        assert len(table) == 7
+        assert table.column_names == [c.name for c in domain.columns]
+
+
+class TestSplits:
+    def test_sizes(self):
+        assert (len(DATASET.train), len(DATASET.dev), len(DATASET.test)) == \
+            (120, 40, 40)
+
+    def test_tables_disjoint_across_splits(self):
+        train = DATASET.table_names("train")
+        assert train.isdisjoint(DATASET.table_names("dev"))
+        assert train.isdisjoint(DATASET.table_names("test"))
+
+    def test_deterministic(self):
+        again = generate_wikisql_style(seed=3, train_size=120, dev_size=40,
+                                       test_size=40)
+        assert [e.question for e in again.train] == \
+            [e.question for e in DATASET.train]
+
+    def test_different_seed_differs(self):
+        other = generate_wikisql_style(seed=4, train_size=30, dev_size=10,
+                                       test_size=10)
+        assert [e.question for e in other.train[:20]] != \
+            [e.question for e in DATASET.train[:20]]
+
+    def test_domain_coverage(self):
+        domains = {e.domain for e in DATASET.train}
+        assert len(domains) == 11
+
+    def test_empty_split(self):
+        ds = generate_wikisql_style(seed=0, train_size=10, dev_size=0,
+                                    test_size=0)
+        assert ds.dev == [] and ds.test == []
+
+
+class TestExampleInvariants:
+    def test_gold_queries_execute(self):
+        for example in ALL_EXAMPLES:
+            execute(example.query, example.table)  # must not raise
+
+    def test_query_columns_exist_in_table(self):
+        for example in ALL_EXAMPLES:
+            assert example.table.has_column(example.query.select_column)
+            for cond in example.query.conditions:
+                assert example.table.has_column(cond.column)
+
+    def test_mention_spans_within_question(self):
+        for example in ALL_EXAMPLES:
+            n = len(example.question_tokens)
+            for mention in example.mentions:
+                assert 0 <= mention.start <= mention.end <= n
+
+    def test_value_mentions_match_condition_values(self):
+        """The tokens under a value span must be the condition's value."""
+        for example in ALL_EXAMPLES:
+            tokens = example.question_tokens
+            for cond in example.query.conditions:
+                span = example.value_mentions().get(cond.column)
+                assert span is not None, example.question
+                surface = " ".join(tokens[span.start:span.end])
+                expected = " ".join(tokenize(str(cond.value)))
+                assert surface == expected
+
+    def test_every_condition_column_has_column_mention_record(self):
+        """Explicit or implicit, every condition column is recorded."""
+        for example in ALL_EXAMPLES:
+            mentioned = {m.column for m in example.mentions
+                         if m.kind == "column"}
+            for cond in example.query.conditions:
+                assert cond.column in mentioned
+
+    def test_some_implicit_mentions_exist(self):
+        implicit = [m for e in ALL_EXAMPLES for m in e.mentions
+                    if m.kind == "column" and m.is_implicit]
+        assert implicit  # challenge 3 is exercised
+
+    def test_some_counterfactual_values_exist(self):
+        """Some questions mention values not present in their table."""
+        count = 0
+        for example in ALL_EXAMPLES:
+            for cond in example.query.conditions:
+                cells = {str(v).lower()
+                         for v in example.table.column_values(cond.column)}
+                if str(cond.value).lower() not in cells:
+                    count += 1
+        assert count > 0  # challenge 4 is exercised
+
+    def test_aggregates_present(self):
+        aggs = {e.query.aggregate for e in ALL_EXAMPLES}
+        assert len(aggs) >= 5
+
+    def test_multi_condition_questions_present(self):
+        assert any(len(e.query.conditions) == 2 for e in ALL_EXAMPLES)
+
+
+class TestRenderErrors:
+    def test_render_needs_rows(self):
+        from repro.errors import DataError
+        domain = training_domains()[0]
+        rng = np.random.default_rng(0)
+        empty = domain.build_table(rng, 0)
+        with pytest.raises(DataError):
+            render(domain.templates[0], domain, empty, rng)

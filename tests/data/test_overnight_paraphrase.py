@@ -1,0 +1,117 @@
+"""Tests for the OVERNIGHT-style and ParaphraseBench-style generators."""
+
+import pytest
+
+from repro.data import (
+    CATEGORIES,
+    SUBDOMAINS,
+    build_patients_table,
+    generate_overnight,
+    generate_paraphrase_bench,
+    overnight_domains,
+    training_domains,
+)
+from repro.errors import DataError
+from repro.sqlengine import execute
+
+
+class TestOvernightDomains:
+    def test_five_subdomains(self):
+        assert sorted(overnight_domains()) == sorted(SUBDOMAINS)
+
+    def test_schemas_unseen_in_training(self):
+        """Transfer schemas are new: no training table has the same
+        column set, and most transfer columns are individually novel."""
+        train_schemas = [{c.name for c in d.columns} for d in training_domains()]
+        train_cols = set().union(*train_schemas)
+        for domain in overnight_domains().values():
+            schema = {c.name for c in domain.columns}
+            assert schema not in train_schemas
+            novel = schema - train_cols
+            assert len(novel) >= 3, (domain.name, novel)
+
+    def test_basketball_uses_opaque_stats(self):
+        cols = [c.name for c in overnight_domains()["basketball"].columns]
+        assert "ppg" in cols and "apg" in cols
+
+
+class TestGenerateOvernight:
+    DATA = generate_overnight(seed=5, per_domain=30)
+
+    def test_per_domain_counts(self):
+        assert set(self.DATA) == set(SUBDOMAINS)
+        for examples in self.DATA.values():
+            assert len(examples) == 30
+
+    def test_incompatible_fraction(self):
+        flat = [e for v in self.DATA.values() for e in v]
+        incompatible = [e for e in flat if not e.sketch_compatible]
+        assert 0.10 < len(incompatible) / len(flat) < 0.45
+
+    def test_incompatible_questions_have_markers(self):
+        for examples in self.DATA.values():
+            for e in examples:
+                if not e.sketch_compatible:
+                    assert "with the" in e.question
+
+    def test_compatible_queries_execute(self):
+        for examples in self.DATA.values():
+            for e in examples:
+                if e.sketch_compatible:
+                    execute(e.query, e.table)
+
+    def test_deterministic(self):
+        again = generate_overnight(seed=5, per_domain=30)
+        assert [e.question for e in again["recipes"]] == \
+            [e.question for e in self.DATA["recipes"]]
+
+    def test_bad_rate_raises(self):
+        with pytest.raises(DataError):
+            generate_overnight(incompatible_rate=1.0)
+
+
+class TestParaphraseBench:
+    DATA = generate_paraphrase_bench(seed=7, n_rows=6)
+
+    def test_all_categories(self):
+        assert sorted(self.DATA) == sorted(CATEGORIES)
+
+    def test_equal_sizes_across_categories(self):
+        sizes = {len(v) for v in self.DATA.values()}
+        assert len(sizes) == 1
+
+    def test_same_gold_query_across_categories(self):
+        """Category i's k-th record matches category j's k-th gold SQL."""
+        naive = self.DATA["naive"]
+        for category in CATEGORIES[1:]:
+            for a, b in zip(naive, self.DATA[category]):
+                assert a.query.query_match_equal(b.query)
+
+    def test_questions_differ_across_categories(self):
+        naive = [e.question for e in self.DATA["naive"]]
+        semantic = [e.question for e in self.DATA["semantic"]]
+        assert naive != semantic
+
+    def test_missing_category_lacks_column_words(self):
+        for example in self.DATA["missing"]:
+            select = example.query.select_column.split()[0]
+            assert select not in example.question
+
+    def test_semantic_category_avoids_column_surface(self):
+        for example in self.DATA["semantic"]:
+            assert example.query.select_column not in example.question
+
+    def test_gold_queries_execute_nonempty(self):
+        for example in self.DATA["naive"]:
+            result = execute(example.query, example.table)
+            assert result  # patient names are unique, so exactly one hit
+
+    def test_patients_table_unique_names(self):
+        table = build_patients_table(n_rows=10)
+        names = table.column_values("patient name")
+        assert len(set(names)) == len(names)
+
+    def test_value_mentions_present_except_missing(self):
+        for category in ["naive", "syntactic", "lexical", "semantic"]:
+            for example in self.DATA[category]:
+                assert example.value_mentions().get("patient name") is not None

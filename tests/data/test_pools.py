@@ -1,0 +1,70 @@
+"""Tests for the value samplers."""
+
+import numpy as np
+import pytest
+
+from repro.data import pools
+
+
+def rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+class TestSamplers:
+    def test_person_name_two_words(self):
+        name = pools.person_name(rng())
+        first, last = name.split()
+        assert first in pools.FIRST_NAMES
+        assert last in pools.LAST_NAMES
+
+    def test_place_name_from_pool(self):
+        assert pools.place_name(rng()) in pools.PLACES
+
+    def test_date_text_format(self):
+        date = pools.date_text(rng())
+        month, day, year = date.split()
+        assert month in pools.MONTHS
+        assert 1 <= int(day) <= 28
+        assert 1990 <= int(year) <= 2020
+
+    def test_year_range(self):
+        sampler = pools.year(2000, 2010)
+        for _ in range(20):
+            assert 2000 <= sampler(rng()) < 2010
+
+    def test_integer_range(self):
+        sampler = pools.integer(5, 8)
+        values = {sampler(rng(i)) for i in range(30)}
+        assert values <= {5, 6, 7}
+
+    def test_decimal_rounding(self):
+        sampler = pools.decimal(0.0, 1.0, digits=2)
+        value = sampler(rng())
+        assert value == round(value, 2)
+        assert 0.0 <= value < 1.0
+
+    def test_enum_from_options(self):
+        sampler = pools.enum(["a", "b"])
+        assert sampler(rng()) in {"a", "b"}
+
+    def test_enum_empty_raises(self):
+        with pytest.raises(ValueError):
+            pools.enum([])
+
+    def test_compound_joins(self):
+        sampler = pools.compound(pools.enum(["the"]), pools.enum(["end"]))
+        assert sampler(rng()) == "the end"
+
+    def test_compound_custom_separator(self):
+        sampler = pools.compound(pools.enum(["a"]), pools.enum(["b"]),
+                                 sep="-")
+        assert sampler(rng()) == "a-b"
+
+    def test_determinism_per_seed(self):
+        a = pools.person_name(rng(7))
+        b = pools.person_name(rng(7))
+        assert a == b
+
+    def test_different_seeds_vary(self):
+        names = {pools.person_name(rng(i)) for i in range(25)}
+        assert len(names) > 5

@@ -1,0 +1,92 @@
+"""Tests for Example/MentionSpan and JSONL round-tripping."""
+
+import pytest
+
+from repro.data import Example, MentionSpan, load_jsonl, save_jsonl
+from repro.errors import DataError
+from repro.sqlengine import Column, DataType, Query, Table, parse_sql
+
+
+def make_example():
+    table = Table("films", [Column("film"), Column("director"),
+                            Column("year", DataType.REAL)],
+                  [("chopin", "jerzy antczak", 2002)])
+    return Example(
+        question="which film did jerzy antczak direct ?",
+        table=table,
+        query=parse_sql('SELECT film WHERE director = "jerzy antczak"'),
+        mentions=[MentionSpan("film", "column", 1, 2),
+                  MentionSpan("director", "value", 3, 5)],
+        domain="films",
+    )
+
+
+class TestMentionSpan:
+    def test_valid(self):
+        span = MentionSpan("c", "column", 1, 3)
+        assert not span.is_implicit
+
+    def test_implicit(self):
+        assert MentionSpan("c", "column", 2, 2).is_implicit
+
+    def test_bad_kind_raises(self):
+        with pytest.raises(DataError):
+            MentionSpan("c", "header", 0, 1)
+
+    def test_bad_span_raises(self):
+        with pytest.raises(DataError):
+            MentionSpan("c", "column", 3, 1)
+        with pytest.raises(DataError):
+            MentionSpan("c", "column", -1, 1)
+
+
+class TestExample:
+    def test_question_tokens(self):
+        example = make_example()
+        assert example.question_tokens[0] == "which"
+
+    def test_mention_views(self):
+        example = make_example()
+        assert "film" in example.column_mentions()
+        assert "director" in example.value_mentions()
+        assert "director" not in example.column_mentions()
+
+    def test_default_sketch_compatible(self):
+        assert make_example().sketch_compatible
+
+
+class TestJsonl:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "data.jsonl"
+        original = [make_example(), make_example()]
+        save_jsonl(original, path)
+        loaded = load_jsonl(path)
+        assert len(loaded) == 2
+        first = loaded[0]
+        assert first.question == original[0].question
+        assert first.query.query_match_equal(original[0].query)
+        assert first.table.column_names == original[0].table.column_names
+        assert first.table.rows == original[0].table.rows
+        assert first.mentions == original[0].mentions
+        assert first.domain == "films"
+
+    def test_skips_blank_lines(self, tmp_path):
+        path = tmp_path / "data.jsonl"
+        save_jsonl([make_example()], path)
+        with open(path, "a") as handle:
+            handle.write("\n\n")
+        assert len(load_jsonl(path)) == 1
+
+    def test_malformed_record_raises(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        with open(path, "w") as handle:
+            handle.write('{"question": "q"}\n')
+        with pytest.raises(DataError):
+            load_jsonl(path)
+
+    def test_incompatible_flag_roundtrips(self, tmp_path):
+        example = make_example()
+        example.sketch_compatible = False
+        path = tmp_path / "data.jsonl"
+        save_jsonl([example], path)
+        assert not load_jsonl(path)[0].sketch_compatible

@@ -1,0 +1,134 @@
+"""Tests for the template DSL internals and ColumnSpec/DomainSpec."""
+
+import numpy as np
+import pytest
+
+from repro.data import ColumnSpec, DomainSpec, QuestionTemplate, make_template, render
+from repro.data.pools import enum, integer, person_name
+from repro.errors import DataError
+from repro.sqlengine import Aggregate, DataType, Operator
+
+RNG = np.random.default_rng(0)
+
+
+def toy_domain():
+    columns = [
+        ColumnSpec("hero", DataType.TEXT, person_name, ["hero", "champion"]),
+        ColumnSpec("city", DataType.TEXT, enum(["oslo", "cork"]), ["city"]),
+        ColumnSpec("level", DataType.REAL, integer(1, 100), ["level"]),
+    ]
+    templates = [
+        make_template([("text", "which"), ("sel", None), ("text", "has"),
+                       ("col", 0), ("val", 0), ("text", "?")],
+                      operators=[Operator.EQ]),
+    ]
+    return DomainSpec("toy", "hero", columns, templates)
+
+
+class TestColumnSpec:
+    def test_default_mentions_is_name(self):
+        spec = ColumnSpec("some col", DataType.TEXT, person_name)
+        assert spec.mentions == ["some col"]
+
+    def test_domain_column_lookup(self):
+        domain = toy_domain()
+        assert domain.column("HERO").name == "hero"
+        with pytest.raises(DataError):
+            domain.column("villain")
+
+
+class TestQuestionTemplate:
+    def test_numeric_aggregate_forces_real_select(self):
+        template = make_template([("sel", None)], aggregate=Aggregate.MAX)
+        assert template.select_dtype == DataType.REAL
+
+    def test_count_does_not_force_real(self):
+        template = make_template([("sel", None)], aggregate=Aggregate.COUNT)
+        assert template.select_dtype is None
+
+    def test_cond_columns_length_checked(self):
+        with pytest.raises(DataError):
+            QuestionTemplate(segments=[], operators=[Operator.EQ],
+                             cond_columns=["a", "b"])
+
+    def test_defaults_fill_cond_columns(self):
+        template = make_template([("sel", None)],
+                                 operators=[Operator.EQ, Operator.EQ])
+        assert template.cond_columns == [None, None]
+
+
+class TestRender:
+    def test_renders_example_with_spans(self):
+        domain = toy_domain()
+        table = domain.build_table(RNG, 6)
+        example = render(domain.templates[0], domain, table,
+                         np.random.default_rng(1))
+        assert example.query.conditions
+        assert example.mentions
+        for mention in example.mentions:
+            assert mention.end <= len(example.question_tokens)
+
+    def test_unknown_segment_kind_raises(self):
+        domain = toy_domain()
+        table = domain.build_table(RNG, 4)
+        bad = make_template([("wat", None)])
+        with pytest.raises(DataError):
+            render(bad, domain, table, np.random.default_rng(0))
+
+    def test_colp_segment_records_mention(self):
+        domain = toy_domain()
+        table = domain.build_table(RNG, 4)
+        template = make_template(
+            [("text", "find"), ("selp", "champion"),
+             ("colp", (0, "from the city of")), ("val", 0)],
+            operators=[Operator.EQ], select="hero", cond_columns=["city"])
+        example = render(template, domain, table, np.random.default_rng(2))
+        mentions = example.column_mentions()
+        assert "hero" in mentions and "city" in mentions
+        tokens = example.question_tokens
+        span = mentions["city"]
+        assert tokens[span.start:span.end] == ["from", "the", "city", "of"]
+
+    def test_implicit_mention_recorded_when_no_col_segment(self):
+        domain = toy_domain()
+        table = domain.build_table(RNG, 4)
+        template = make_template(
+            [("text", "who is in"), ("val", 0), ("text", "?")],
+            operators=[Operator.EQ], select="hero", cond_columns=["city"])
+        example = render(template, domain, table, np.random.default_rng(3))
+        mention = example.column_mentions()["city"]
+        assert mention.is_implicit
+
+    def test_counterfactual_rate_one_always_samples_fresh(self):
+        domain = toy_domain()
+        table = domain.build_table(RNG, 1)  # single row
+        rng = np.random.default_rng(4)
+        fresh = 0
+        for _ in range(20):
+            example = render(domain.templates[0], domain, table, rng,
+                             counterfactual_rate=1.0)
+            cond = example.query.conditions[0]
+            cells = {str(v).lower()
+                     for v in table.column_values(cond.column)}
+            fresh += str(cond.value).lower() not in cells
+        assert fresh > 5  # fresh draws usually miss the single row
+
+    def test_zero_counterfactual_uses_row_values(self):
+        domain = toy_domain()
+        table = domain.build_table(RNG, 5)
+        rng = np.random.default_rng(5)
+        for _ in range(10):
+            example = render(domain.templates[0], domain, table, rng,
+                             counterfactual_rate=0.0)
+            cond = example.query.conditions[0]
+            if cond.operator is Operator.EQ:
+                cells = {str(v).lower()
+                         for v in table.column_values(cond.column)}
+                assert str(cond.value).lower() in cells
+
+    def test_empty_table_raises(self):
+        domain = toy_domain()
+        table = domain.build_table(RNG, 0)
+        with pytest.raises(DataError):
+            render(domain.templates[0], domain, table,
+                   np.random.default_rng(0))

@@ -1,0 +1,139 @@
+"""Tests for the character-CNN encoder and additive attention."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.nn import AdditiveAttention, CharConvEncoder, Conv1d, Tensor
+
+RNG = np.random.default_rng(21)
+
+
+class TestConv1d:
+    def test_output_shape(self):
+        conv = Conv1d(3, 4, 6, RNG)
+        out = conv(Tensor(RNG.standard_normal((8, 4))))
+        assert out.shape == (6,)
+
+    def test_short_input_zero_padded(self):
+        conv = Conv1d(5, 4, 6, RNG)
+        out = conv(Tensor(RNG.standard_normal((2, 4))))
+        assert out.shape == (6,)
+        assert np.isfinite(out.numpy()).all()
+
+    def test_input_exactly_width(self):
+        conv = Conv1d(3, 2, 4, RNG)
+        out = conv(Tensor(RNG.standard_normal((3, 2))))
+        assert out.shape == (4,)
+
+    def test_bad_channels_raises(self):
+        conv = Conv1d(3, 4, 6, RNG)
+        with pytest.raises(ShapeError):
+            conv(Tensor(np.ones((5, 3))))
+
+    def test_bad_width_raises(self):
+        with pytest.raises(ShapeError):
+            Conv1d(0, 4, 6, RNG)
+
+    def test_shared_projection_across_slices(self):
+        """A constant input makes all slices equal → output equals one slice."""
+        conv = Conv1d(2, 3, 4, RNG)
+        row = RNG.standard_normal(3)
+        matrix = np.tile(row, (6, 1))
+        out = conv(Tensor(matrix)).numpy()
+        single = conv(Tensor(np.tile(row, (2, 1)))).numpy()
+        np.testing.assert_allclose(out, single, atol=1e-12)
+
+    def test_gradient_flows(self):
+        conv = Conv1d(3, 4, 6, RNG)
+        x = Tensor(RNG.standard_normal((8, 4)), requires_grad=True)
+        conv(x).sum().backward()
+        assert x.grad is not None
+        assert conv.projection.weight.grad is not None
+
+
+class TestCharConvEncoder:
+    def test_output_dim_is_width_count_times_per_width(self):
+        enc = CharConvEncoder(20, 5, 7, RNG, widths=(3, 4, 5))
+        assert enc.out_dim == 21
+        assert enc([1, 2, 3, 4]).shape == (21,)
+
+    def test_default_paper_widths(self):
+        enc = CharConvEncoder(20, 5, 4, RNG)
+        assert enc.widths == (3, 4, 5, 6, 7)
+        assert enc.out_dim == 20
+
+    def test_single_char_word(self):
+        enc = CharConvEncoder(20, 5, 4, RNG)
+        assert enc([3]).shape == (20,)
+
+    def test_empty_word_raises(self):
+        enc = CharConvEncoder(20, 5, 4, RNG)
+        with pytest.raises(ShapeError):
+            enc([])
+
+    def test_encode_batch(self):
+        enc = CharConvEncoder(20, 5, 4, RNG, widths=(3,))
+        out = enc.encode_batch([[1, 2], [3, 4, 5], [6]])
+        assert out.shape == (3, 4)
+
+    def test_char_embedding_shared_across_widths(self):
+        """Gradients from every conv width accumulate on one char table."""
+        enc = CharConvEncoder(20, 5, 4, RNG, widths=(2, 3))
+        enc([1, 2, 3]).sum().backward()
+        assert enc.char_embedding.weight.grad is not None
+        assert np.abs(enc.char_embedding.weight.grad[1]).sum() > 0
+
+    def test_similar_words_have_similar_encodings(self):
+        enc = CharConvEncoder(30, 8, 6, np.random.default_rng(3), widths=(3,))
+        a = enc([1, 2, 3, 4, 5]).numpy()
+        b = enc([1, 2, 3, 4, 6]).numpy()   # one char differs
+        c = enc([10, 11, 12, 13, 14]).numpy()  # all chars differ
+        assert np.linalg.norm(a - b) < np.linalg.norm(a - c)
+
+
+class TestAdditiveAttention:
+    def test_weights_form_distribution(self):
+        att = AdditiveAttention(6, 4, 5, RNG)
+        memory = Tensor(RNG.standard_normal((7, 6)))
+        _, weights = att(memory, Tensor(RNG.standard_normal(4)))
+        w = weights.numpy()
+        assert w.shape == (7,)
+        assert (w >= 0).all()
+        assert w.sum() == pytest.approx(1.0)
+
+    def test_context_is_convex_combination(self):
+        att = AdditiveAttention(6, 4, 5, RNG)
+        mem = RNG.standard_normal((7, 6))
+        context, _ = att(Tensor(mem), Tensor(RNG.standard_normal(4)))
+        c = context.numpy()
+        assert (c <= mem.max(axis=0) + 1e-9).all()
+        assert (c >= mem.min(axis=0) - 1e-9).all()
+
+    def test_mask_excludes_positions(self):
+        att = AdditiveAttention(6, 4, 5, RNG)
+        memory = Tensor(RNG.standard_normal((5, 6)))
+        mask = np.array([True, True, False, False, False])
+        _, weights = att(memory, Tensor(np.zeros(4)), mask=mask)
+        assert weights.numpy()[2:].max() < 1e-6
+
+    def test_2d_query_accepted(self):
+        att = AdditiveAttention(6, 4, 5, RNG)
+        memory = Tensor(RNG.standard_normal((5, 6)))
+        context, _ = att(memory, Tensor(np.zeros((1, 4))))
+        assert context.shape == (6,)
+
+    def test_bad_memory_raises(self):
+        att = AdditiveAttention(6, 4, 5, RNG)
+        with pytest.raises(ShapeError):
+            att(Tensor(np.zeros((2, 3, 6))), Tensor(np.zeros(4)))
+
+    def test_gradients_flow_to_all_parameters(self):
+        att = AdditiveAttention(6, 4, 5, RNG)
+        memory = Tensor(RNG.standard_normal((5, 6)), requires_grad=True)
+        query = Tensor(RNG.standard_normal(4), requires_grad=True)
+        context, _ = att(memory, query)
+        context.sum().backward()
+        assert memory.grad is not None
+        assert query.grad is not None
+        assert att.v.grad is not None

@@ -1,0 +1,139 @@
+"""Tests for softmax/losses/dropout, including gradient checks."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ShapeError
+from repro.nn.functional import (
+    binary_cross_entropy_with_logits,
+    cross_entropy,
+    dropout,
+    log_softmax,
+    masked_softmax,
+    softmax,
+)
+from repro.nn.tensor import Tensor
+
+RNG = np.random.default_rng(7)
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self):
+        out = softmax(Tensor(RNG.standard_normal((5, 9))))
+        np.testing.assert_allclose(out.numpy().sum(axis=-1), np.ones(5), atol=1e-12)
+
+    def test_stability_large_logits(self):
+        out = softmax(Tensor(np.array([[1000.0, 1000.0, -1000.0]])))
+        assert np.isfinite(out.numpy()).all()
+        np.testing.assert_allclose(out.numpy()[0, :2], [0.5, 0.5], atol=1e-9)
+
+    def test_log_softmax_matches_log_of_softmax(self):
+        logits = Tensor(RNG.standard_normal((4, 6)))
+        np.testing.assert_allclose(
+            log_softmax(logits).numpy(), np.log(softmax(logits).numpy()), atol=1e-10)
+
+    def test_softmax_gradient(self):
+        base = RNG.standard_normal((2, 5))
+        x = Tensor(base.copy(), requires_grad=True)
+        (softmax(x) * Tensor(np.arange(10.0).reshape(2, 5))).sum().backward()
+        eps = 1e-6
+        num = np.zeros_like(base)
+        weight = np.arange(10.0).reshape(2, 5)
+        for i in np.ndindex(*base.shape):
+            plus, minus = base.copy(), base.copy()
+            plus[i] += eps
+            minus[i] -= eps
+            f_plus = (softmax(Tensor(plus)).numpy() * weight).sum()
+            f_minus = (softmax(Tensor(minus)).numpy() * weight).sum()
+            num[i] = (f_plus - f_minus) / (2 * eps)
+        np.testing.assert_allclose(x.grad, num, atol=1e-5)
+
+    @given(st.integers(2, 6), st.integers(2, 6))
+    @settings(max_examples=20, deadline=None)
+    def test_softmax_probability_simplex(self, rows, cols):
+        rng = np.random.default_rng(rows * 31 + cols)
+        out = softmax(Tensor(rng.standard_normal((rows, cols)))).numpy()
+        assert (out >= 0).all()
+        np.testing.assert_allclose(out.sum(axis=-1), np.ones(rows), atol=1e-9)
+
+
+class TestMaskedSoftmax:
+    def test_masked_positions_get_zero(self):
+        logits = Tensor(np.zeros((4,)))
+        mask = np.array([True, False, True, False])
+        out = masked_softmax(logits, mask).numpy()
+        np.testing.assert_allclose(out, [0.5, 0.0, 0.5, 0.0], atol=1e-8)
+
+    def test_mask_broadcast(self):
+        logits = Tensor(np.zeros((2, 3)))
+        out = masked_softmax(logits, np.array([True, True, False])).numpy()
+        np.testing.assert_allclose(out.sum(axis=-1), [1.0, 1.0], atol=1e-8)
+        assert (out[:, 2] < 1e-6).all()
+
+
+class TestCrossEntropy:
+    def test_value_matches_manual(self):
+        logits = np.array([[2.0, 0.0], [0.0, 3.0]])
+        loss = cross_entropy(Tensor(logits), [0, 1]).item()
+        manual = -np.mean([
+            np.log(np.exp(2) / (np.exp(2) + 1)),
+            np.log(np.exp(3) / (np.exp(3) + 1)),
+        ])
+        assert loss == pytest.approx(manual, rel=1e-9)
+
+    def test_gradient_is_softmax_minus_onehot(self):
+        logits = Tensor(RNG.standard_normal((3, 4)), requires_grad=True)
+        targets = [1, 0, 3]
+        cross_entropy(logits, targets).backward()
+        probs = softmax(Tensor(logits.numpy())).numpy()
+        onehot = np.zeros((3, 4))
+        onehot[np.arange(3), targets] = 1.0
+        np.testing.assert_allclose(logits.grad, (probs - onehot) / 3.0, atol=1e-9)
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ShapeError):
+            cross_entropy(Tensor(np.zeros((2, 3, 4))), [0, 1])
+        with pytest.raises(ShapeError):
+            cross_entropy(Tensor(np.zeros((2, 3))), [0, 1, 2])
+
+
+class TestBCE:
+    def test_matches_manual(self):
+        logits = np.array([0.5, -1.0])
+        targets = np.array([1.0, 0.0])
+        p = 1 / (1 + np.exp(-logits))
+        manual = -np.mean(targets * np.log(p) + (1 - targets) * np.log(1 - p))
+        loss = binary_cross_entropy_with_logits(Tensor(logits), targets).item()
+        assert loss == pytest.approx(manual, rel=1e-9)
+
+    def test_stable_for_extreme_logits(self):
+        loss = binary_cross_entropy_with_logits(
+            Tensor(np.array([500.0, -500.0])), [1.0, 0.0]).item()
+        assert np.isfinite(loss)
+        assert loss == pytest.approx(0.0, abs=1e-9)
+
+    def test_gradient_sign(self):
+        x = Tensor(np.array([0.0]), requires_grad=True)
+        binary_cross_entropy_with_logits(x, [1.0]).backward()
+        assert x.grad[0] < 0  # pushing logit up reduces loss for target 1
+
+
+class TestDropout:
+    def test_identity_when_eval(self):
+        x = Tensor(np.ones((4, 4)))
+        out = dropout(x, 0.5, np.random.default_rng(0), training=False)
+        np.testing.assert_array_equal(out.numpy(), x.numpy())
+
+    def test_identity_when_rate_zero(self):
+        x = Tensor(np.ones((4, 4)))
+        out = dropout(x, 0.0, np.random.default_rng(0), training=True)
+        np.testing.assert_array_equal(out.numpy(), x.numpy())
+
+    def test_scaling_preserves_expectation(self):
+        rng = np.random.default_rng(0)
+        x = Tensor(np.ones((200, 200)))
+        out = dropout(x, 0.5, rng, training=True).numpy()
+        assert out.mean() == pytest.approx(1.0, abs=0.05)
+        assert set(np.unique(out)) <= {0.0, 2.0}

@@ -1,0 +1,76 @@
+"""Tests for LayerNorm and remaining nn surface (modules listing, etc.)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.nn import LayerNorm, Tensor
+
+RNG = np.random.default_rng(5)
+
+
+class TestLayerNorm:
+    def test_normalizes_last_axis(self):
+        norm = LayerNorm(8)
+        out = norm(Tensor(RNG.standard_normal((4, 8)) * 10 + 3)).numpy()
+        np.testing.assert_allclose(out.mean(axis=-1), np.zeros(4), atol=1e-9)
+        np.testing.assert_allclose(out.std(axis=-1), np.ones(4), atol=1e-3)
+
+    def test_gain_and_bias_applied(self):
+        norm = LayerNorm(4)
+        norm.gain.data = np.full(4, 2.0)
+        norm.bias.data = np.full(4, 1.0)
+        out = norm(Tensor(RNG.standard_normal((3, 4)))).numpy()
+        np.testing.assert_allclose(out.mean(axis=-1), np.ones(3), atol=1e-9)
+
+    def test_wrong_dim_raises(self):
+        with pytest.raises(ShapeError):
+            LayerNorm(4)(Tensor(np.ones((2, 5))))
+
+    def test_gradient_flows(self):
+        norm = LayerNorm(6)
+        x = Tensor(RNG.standard_normal((2, 6)), requires_grad=True)
+        (norm(x) ** 2).sum().backward()
+        assert x.grad is not None
+        assert norm.gain.grad is not None
+        assert norm.bias.grad is not None
+
+    def test_gradcheck(self):
+        norm = LayerNorm(5)
+        base = RNG.standard_normal((2, 5))
+        x = Tensor(base.copy(), requires_grad=True)
+        (norm(x) ** 2).sum().backward()
+        eps = 1e-6
+        num = np.zeros_like(base)
+        for idx in np.ndindex(*base.shape):
+            plus, minus = base.copy(), base.copy()
+            plus[idx] += eps
+            minus[idx] -= eps
+            f_plus = (norm(Tensor(plus)) ** 2).sum().item()
+            f_minus = (norm(Tensor(minus)) ** 2).sum().item()
+            num[idx] = (f_plus - f_minus) / (2 * eps)
+        np.testing.assert_allclose(x.grad, num, atol=1e-5)
+
+    def test_scale_invariance(self):
+        """LayerNorm output is invariant to input scaling (up to eps)."""
+        norm = LayerNorm(8)
+        x = RNG.standard_normal((1, 8))
+        a = norm(Tensor(x)).numpy()
+        b = norm(Tensor(x * 100)).numpy()
+        np.testing.assert_allclose(a, b, atol=1e-4)
+
+
+class TestExamplesCompile:
+    """Every example script must at least be syntactically valid."""
+
+    @pytest.mark.parametrize("name", [
+        "quickstart", "film_awards_nli", "census_geography_nli",
+        "transfer_learning_demo", "adversarial_inspection",
+    ])
+    def test_example_compiles(self, name):
+        import pathlib
+        import py_compile
+        path = (pathlib.Path(__file__).resolve().parents[2]
+                / "examples" / f"{name}.py")
+        assert path.exists()
+        py_compile.compile(str(path), doraise=True)

@@ -1,0 +1,192 @@
+"""Tests for Linear/Embedding/MLP/Dropout layers and Module mechanics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError, ShapeError
+from repro.nn import MLP, Dropout, Embedding, Linear, Module, Parameter, Tensor
+from repro.nn.serialization import load_module, save_module
+
+RNG = np.random.default_rng(42)
+
+
+class TestLinear:
+    def test_forward_shape(self):
+        layer = Linear(4, 7, RNG)
+        out = layer(Tensor(np.ones((3, 4))))
+        assert out.shape == (3, 7)
+
+    def test_matches_manual_affine(self):
+        layer = Linear(2, 2, RNG)
+        x = np.array([[1.0, 2.0]])
+        expected = x @ layer.weight.numpy() + layer.bias.numpy()
+        np.testing.assert_allclose(layer(Tensor(x)).numpy(), expected)
+
+    def test_no_bias(self):
+        layer = Linear(3, 3, RNG, bias=False)
+        assert layer.bias is None
+        np.testing.assert_allclose(
+            layer(Tensor(np.zeros((1, 3)))).numpy(), np.zeros((1, 3)))
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ShapeError):
+            Linear(4, 2, RNG)(Tensor(np.ones((3, 5))))
+
+    def test_gradients_flow_to_weight_and_bias(self):
+        layer = Linear(3, 2, RNG)
+        layer(Tensor(np.ones((2, 3)))).sum().backward()
+        assert layer.weight.grad is not None
+        assert layer.bias.grad is not None
+
+
+class TestEmbedding:
+    def test_lookup_shape(self):
+        emb = Embedding(10, 5, RNG)
+        assert emb([1, 2, 3]).shape == (3, 5)
+
+    def test_lookup_2d(self):
+        emb = Embedding(10, 5, RNG)
+        assert emb(np.array([[1, 2], [3, 4]])).shape == (2, 2, 5)
+
+    def test_out_of_range_raises(self):
+        emb = Embedding(10, 5, RNG)
+        with pytest.raises(ShapeError):
+            emb([10])
+        with pytest.raises(ShapeError):
+            emb([-1])
+
+    def test_gradient_only_on_used_rows(self):
+        emb = Embedding(6, 3, RNG)
+        emb([2, 2, 5]).sum().backward()
+        grad = emb.weight.grad
+        np.testing.assert_allclose(grad[2], 2 * np.ones(3))
+        np.testing.assert_allclose(grad[5], np.ones(3))
+        np.testing.assert_allclose(grad[0], np.zeros(3))
+
+    def test_load_pretrained(self):
+        emb = Embedding(4, 2, RNG)
+        matrix = np.arange(8.0).reshape(4, 2)
+        emb.load_pretrained(matrix)
+        np.testing.assert_array_equal(emb.weight.numpy(), matrix)
+
+    def test_load_pretrained_freeze(self):
+        emb = Embedding(4, 2, RNG)
+        emb.load_pretrained(np.zeros((4, 2)), freeze=True)
+        assert not emb.weight.requires_grad
+
+    def test_load_pretrained_bad_shape(self):
+        emb = Embedding(4, 2, RNG)
+        with pytest.raises(ShapeError):
+            emb.load_pretrained(np.zeros((3, 2)))
+
+
+class TestMLP:
+    def test_sizes(self):
+        mlp = MLP([4, 8, 2], RNG)
+        assert mlp(Tensor(np.ones((5, 4)))).shape == (5, 2)
+
+    def test_sigmoid_output_in_unit_interval(self):
+        mlp = MLP([3, 5, 1], RNG, output_activation="sigmoid")
+        out = mlp(Tensor(RNG.standard_normal((10, 3)))).numpy()
+        assert ((out > 0) & (out < 1)).all()
+
+    def test_tanh_output(self):
+        mlp = MLP([3, 1], RNG, output_activation="tanh")
+        out = mlp(Tensor(RNG.standard_normal((10, 3)))).numpy()
+        assert (np.abs(out) < 1).all()
+
+    def test_unknown_activation_raises(self):
+        mlp = MLP([3, 1], RNG, output_activation="gelu")
+        with pytest.raises(ShapeError):
+            mlp(Tensor(np.ones((1, 3))))
+
+    def test_too_few_sizes_raises(self):
+        with pytest.raises(ShapeError):
+            MLP([3], RNG)
+
+
+class TestModuleMechanics:
+    def make_nested(self):
+        class Inner(Module):
+            def __init__(self):
+                super().__init__()
+                self.lin = Linear(2, 2, RNG)
+
+        class Outer(Module):
+            def __init__(self):
+                super().__init__()
+                self.inner = Inner()
+                self.layers = [Linear(2, 2, RNG), Linear(2, 2, RNG)]
+                self.scale = Parameter(np.ones(1))
+
+        return Outer()
+
+    def test_named_parameters_recursive(self):
+        model = self.make_nested()
+        names = {name for name, _ in model.named_parameters()}
+        assert "inner.lin.weight" in names
+        assert "layers.0.weight" in names
+        assert "layers.1.bias" in names
+        assert "scale" in names
+
+    def test_num_parameters(self):
+        model = self.make_nested()
+        # 3 Linear(2,2) layers: 3*(4+2) = 18, plus scale = 19.
+        assert model.num_parameters() == 19
+
+    def test_zero_grad(self):
+        model = self.make_nested()
+        (model.inner.lin(Tensor(np.ones((1, 2))))).sum().backward()
+        assert model.inner.lin.weight.grad is not None
+        model.zero_grad()
+        assert model.inner.lin.weight.grad is None
+
+    def test_train_eval_propagates(self):
+        model = self.make_nested()
+        model.eval()
+        assert not model.inner.training
+        model.train()
+        assert model.inner.training
+
+    def test_state_dict_roundtrip(self):
+        model = self.make_nested()
+        state = model.state_dict()
+        other = self.make_nested()
+        other.load_state_dict(state)
+        np.testing.assert_array_equal(
+            other.inner.lin.weight.numpy(), model.inner.lin.weight.numpy())
+
+    def test_load_state_dict_missing_key_raises(self):
+        model = self.make_nested()
+        state = model.state_dict()
+        state.pop("scale")
+        with pytest.raises(ModelError):
+            model.load_state_dict(state)
+
+    def test_load_state_dict_bad_shape_raises(self):
+        model = self.make_nested()
+        state = model.state_dict()
+        state["scale"] = np.ones(2)
+        with pytest.raises(ModelError):
+            model.load_state_dict(state)
+
+    def test_save_load_npz(self, tmp_path):
+        model = self.make_nested()
+        path = tmp_path / "model.npz"
+        save_module(model, path)
+        other = self.make_nested()
+        load_module(other, path)
+        np.testing.assert_array_equal(other.scale.numpy(), model.scale.numpy())
+
+
+class TestDropoutLayer:
+    def test_eval_mode_identity(self):
+        layer = Dropout(0.9, np.random.default_rng(0))
+        layer.eval()
+        x = Tensor(np.ones((3, 3)))
+        np.testing.assert_array_equal(layer(x).numpy(), x.numpy())
+
+    def test_train_mode_drops(self):
+        layer = Dropout(0.5, np.random.default_rng(0))
+        out = layer(Tensor(np.ones((50, 50)))).numpy()
+        assert (out == 0).any()

@@ -1,0 +1,106 @@
+"""Tests for SGD/Adam and gradient clipping: convergence + mechanics."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Adam, Linear, SGD, Tensor, clip_grad_norm
+from repro.nn.module import Parameter
+
+
+def quadratic_loss(param: Parameter) -> Tensor:
+    """(p - 3)^2 summed — minimized at p == 3."""
+    diff = param - Tensor(np.full(param.shape, 3.0))
+    return (diff * diff).sum()
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        p = Parameter(np.zeros(4))
+        opt = SGD([p], lr=0.1)
+        for _ in range(100):
+            opt.zero_grad()
+            quadratic_loss(p).backward()
+            opt.step()
+        np.testing.assert_allclose(p.numpy(), np.full(4, 3.0), atol=1e-4)
+
+    def test_momentum_accelerates(self):
+        def run(momentum):
+            p = Parameter(np.zeros(1))
+            opt = SGD([p], lr=0.01, momentum=momentum)
+            for _ in range(30):
+                opt.zero_grad()
+                quadratic_loss(p).backward()
+                opt.step()
+            return abs(p.numpy()[0] - 3.0)
+
+        assert run(0.9) < run(0.0)
+
+    def test_skips_params_without_grad(self):
+        p = Parameter(np.ones(2))
+        opt = SGD([p], lr=0.5)
+        opt.step()  # no grad accumulated — must be a no-op
+        np.testing.assert_array_equal(p.numpy(), np.ones(2))
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        p = Parameter(np.zeros(4))
+        opt = Adam([p], lr=0.1)
+        for _ in range(300):
+            opt.zero_grad()
+            quadratic_loss(p).backward()
+            opt.step()
+        np.testing.assert_allclose(p.numpy(), np.full(4, 3.0), atol=1e-3)
+
+    def test_first_step_size_is_lr(self):
+        """With bias correction, the first Adam step ≈ lr * sign(grad)."""
+        p = Parameter(np.zeros(1))
+        opt = Adam([p], lr=0.05)
+        opt.zero_grad()
+        quadratic_loss(p).backward()
+        opt.step()
+        assert p.numpy()[0] == pytest.approx(0.05, rel=1e-3)
+
+    def test_trains_linear_regression(self):
+        rng = np.random.default_rng(0)
+        true_w = np.array([[2.0], [-1.0]])
+        x = rng.standard_normal((64, 2))
+        y = x @ true_w
+        layer = Linear(2, 1, rng)
+        opt = Adam(layer.parameters(), lr=0.05)
+        for _ in range(400):
+            opt.zero_grad()
+            pred = layer(Tensor(x))
+            err = pred - Tensor(y)
+            (err * err).mean().backward()
+            opt.step()
+        np.testing.assert_allclose(layer.weight.numpy(), true_w, atol=0.02)
+
+
+class TestClipGradNorm:
+    def test_no_clip_below_threshold(self):
+        p = Parameter(np.zeros(3))
+        p.grad = np.array([0.1, 0.1, 0.1])
+        norm = clip_grad_norm([p], max_norm=5.0)
+        assert norm == pytest.approx(np.sqrt(0.03))
+        np.testing.assert_allclose(p.grad, [0.1, 0.1, 0.1])
+
+    def test_clips_above_threshold(self):
+        p = Parameter(np.zeros(2))
+        p.grad = np.array([30.0, 40.0])  # norm 50
+        norm = clip_grad_norm([p], max_norm=5.0)
+        assert norm == pytest.approx(50.0)
+        assert np.linalg.norm(p.grad) == pytest.approx(5.0)
+
+    def test_global_norm_across_params(self):
+        a, b = Parameter(np.zeros(1)), Parameter(np.zeros(1))
+        a.grad, b.grad = np.array([3.0]), np.array([4.0])
+        clip_grad_norm([a, b], max_norm=1.0)
+        total = np.sqrt(a.grad[0] ** 2 + b.grad[0] ** 2)
+        assert total == pytest.approx(1.0)
+
+    def test_handles_missing_grads(self):
+        a, b = Parameter(np.zeros(1)), Parameter(np.zeros(1))
+        a.grad = np.array([10.0])
+        norm = clip_grad_norm([a, b], max_norm=1.0)
+        assert norm == pytest.approx(10.0)

@@ -1,0 +1,128 @@
+"""Tests for LSTM/GRU cells and sequence layers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.nn import LSTM, BiGRU, BiLSTM, GRU, GRUCell, LSTMCell, Tensor
+
+RNG = np.random.default_rng(11)
+
+
+def make_steps(t=4, batch=2, dim=3, seed=0):
+    rng = np.random.default_rng(seed)
+    return [Tensor(rng.standard_normal((batch, dim)), requires_grad=True)
+            for _ in range(t)]
+
+
+class TestLSTMCell:
+    def test_state_shapes(self):
+        cell = LSTMCell(3, 5, RNG)
+        h, c = cell.initial_state(2)
+        h2, c2 = cell(Tensor(np.ones((2, 3))), h, c)
+        assert h2.shape == (2, 5) and c2.shape == (2, 5)
+
+    def test_bad_input_raises(self):
+        cell = LSTMCell(3, 5, RNG)
+        h, c = cell.initial_state(2)
+        with pytest.raises(ShapeError):
+            cell(Tensor(np.ones((2, 4))), h, c)
+
+    def test_hidden_bounded_by_tanh(self):
+        cell = LSTMCell(3, 5, RNG)
+        h, c = cell.initial_state(1)
+        for _ in range(20):
+            h, c = cell(Tensor(RNG.standard_normal((1, 3)) * 10), h, c)
+        assert (np.abs(h.numpy()) <= 1.0).all()
+
+    def test_gradient_reaches_early_input(self):
+        cell = LSTMCell(3, 4, RNG)
+        steps = make_steps(t=6, dim=3)
+        h, c = cell.initial_state(2)
+        for x in steps:
+            h, c = cell(x, h, c)
+        (h * h).sum().backward()
+        assert steps[0].grad is not None
+        assert np.abs(steps[0].grad).sum() > 0
+
+
+class TestGRUCell:
+    def test_state_shape(self):
+        cell = GRUCell(3, 5, RNG)
+        h = cell.initial_state(2)
+        assert cell(Tensor(np.ones((2, 3))), h).shape == (2, 5)
+
+    def test_bad_input_raises(self):
+        cell = GRUCell(3, 5, RNG)
+        with pytest.raises(ShapeError):
+            cell(Tensor(np.ones((2, 4))), cell.initial_state(2))
+
+    def test_interpolation_property(self):
+        # With zero hidden state and candidate, output stays bounded by tanh.
+        cell = GRUCell(2, 3, RNG)
+        h = cell.initial_state(1)
+        for _ in range(10):
+            h = cell(Tensor(RNG.standard_normal((1, 2))), h)
+        assert (np.abs(h.numpy()) < 1.0).all()
+
+
+class TestSequenceLayers:
+    @pytest.mark.parametrize("cls,out_mult", [
+        (LSTM, 1), (GRU, 1), (BiLSTM, 2), (BiGRU, 2),
+    ])
+    def test_output_shapes(self, cls, out_mult):
+        layer = cls(3, 5, RNG, num_layers=2)
+        outs = layer(make_steps())
+        assert len(outs) == 4
+        assert outs[0].shape == (2, 5 * out_mult)
+
+    @pytest.mark.parametrize("cls", [LSTM, GRU, BiLSTM, BiGRU])
+    def test_empty_sequence_raises(self, cls):
+        layer = cls(3, 5, RNG)
+        with pytest.raises(ShapeError):
+            layer([])
+
+    def test_bilstm_backward_half_sees_future(self):
+        """The backward half at step 0 must depend on the last step."""
+        layer = BiLSTM(2, 3, np.random.default_rng(5))
+        steps = make_steps(t=3, batch=1, dim=2, seed=1)
+        base = layer(steps)[0].numpy().copy()
+        # Perturb the final input; the backward state at step 0 should move.
+        steps2 = [Tensor(s.numpy().copy()) for s in steps]
+        steps2[-1] = Tensor(steps2[-1].numpy() + 1.0)
+        perturbed = layer(steps2)[0].numpy()
+        fwd_dim = 3
+        np.testing.assert_allclose(base[:, :fwd_dim], perturbed[:, :fwd_dim])
+        assert np.abs(base[:, fwd_dim:] - perturbed[:, fwd_dim:]).max() > 1e-8
+
+    def test_unidirectional_is_causal(self):
+        """A unidirectional GRU output at step t ignores steps > t."""
+        layer = GRU(2, 3, np.random.default_rng(5))
+        steps = make_steps(t=3, batch=1, dim=2, seed=1)
+        base = layer(steps)[0].numpy().copy()
+        steps2 = [Tensor(s.numpy().copy()) for s in steps]
+        steps2[-1] = Tensor(steps2[-1].numpy() + 5.0)
+        perturbed = layer(steps2)[0].numpy()
+        np.testing.assert_allclose(base, perturbed)
+
+    def test_gradients_flow_through_stack(self):
+        layer = BiGRU(3, 4, RNG, num_layers=2)
+        steps = make_steps()
+        outs = layer(steps)
+        total = outs[0].sum()
+        for o in outs[1:]:
+            total = total + o.sum()
+        total.backward()
+        for step in steps:
+            assert step.grad is not None
+
+    def test_num_layers_changes_parameter_count(self):
+        one = LSTM(3, 4, np.random.default_rng(0), num_layers=1)
+        two = LSTM(3, 4, np.random.default_rng(0), num_layers=2)
+        assert two.num_parameters() > one.num_parameters()
+
+    def test_deterministic_given_seed(self):
+        a = GRU(3, 4, np.random.default_rng(9))
+        b = GRU(3, 4, np.random.default_rng(9))
+        steps = make_steps(seed=3)
+        np.testing.assert_allclose(a(steps)[-1].numpy(), b(steps)[-1].numpy())

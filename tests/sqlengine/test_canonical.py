@@ -1,0 +1,94 @@
+"""Tests for canonicalization and the three AST comparison views."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sqlengine import (
+    Aggregate,
+    Condition,
+    Operator,
+    Query,
+    canonical_equal,
+    canonicalize,
+    parse_sql,
+)
+
+COLUMNS = st.sampled_from(["name", "city", "Population", "Irish Name"])
+VALUES = st.one_of(st.integers(-100, 100),
+                   st.sampled_from(["Mayo", "rock and roll", "x1"]))
+OPERATORS = st.sampled_from(list(Operator))
+AGGREGATES = st.sampled_from(list(Aggregate))
+
+
+@st.composite
+def queries(draw):
+    n_conds = draw(st.integers(0, 3))
+    conds = [Condition(draw(COLUMNS), draw(OPERATORS), draw(VALUES))
+             for _ in range(n_conds)]
+    return Query(draw(COLUMNS), draw(AGGREGATES), conds)
+
+
+class TestCanonical:
+    def test_condition_order_ignored(self):
+        a = parse_sql('SELECT x WHERE a = "1" AND b = "2"')
+        b = parse_sql('SELECT x WHERE b = "2" AND a = "1"')
+        assert canonical_equal(a, b)
+        assert not a.logical_form_equal(b)
+
+    def test_case_ignored(self):
+        assert canonical_equal('SELECT Name WHERE City = "MAYO"',
+                               'select name where city = "mayo"')
+
+    def test_numeric_string_vs_number(self):
+        assert canonical_equal("SELECT x WHERE y = 5", 'SELECT x WHERE y = "5"')
+
+    def test_aggregate_distinguishes(self):
+        assert not canonical_equal("SELECT COUNT(x)", "SELECT MAX(x)")
+
+    def test_unparseable_never_equal(self):
+        assert not canonical_equal("garbage", "garbage")
+        assert not canonical_equal("SELECT x", "garbage")
+
+    def test_accepts_query_objects(self):
+        q = parse_sql("SELECT x")
+        assert canonical_equal(q, "SELECT x")
+        assert canonicalize(q) == canonicalize("SELECT x")
+
+    @given(queries())
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip_preserves_canonical(self, query):
+        assert canonical_equal(query, parse_sql(query.to_sql()))
+
+    @given(queries())
+    @settings(max_examples=50, deadline=None)
+    def test_reflexive(self, query):
+        assert query.query_match_equal(query)
+        assert query.logical_form_equal(query)
+
+    @given(queries())
+    @settings(max_examples=50, deadline=None)
+    def test_lf_equal_implies_qm_equal(self, query):
+        other = parse_sql(query.to_sql())
+        if query.logical_form_equal(other):
+            assert query.query_match_equal(other)
+
+
+class TestWhereCanonical:
+    def test_pairs_sorted(self):
+        q = parse_sql('SELECT x WHERE b = "2" AND a = "1"')
+        assert q.where_canonical() == (("a", "1"), ("b", "2"))
+
+    def test_used_for_mention_scoring(self):
+        gold = parse_sql('SELECT Film WHERE Director = "Jerzy" AND Actor = "Piotr"')
+        pred = parse_sql('SELECT Other WHERE actor = "piotr" AND director = "jerzy"')
+        assert gold.where_canonical() == pred.where_canonical()
+
+
+class TestTokens:
+    def test_tokens_lowercased(self):
+        q = parse_sql('SELECT MAX(Score) WHERE Name = "Bob"')
+        assert q.tokens() == ["select", "max", "score", "where", "name", "=", "bob"]
+
+    def test_no_where_tokens(self):
+        assert parse_sql("SELECT x").tokens() == ["select", "x"]

@@ -1,0 +1,120 @@
+"""Tests for query execution and result comparison."""
+
+import pytest
+
+from repro.errors import SQLExecutionError
+from repro.sqlengine import (
+    Column,
+    DataType,
+    Table,
+    execute,
+    parse_sql,
+    results_equal,
+)
+
+
+@pytest.fixture
+def counties():
+    return Table(
+        "counties",
+        [Column("County"), Column("English Name"), Column("Irish Name"),
+         Column("Population", DataType.REAL), Column("Irish Speakers")],
+        [("Mayo", "Carrowteige", "Ceathru Thaidhg", 356, "64%"),
+         ("Galway", "Aran Islands", "Oileain Arann", 1225, "79%"),
+         ("Mayo", "Bangor", "Baingear", 410, "40%")],
+    )
+
+
+class TestSelect:
+    def test_plain_select_returns_sorted_cells(self, counties):
+        out = execute(parse_sql("SELECT County"), counties)
+        assert out == ["Galway", "Mayo", "Mayo"]
+
+    def test_where_eq_text_case_insensitive(self, counties):
+        out = execute(parse_sql('SELECT Population WHERE County = "mayo" '
+                                'AND English Name = "Carrowteige"'), counties)
+        assert out == [356]
+
+    def test_where_numeric_eq(self, counties):
+        out = execute(parse_sql("SELECT County WHERE Population = 1225"), counties)
+        assert out == ["Galway"]
+
+    def test_where_gt(self, counties):
+        out = execute(parse_sql("SELECT County WHERE Population > 400"), counties)
+        assert out == ["Galway", "Mayo"]
+
+    def test_where_lt(self, counties):
+        out = execute(parse_sql("SELECT English Name WHERE Population < 400"), counties)
+        assert out == ["Carrowteige"]
+
+    def test_counterfactual_value_matches_nothing(self, counties):
+        out = execute(parse_sql('SELECT Population WHERE County = "Kerry"'), counties)
+        assert out == []
+
+
+class TestAggregates:
+    def test_count(self, counties):
+        assert execute(parse_sql('SELECT COUNT(County) WHERE County = "Mayo"'),
+                       counties) == 2
+
+    def test_count_empty(self, counties):
+        assert execute(parse_sql('SELECT COUNT(County) WHERE County = "Kerry"'),
+                       counties) == 0
+
+    def test_max(self, counties):
+        assert execute(parse_sql("SELECT MAX(Population)"), counties) == 1225.0
+
+    def test_min(self, counties):
+        assert execute(parse_sql("SELECT MIN(Population)"), counties) == 356.0
+
+    def test_sum(self, counties):
+        assert execute(parse_sql('SELECT SUM(Population) WHERE County = "Mayo"'),
+                       counties) == 766.0
+
+    def test_avg(self, counties):
+        assert execute(parse_sql('SELECT AVG(Population) WHERE County = "Mayo"'),
+                       counties) == 383.0
+
+    def test_numeric_agg_on_empty_returns_none(self, counties):
+        assert execute(parse_sql('SELECT MAX(Population) WHERE County = "Kerry"'),
+                       counties) is None
+
+    def test_numeric_agg_on_text_raises(self, counties):
+        with pytest.raises(SQLExecutionError):
+            execute(parse_sql("SELECT SUM(County)"), counties)
+
+    def test_agg_on_numeric_strings_works(self):
+        table = Table("t", [Column("v")], [("10",), ("20",)])
+        assert execute(parse_sql("SELECT SUM(v)"), table) == 30.0
+
+
+class TestErrors:
+    def test_unknown_select_column(self, counties):
+        with pytest.raises(SQLExecutionError):
+            execute(parse_sql("SELECT Area"), counties)
+
+    def test_unknown_condition_column(self, counties):
+        with pytest.raises(SQLExecutionError):
+            execute(parse_sql('SELECT County WHERE Area > 10'), counties)
+
+    def test_gt_on_text_matches_nothing(self, counties):
+        out = execute(parse_sql('SELECT County WHERE English Name > 5'), counties)
+        assert out == []
+
+
+class TestResultsEqual:
+    def test_lists(self):
+        assert results_equal(["a", "b"], ["A ", "b"])
+        assert not results_equal(["a"], ["a", "a"])
+        assert not results_equal(["a"], "a")
+
+    def test_numbers_with_tolerance(self):
+        assert results_equal(1.0, 1.0 + 1e-12)
+        assert not results_equal(1.0, 1.1)
+
+    def test_none(self):
+        assert results_equal(None, None)
+        assert not results_equal(None, 0)
+
+    def test_mixed_numeric_types(self):
+        assert results_equal(5, 5.0)

@@ -1,0 +1,130 @@
+"""Property-based tests for the SQL engine invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sqlengine import (
+    Aggregate,
+    Column,
+    Condition,
+    DataType,
+    Operator,
+    Query,
+    Table,
+    execute,
+    parse_sql,
+    results_equal,
+)
+
+NAMES = st.sampled_from(["anna", "bob", "carol", "dave"])
+CITIES = st.sampled_from(["mayo", "cork", "oslo"])
+NUMBERS = st.integers(0, 1000)
+
+
+@st.composite
+def tables(draw):
+    n_rows = draw(st.integers(1, 8))
+    rows = [(draw(NAMES), draw(CITIES), draw(NUMBERS))
+            for _ in range(n_rows)]
+    return Table("t", [Column("name"), Column("city"),
+                       Column("pop", DataType.REAL)], rows)
+
+
+class TestExecutorProperties:
+    @given(tables(), CITIES)
+    @settings(max_examples=40, deadline=None)
+    def test_count_bounded_by_rows(self, table, city):
+        query = Query("name", Aggregate.COUNT,
+                      [Condition("city", Operator.EQ, city)])
+        count = execute(query, table)
+        assert 0 <= count <= len(table)
+
+    @given(tables())
+    @settings(max_examples=40, deadline=None)
+    def test_max_ge_min(self, table):
+        maximum = execute(Query("pop", Aggregate.MAX), table)
+        minimum = execute(Query("pop", Aggregate.MIN), table)
+        assert maximum >= minimum
+
+    @given(tables())
+    @settings(max_examples=40, deadline=None)
+    def test_avg_between_min_and_max(self, table):
+        avg = execute(Query("pop", Aggregate.AVG), table)
+        assert (execute(Query("pop", Aggregate.MIN), table) - 1e-9 <= avg
+                <= execute(Query("pop", Aggregate.MAX), table) + 1e-9)
+
+    @given(tables(), NUMBERS)
+    @settings(max_examples=40, deadline=None)
+    def test_gt_lt_partition(self, table, threshold):
+        gt = execute(Query("name", Aggregate.COUNT,
+                           [Condition("pop", Operator.GT, threshold)]), table)
+        lt = execute(Query("name", Aggregate.COUNT,
+                           [Condition("pop", Operator.LT, threshold)]), table)
+        eq = execute(Query("name", Aggregate.COUNT,
+                           [Condition("pop", Operator.EQ, threshold)]), table)
+        assert gt + lt + eq == len(table)
+
+    @given(tables(), CITIES)
+    @settings(max_examples=40, deadline=None)
+    def test_conjunction_narrows(self, table, city):
+        base = execute(Query("name", Aggregate.COUNT,
+                             [Condition("city", Operator.EQ, city)]), table)
+        narrowed = execute(Query("name", Aggregate.COUNT,
+                                 [Condition("city", Operator.EQ, city),
+                                  Condition("pop", Operator.GT, -1)]), table)
+        assert narrowed <= base
+
+    @given(tables(), CITIES)
+    @settings(max_examples=40, deadline=None)
+    def test_condition_order_irrelevant_to_execution(self, table, city):
+        a = Query("name", Aggregate.NONE,
+                  [Condition("city", Operator.EQ, city),
+                   Condition("pop", Operator.GT, 10)])
+        b = Query("name", Aggregate.NONE, list(reversed(a.conditions)))
+        assert results_equal(execute(a, table), execute(b, table))
+
+    @given(tables())
+    @settings(max_examples=30, deadline=None)
+    def test_roundtrip_sql_text_execution(self, table):
+        query = Query("city", Aggregate.NONE,
+                      [Condition("name", Operator.EQ, "anna")])
+        reparsed = parse_sql(query.to_sql())
+        assert results_equal(execute(query, table), execute(reparsed, table))
+
+
+class TestGeneratedDatasetProperties:
+    """Executing every generated gold query is safe and type-correct."""
+
+    @pytest.fixture(scope="class")
+    def examples(self):
+        from repro.data import generate_wikisql_style
+        ds = generate_wikisql_style(seed=9, train_size=80, dev_size=20,
+                                    test_size=20)
+        return ds.train + ds.dev + ds.test
+
+    def test_all_gold_queries_execute(self, examples):
+        for example in examples:
+            result = execute(example.query, example.table)
+            if example.query.aggregate is Aggregate.COUNT:
+                assert isinstance(result, int)
+
+    def test_equality_queries_from_table_rows_hit(self, examples):
+        """Non-counterfactual equality queries return at least one row."""
+        hits = misses = 0
+        for example in examples:
+            if example.query.aggregate is not Aggregate.NONE:
+                continue
+            if not all(c.operator is Operator.EQ
+                       for c in example.query.conditions):
+                continue
+            in_table = all(
+                str(c.value).lower() in
+                {str(v).lower()
+                 for v in example.table.column_values(c.column)}
+                for c in example.query.conditions)
+            result = execute(example.query, example.table)
+            if in_table and example.query.conditions:
+                hits += bool(result)
+        assert hits > 0

@@ -1,0 +1,105 @@
+"""Tests for the heuristic dependency parser and tree distances."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.text import parse_dependency, tokenize
+
+
+def tree_for(text):
+    tokens = tokenize(text)
+    return tokens, parse_dependency(tokens)
+
+
+def index_of(tokens, word):
+    return tokens.index(word)
+
+
+class TestTreeStructure:
+    def test_empty(self):
+        tree = parse_dependency([])
+        assert tree.tokens == []
+
+    def test_single_token(self):
+        tree = parse_dependency(["hello"])
+        assert tree.parents == [-1]
+        assert tree.root == 0
+
+    def test_exactly_one_root(self):
+        for text in ["Which film did he star in?",
+                     "How many people live in Mayo?",
+                     "name of the venue"]:
+            _, tree = tree_for(text)
+            assert tree.parents.count(-1) == 1
+
+    def test_all_tokens_reach_root(self):
+        tokens, tree = tree_for("Which film directed by Jerzy Antczak did "
+                                "Piotr Adamczyk star in?")
+        root = tree.root
+        for i in range(len(tokens)):
+            assert tree.distance(i, root) < len(tokens)
+
+    @given(st.lists(st.sampled_from(
+        ["which", "film", "directed", "by", "jerzy", "did", "star", "in",
+         "the", "venue", "2006", "?"]), min_size=1, max_size=10))
+    @settings(max_examples=50, deadline=None)
+    def test_any_token_list_yields_valid_tree(self, tokens):
+        tree = parse_dependency(tokens)
+        assert tree.parents.count(-1) == 1
+        root = tree.root
+        for i in range(len(tokens)):
+            assert tree.distance(i, root) <= len(tokens)
+
+
+class TestDistances:
+    def test_distance_symmetric(self):
+        tokens, tree = tree_for("Which film did Piotr Adamczyk star in?")
+        assert tree.distance(1, 4) == tree.distance(4, 1)
+
+    def test_distance_zero_to_self(self):
+        _, tree = tree_for("hello world")
+        assert tree.distance(0, 0) == 0
+
+    def test_paper_resolution_example(self):
+        """Values should sit structurally closer to their own column verb.
+
+        "Which film directed by Jerzy Antczak did Piotr Adamczyk star in?"
+        — "Jerzy Antczak" pairs with "directed" (Director) and
+        "Piotr Adamczyk" pairs with "star" (Actor).
+        """
+        tokens, tree = tree_for(
+            "Which film directed by Jerzy Antczak did Piotr Adamczyk star in?")
+        jerzy = index_of(tokens, "jerzy")
+        piotr = index_of(tokens, "piotr")
+        directed = index_of(tokens, "directed")
+        star = index_of(tokens, "star")
+        assert tree.distance(jerzy, directed) < tree.distance(jerzy, star)
+        assert tree.distance(piotr, star) < tree.distance(piotr, directed)
+
+    def test_preposition_object_attaches_to_preposition(self):
+        tokens, tree = tree_for("people live in Mayo")
+        mayo = index_of(tokens, "mayo")
+        in_idx = index_of(tokens, "in")
+        assert tree.parents[mayo] == in_idx
+
+    def test_multiword_entity_chains(self):
+        tokens, tree = tree_for("directed by Jerzy Antczak")
+        jerzy = index_of(tokens, "jerzy")
+        antczak = index_of(tokens, "antczak")
+        assert tree.parents[antczak] == jerzy
+
+    def test_span_distance(self):
+        tokens, tree = tree_for(
+            "Which film directed by Jerzy Antczak did Piotr Adamczyk star in?")
+        jerzy_span = (index_of(tokens, "jerzy"), index_of(tokens, "antczak") + 1)
+        directed_span = (index_of(tokens, "directed"), index_of(tokens, "directed") + 1)
+        star_span = (index_of(tokens, "star"), index_of(tokens, "star") + 1)
+        assert (tree.span_distance(jerzy_span, directed_span)
+                < tree.span_distance(jerzy_span, star_span))
+
+    def test_determiner_attaches_forward(self):
+        tokens, tree = tree_for("the venue opened")
+        the = index_of(tokens, "the")
+        venue = index_of(tokens, "venue")
+        assert tree.parents[the] == venue

@@ -1,0 +1,83 @@
+"""Tests for tokenization and character ids."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.text import CHAR_VOCAB_SIZE, char_ids, detokenize, normalize, tokenize
+
+
+class TestTokenize:
+    def test_basic_sentence(self):
+        assert tokenize("Which film did he star in?") == [
+            "which", "film", "did", "he", "star", "in", "?"]
+
+    def test_preserves_case_when_asked(self):
+        assert tokenize("Jerzy Antczak", lowercase=False) == ["Jerzy", "Antczak"]
+
+    def test_numbers_kept_whole(self):
+        assert tokenize("on November 16, 2006") == ["on", "november", "16", ",", "2006"]
+
+    def test_decimal(self):
+        assert "2.5" in tokenize("score of 2.5 points")
+
+    def test_season_span_single_token(self):
+        # Figure 7's third example depends on "2006-07" staying together.
+        assert "2006-07" in tokenize("the toronto team in 2006-07")
+
+    def test_percent(self):
+        assert "64%" in tokenize("speakers at 64%")
+
+    def test_contraction(self):
+        assert tokenize("who's the coach") == ["who's", "the", "coach"]
+
+    def test_empty(self):
+        assert tokenize("") == []
+        assert tokenize("   ") == []
+
+    def test_punctuation_separated(self):
+        assert tokenize("hello, world!") == ["hello", ",", "world", "!"]
+
+
+class TestDetokenize:
+    def test_roundtrip_simple(self):
+        text = "which film did he star in ?"
+        assert detokenize(tokenize(text)) == "which film did he star in?"
+
+    def test_empty(self):
+        assert detokenize([]) == ""
+
+    @given(st.lists(st.sampled_from(["film", "star", "2006", "the"]), max_size=6))
+    @settings(max_examples=25, deadline=None)
+    def test_tokenize_detokenize_stable(self, words):
+        text = " ".join(words)
+        assert tokenize(detokenize(tokenize(text))) == tokenize(text)
+
+
+class TestCharIds:
+    def test_in_range(self):
+        ids = char_ids("Antczak!")
+        assert all(0 <= i < CHAR_VOCAB_SIZE for i in ids)
+
+    def test_deterministic(self):
+        assert char_ids("abc") == char_ids("abc")
+
+    def test_distinct_chars_distinct_ids(self):
+        a, b = char_ids("a")[0], char_ids("b")[0]
+        assert a != b
+
+    def test_non_ascii_maps_to_unknown(self):
+        assert char_ids("é") == [0]
+
+    def test_empty_word_gets_placeholder(self):
+        assert char_ids("") == [0]
+
+    @given(st.text(min_size=1, max_size=20))
+    @settings(max_examples=50, deadline=None)
+    def test_length_preserved(self, word):
+        assert len(char_ids(word)) == len(word)
+
+
+class TestNormalize:
+    def test_lowers_and_collapses(self):
+        assert normalize("  Film   NAME ") == "film name"
