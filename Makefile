@@ -1,0 +1,22 @@
+# Developer entry points.  `make check` is the one-command gate: the
+# tier-1 test suite plus the serving smoke benchmark.
+
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: check test bench-serving bench
+
+# Tier-1: the full unit/integration/property suite.
+test:
+	$(PYTHON) -m pytest -x -q
+
+# Serving smoke benchmark: cold vs warm vs batched latency as JSON,
+# with the >=2x warm-speedup assertion, at the tiny smoke scale.
+bench-serving:
+	REPRO_BENCH_SCALE=smoke $(PYTHON) -m pytest benchmarks/bench_serving.py -q
+
+# Full paper-table benchmark suite (slow; standard scale by default).
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+check: test bench-serving

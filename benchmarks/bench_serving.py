@@ -1,0 +1,82 @@
+"""Serving-layer smoke benchmark: cold vs warm vs batched latency.
+
+Replays the dev slice through a :class:`TranslationService` three ways —
+cold (empty cache), warm (every request a cache hit), and batched via
+``translate_batch`` on a fresh service — and prints one JSON record with
+per-request latencies plus the service's own metrics snapshot.
+
+The assertion is deliberately generous: the warm path must be at least
+2× faster per request than the cold path (in practice it is orders of
+magnitude faster, since a hit skips annotation and beam search
+entirely).  Differential equality of the three paths is covered by
+``tests/serving/test_differential.py``; this module only watches the
+speed shape.
+"""
+
+from __future__ import annotations
+
+import json
+from time import perf_counter
+
+import common as C
+from repro.serving import TranslationService
+
+
+def _corpus():
+    examples = C.dataset().dev[:C.scale().eval_limit]
+    return [(e.question_tokens, e.table) for e in examples]
+
+
+def _per_request(seconds: float, n: int) -> float:
+    return seconds / max(n, 1)
+
+
+def test_serving_cold_warm_batched(benchmark):
+    model = C.full_nlidb()
+    corpus = _corpus()
+
+    def measure():
+        service = TranslationService(model)
+        start = perf_counter()
+        for question, table in corpus:
+            service.translate(question, table)
+        cold = perf_counter() - start
+
+        start = perf_counter()
+        for question, table in corpus:
+            service.translate(question, table)
+        warm = perf_counter() - start
+
+        batch_service = TranslationService(model)
+        start = perf_counter()
+        batch_service.translate_batch(corpus)
+        batched = perf_counter() - start
+        return cold, warm, batched, service.stats()
+
+    cold, warm, batched, stats = benchmark.pedantic(measure, rounds=1,
+                                                    iterations=1)
+    n = len(corpus)
+    record = {
+        "requests": n,
+        "cold_s_per_request": _per_request(cold, n),
+        "warm_s_per_request": _per_request(warm, n),
+        "batched_cold_s_per_request": _per_request(batched, n),
+        "warm_speedup": cold / max(warm, 1e-12),
+        "service_stats": stats,
+    }
+    print(json.dumps(record, indent=2, sort_keys=True))
+
+    C.print_header("Serving — cold vs warm vs batched (per request)")
+    C.print_row("cold", f"{record['cold_s_per_request'] * 1e3:.2f} ms")
+    C.print_row("warm (cache hit)",
+                f"{record['warm_s_per_request'] * 1e3:.2f} ms")
+    C.print_row("batched (cold cache)",
+                f"{record['batched_cold_s_per_request'] * 1e3:.2f} ms")
+    C.print_row("warm speedup", f"{record['warm_speedup']:.1f}x")
+
+    # Counters stay consistent across both services' traffic.
+    counters = stats["counters"]
+    assert counters["cache_hits"] + counters["cache_misses"] \
+        == counters["requests"]
+    # The warm path must beat cold by a wide margin; 2x is the floor.
+    assert record["warm_speedup"] >= 2.0

@@ -1,0 +1,72 @@
+"""A bounded, thread-safe LRU cache.
+
+Shared by the annotator's column-statistics cache and the serving
+layer's translation cache.  Kept dependency-free (``collections`` +
+``threading`` only) so any layer of the library may use it without
+import cycles.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Hashable
+
+__all__ = ["LRUCache"]
+
+_MISSING = object()
+
+
+class LRUCache:
+    """Least-recently-used mapping with a fixed capacity.
+
+    ``get`` promotes the entry to most-recently-used; ``put`` evicts the
+    least-recently-used entry once ``maxsize`` is exceeded.  All
+    operations take an internal lock, so one instance may be shared
+    across threads.
+    """
+
+    def __init__(self, maxsize: int = 128):
+        if maxsize < 1:
+            raise ValueError(f"maxsize must be >= 1, got {maxsize}")
+        self.maxsize = maxsize
+        self._data: OrderedDict = OrderedDict()
+        self._lock = threading.Lock()
+        self.evictions = 0
+
+    def get(self, key: Hashable, default=None):
+        """Return the cached value (promoting it), or ``default``."""
+        with self._lock:
+            value = self._data.get(key, _MISSING)
+            if value is _MISSING:
+                return default
+            self._data.move_to_end(key)
+            return value
+
+    def put(self, key: Hashable, value) -> None:
+        """Insert/overwrite an entry, evicting the LRU one if full."""
+        with self._lock:
+            if key in self._data:
+                self._data.move_to_end(key)
+            self._data[key] = value
+            if len(self._data) > self.maxsize:
+                self._data.popitem(last=False)
+                self.evictions += 1
+
+    def clear(self) -> None:
+        """Drop every entry (eviction counter is preserved)."""
+        with self._lock:
+            self._data.clear()
+
+    def __contains__(self, key: Hashable) -> bool:
+        with self._lock:
+            return key in self._data
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+    def keys(self) -> list:
+        """Current keys, least- to most-recently used (a snapshot)."""
+        with self._lock:
+            return list(self._data.keys())

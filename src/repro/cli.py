@@ -10,11 +10,13 @@ for the reproduction::
     python -m repro.cli query --model-dir model/ --data dev.jsonl \
         --question "which film has director jerzy antczak ?"
     python -m repro.cli repl --model-dir model/ --data dev.jsonl
+    python -m repro.cli serve-stats --model-dir model/ --data dev.jsonl
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro.core import NLIDB, NLIDBConfig, evaluate
@@ -22,6 +24,7 @@ from repro.core.persistence import load_nlidb, save_nlidb
 from repro.core.seq2seq.model import Seq2SeqConfig
 from repro.data import generate_wikisql_style, load_jsonl, save_jsonl
 from repro.errors import ReproError
+from repro.serving import TranslationService
 from repro.sqlengine import execute
 from repro.text import WordEmbeddings
 
@@ -64,6 +67,20 @@ def build_parser() -> argparse.ArgumentParser:
     repl = sub.add_parser("repl", help="interactive question loop")
     repl.add_argument("--model-dir", required=True)
     repl.add_argument("--data", required=True)
+
+    serve = sub.add_parser(
+        "serve-stats",
+        help="replay a dataset through the serving layer, print metrics")
+    serve.add_argument("--model-dir", required=True)
+    serve.add_argument("--data", required=True)
+    serve.add_argument("--limit", type=int, default=50,
+                       help="number of examples replayed per pass")
+    serve.add_argument("--passes", type=int, default=2,
+                       help="replay count; passes beyond the first hit "
+                            "the warm translation cache")
+    serve.add_argument("--batched", action="store_true",
+                       help="serve each pass through translate_batch()")
+    serve.add_argument("--cache-size", type=int, default=1024)
     return parser
 
 
@@ -149,12 +166,31 @@ def _cmd_repl(args) -> int:
     return 0
 
 
+def _cmd_serve_stats(args) -> int:
+    model = load_nlidb(args.model_dir)
+    examples = load_jsonl(args.data)[:args.limit]
+    if not examples:
+        print("dataset is empty", file=sys.stderr)
+        return 1
+    service = TranslationService(model, cache_size=args.cache_size)
+    for _ in range(max(args.passes, 1)):
+        if args.batched:
+            service.translate_batch(
+                [(e.question_tokens, e.table) for e in examples])
+        else:
+            for example in examples:
+                service.translate(example.question_tokens, example.table)
+    print(json.dumps(service.stats(), indent=2, sort_keys=True))
+    return 0
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "train": _cmd_train,
     "evaluate": _cmd_evaluate,
     "query": _cmd_query,
     "repl": _cmd_repl,
+    "serve-stats": _cmd_serve_stats,
 }
 
 

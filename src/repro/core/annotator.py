@@ -22,9 +22,10 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.caching import LRUCache
 from repro.data.records import Example
 from repro.errors import ModelError
-from repro.sqlengine import Table
+from repro.sqlengine import Table, table_fingerprint
 from repro.text import (
     KnowledgeBase,
     WordEmbeddings,
@@ -52,6 +53,11 @@ from repro.core.mention import (
 )
 
 __all__ = ["AnnotatorConfig", "Annotator"]
+
+#: Capacity of the per-annotator column-statistics cache.  Statistics
+#: are keyed by table *content* fingerprint, so the cache survives table
+#: object recreation but never outlives a data or schema edit.
+STATS_CACHE_SIZE = 64
 
 
 @dataclass
@@ -86,8 +92,7 @@ class Annotator:
             embeddings, classifier_config
             or ClassifierConfig(word_dim=embeddings.dim))
         self.value_classifier = ValueDetectionClassifier(embeddings)
-        self._column_stats_cache: dict[
-            int, tuple[Table, dict[str, np.ndarray]]] = {}
+        self._column_stats_cache = LRUCache(maxsize=STATS_CACHE_SIZE)
         self._fitted = False
 
     # ------------------------------------------------------------------
@@ -160,18 +165,20 @@ class Annotator:
     # ------------------------------------------------------------------
 
     def _stats_for(self, table: Table) -> dict[str, np.ndarray]:
-        # The cached table object is kept alive alongside its stats so
-        # a recycled id() can never serve stale statistics.
-        cached = self._column_stats_cache.get(id(table))
-        if cached is not None and cached[0] is table:
-            return cached[1]
-        stats = {
-            column.name.lower(): column_statistics(
-                table.column_values(column.name), self.embeddings.vector,
-                self.embeddings.dim)
-            for column in table.columns
-        }
-        self._column_stats_cache[id(table)] = (table, stats)
+        # Keyed by content fingerprint: a recreated-but-equal table hits
+        # the warm entry, while any mutation (new row, renamed column)
+        # changes the key and recomputes.  The bounded LRU keeps the
+        # cache from growing without limit under many-table traffic.
+        key = table_fingerprint(table)
+        stats = self._column_stats_cache.get(key)
+        if stats is None:
+            stats = {
+                column.name.lower(): column_statistics(
+                    table.column_values(column.name), self.embeddings.vector,
+                    self.embeddings.dim)
+                for column in table.columns
+            }
+            self._column_stats_cache.put(key, stats)
         return stats
 
     @staticmethod

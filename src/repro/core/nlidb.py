@@ -10,6 +10,8 @@ domains never seen in training (the transfer-learnability claim).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Callable
 
 from repro.data.records import Example
 from repro.errors import AnnotationError, ModelError, ReproError
@@ -63,6 +65,27 @@ class Translation:
     annotation: AnnotatedQuestion
     error: str | None = None
 
+    def signature(self) -> tuple:
+        """A hashable summary of the translation *outcome*.
+
+        Two translations with equal signatures produced the same
+        canonical query (or the same failure), the same annotated
+        question tokens, and the same predicted annotated SQL —
+        regardless of which table *object* they were computed against.
+        The serving layer's differential tests compare cached/batched
+        results to direct ones through this view.
+        """
+        return (
+            self.query.canonical() if self.query is not None else None,
+            tuple(self.annotated_tokens),
+            tuple(self.predicted_annotated_sql),
+            self.error,
+        )
+
+    def result_equal(self, other: "Translation") -> bool:
+        """Stable outcome equality (see :meth:`signature`)."""
+        return self.signature() == other.signature()
+
 
 class NLIDB:
     """Natural language interface for databases (the paper's system)."""
@@ -83,6 +106,10 @@ class NLIDB:
         # in a TransformerTranslator with the same fit/translate API.
         self.translator = translator or AnnotatedSeq2Seq(self.embeddings,
                                                          self.config.seq2seq)
+        # Optional observer called as ``stage_timer(stage, seconds)``
+        # with stage ∈ {"annotate", "translate", "recover"} on every
+        # :meth:`translate` call — the serving layer's metrics hook.
+        self.stage_timer: Callable[[str, float], None] | None = None
         self._fitted = False
 
     # ------------------------------------------------------------------
@@ -135,7 +162,7 @@ class NLIDB:
             annotation, example.query,
             header_encoding=self.config.header_encoding)
         return TrainingPair(source=source, target=target,
-                            header_tokens=self._header_tokens(example.table),
+                            header_tokens=self.header_tokens(example.table),
                             extra_symbols=self._symbols(annotation))
 
     @staticmethod
@@ -145,7 +172,12 @@ class NLIDB:
         return tuple(symbols)
 
     @staticmethod
-    def _header_tokens(table: Table) -> list[str]:
+    def header_tokens(table: Table) -> list[str]:
+        """Tokenized column headers fed to the translator's copy space.
+
+        Public so the serving layer's batch path can compute them once
+        per table and pass them to :meth:`predict_annotated`.
+        """
         tokens: list[str] = []
         for name in table.column_names:
             tokens.extend(tokenize(name))
@@ -155,23 +187,39 @@ class NLIDB:
     # Inference
     # ------------------------------------------------------------------
 
-    def translate(self, question: str | list[str], table: Table,
-                  beam_width: int | None = None) -> Translation:
-        """Translate a question into an executable SQL query.
+    def annotate(self, question: str | list[str],
+                 table: Table) -> AnnotatedQuestion:
+        """Stage 1, ``q → qᵃ``: run the annotation pipeline."""
+        return self.annotator.annotate(question, table)
+
+    def predict_annotated(self, annotation: AnnotatedQuestion,
+                          beam_width: int | None = None,
+                          header_tokens: list[str] | None = None,
+                          ) -> tuple[list[str], list[str]]:
+        """Stage 2, ``qᵃ → sᵃ``: encode and beam-decode one annotation.
+
+        Returns ``(source_tokens, predicted_annotated_sql)``.  Pass
+        ``header_tokens`` to reuse a precomputed header encoding (the
+        serving batch path computes it once per table per batch).
+        """
+        source = annotation.annotated_tokens(
+            append=self.config.column_name_appending,
+            header_encoding=self.config.header_encoding)
+        if header_tokens is None:
+            header_tokens = self.header_tokens(annotation.table)
+        predicted = self.translator.translate(
+            source, header_tokens,
+            extra_symbols=self._symbols(annotation), beam_width=beam_width)
+        return source, predicted
+
+    def recover(self, source: list[str], predicted: list[str],
+                annotation: AnnotatedQuestion) -> Translation:
+        """Stage 3, ``sᵃ → s``: resolve symbols into a real query.
 
         Never raises on model errors: a failed recovery yields a
         :class:`Translation` with ``query=None`` and the error message,
         which the metrics count as incorrect.
         """
-        if not self._fitted:
-            raise ModelError("translate() called before fit()")
-        annotation = self.annotator.annotate(question, table)
-        source = annotation.annotated_tokens(
-            append=self.config.column_name_appending,
-            header_encoding=self.config.header_encoding)
-        predicted = self.translator.translate(
-            source, self._header_tokens(table),
-            extra_symbols=self._symbols(annotation), beam_width=beam_width)
         try:
             query = recover_sql(predicted, annotation)
         except AnnotationError as exc:
@@ -181,6 +229,30 @@ class NLIDB:
         return Translation(query=query, annotated_tokens=source,
                            predicted_annotated_sql=predicted,
                            annotation=annotation)
+
+    def translate(self, question: str | list[str], table: Table,
+                  beam_width: int | None = None) -> Translation:
+        """Translate a question into an executable SQL query.
+
+        Composes the three stages (annotate → translate → recover); an
+        attached :attr:`stage_timer` observes each stage's wall time.
+        """
+        if not self._fitted:
+            raise ModelError("translate() called before fit()")
+        start = perf_counter()
+        annotation = self.annotate(question, table)
+        self._emit("annotate", start)
+        start = perf_counter()
+        source, predicted = self.predict_annotated(annotation, beam_width)
+        self._emit("translate", start)
+        start = perf_counter()
+        translation = self.recover(source, predicted, annotation)
+        self._emit("recover", start)
+        return translation
+
+    def _emit(self, stage: str, start: float) -> None:
+        if self.stage_timer is not None:
+            self.stage_timer(stage, perf_counter() - start)
 
     def to_sql(self, question: str | list[str], table: Table) -> str:
         """Convenience: question text in, SQL text out.

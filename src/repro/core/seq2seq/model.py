@@ -22,6 +22,7 @@ zero-shot transfer to unseen domains possible.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from time import perf_counter
 
 import numpy as np
 
@@ -106,6 +107,10 @@ class AnnotatedSeq2Seq(Module):
         self.att_v = Linear(cfg.attention_dim, 1, rng, bias=False)
         # Output: project [d_i, β_i] into embedding space (tied weights).
         self.out_proj = Linear(2 * enc_dim, dim, rng)
+        # Optional observer called as ``timing_hook(stage, seconds)``
+        # with stage ∈ {"encode", "beam_search"} on every translate()
+        # call (the serving layer's latency histograms attach here).
+        self.timing_hook = None
         self._fitted = False
 
     # ------------------------------------------------------------------
@@ -270,12 +275,16 @@ class AnnotatedSeq2Seq(Module):
         width = beam_width or self.config.beam_width
         candidates = build_candidates(source, header_tokens, extra_symbols)
         with no_grad():
+            start = perf_counter()
             states = self.encode(source)
             memory = concat(states, axis=0)
             memory_proj = self.att_memory(memory)
             candidate_matrix = self.embedder.candidate_matrix(candidates)
             copy_map = self._copy_map(candidates, source)
+            if self.timing_hook is not None:
+                self.timing_hook("encode", perf_counter() - start)
 
+            start = perf_counter()
             d0 = self._initial_state(states)
             _, context0 = self._attend(memory, memory_proj, d0)
             beams = [(0.0, [], d0, context0, None)]  # (nll, tokens, d, ctx, prev)
@@ -309,5 +318,7 @@ class AnnotatedSeq2Seq(Module):
             if not finished:
                 finished = [(nll / max(len(tokens), 1), tokens)
                             for nll, tokens, *_ in beams]
+            if self.timing_hook is not None:
+                self.timing_hook("beam_search", perf_counter() - start)
         finished.sort(key=lambda b: b[0])
         return finished[0][1]

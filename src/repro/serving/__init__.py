@@ -1,0 +1,26 @@
+"""Serving layer: batched, cached, metered NLIDB translation.
+
+The paper's pipeline is a per-question function; this package turns a
+trained :class:`~repro.core.nlidb.NLIDB` into a *service* — the form
+factor the NLIDB literature (NaLIR, DBPal) deploys — with a bounded
+LRU translation cache keyed on table content, same-table request
+batching, and a metrics registry.  See
+:class:`~repro.serving.service.TranslationService`.
+"""
+
+from repro.serving.metrics import MetricsRegistry
+from repro.serving.requests import (
+    TranslationRequest,
+    as_request,
+    normalize_question,
+)
+from repro.serving.service import DEFAULT_CACHE_SIZE, TranslationService
+
+# Re-exported for convenience: the cache key's table component.
+from repro.sqlengine import table_fingerprint
+
+__all__ = [
+    "TranslationService", "DEFAULT_CACHE_SIZE",
+    "TranslationRequest", "as_request", "normalize_question",
+    "MetricsRegistry", "table_fingerprint",
+]

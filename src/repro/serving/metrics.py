@@ -1,0 +1,108 @@
+"""Lightweight serving metrics: counters and latency histograms.
+
+Everything is plain Python behind one lock — no external metrics
+dependency — and a :meth:`MetricsRegistry.snapshot` is a plain,
+JSON-serializable dict, printed verbatim by ``repro.cli serve-stats``
+and asserted on by the serving tests.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from time import perf_counter
+
+__all__ = ["MetricsRegistry"]
+
+
+class _Histogram:
+    """Streaming summary of one latency series (seconds)."""
+
+    __slots__ = ("count", "total", "min", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = 0.0
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        self.min = min(self.min, value)
+        self.max = max(self.max, value)
+
+    def summary(self) -> dict:
+        if not self.count:
+            return {"count": 0, "total_s": 0.0, "mean_s": 0.0,
+                    "min_s": 0.0, "max_s": 0.0}
+        return {
+            "count": self.count,
+            "total_s": self.total,
+            "mean_s": self.total / self.count,
+            "min_s": self.min,
+            "max_s": self.max,
+        }
+
+
+class MetricsRegistry:
+    """Named counters and histograms with a consistent dict snapshot.
+
+    Thread-safe: increments, observations, and snapshots all hold one
+    internal lock, so ``snapshot()`` never sees a half-applied update.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, int] = {}
+        self._histograms: dict[str, _Histogram] = {}
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+
+    def increment(self, name: str, amount: int = 1) -> None:
+        """Add ``amount`` to counter ``name`` (created at zero)."""
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + amount
+
+    def observe(self, name: str, seconds: float) -> None:
+        """Record one latency sample into histogram ``name``."""
+        with self._lock:
+            histogram = self._histograms.get(name)
+            if histogram is None:
+                histogram = self._histograms[name] = _Histogram()
+            histogram.observe(seconds)
+
+    @contextmanager
+    def time(self, name: str):
+        """Context manager recording the block's wall time into ``name``."""
+        start = perf_counter()
+        try:
+            yield
+        finally:
+            self.observe(name, perf_counter() - start)
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+
+    def counter(self, name: str) -> int:
+        """Current value of one counter (0 if never incremented)."""
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    def snapshot(self) -> dict:
+        """Plain-dict view: ``{"counters": {...}, "histograms": {...}}``."""
+        with self._lock:
+            return {
+                "counters": dict(sorted(self._counters.items())),
+                "histograms": {name: hist.summary() for name, hist
+                               in sorted(self._histograms.items())},
+            }
+
+    def reset(self) -> None:
+        """Zero every counter and histogram."""
+        with self._lock:
+            self._counters.clear()
+            self._histograms.clear()

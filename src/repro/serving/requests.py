@@ -1,0 +1,59 @@
+"""Request/response shapes for the serving layer.
+
+A :class:`TranslationRequest` names one unit of work — a question
+against a table at some beam width.  ``translate_batch`` also accepts
+plain ``(question, table)`` / ``(question, table, beam_width)`` tuples;
+:func:`as_request` normalizes either form.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+from repro.sqlengine import Table
+from repro.text import tokenize
+
+__all__ = ["TranslationRequest", "as_request", "normalize_question"]
+
+
+def normalize_question(question: str | list[str] | tuple[str, ...],
+                       ) -> tuple[str, ...]:
+    """Canonical token tuple of a question (cache-key form).
+
+    A raw string and its token list normalize identically, so
+    ``service.translate("max speed ?", t)`` hits the entry warmed by
+    ``service.translate(["max", "speed", "?"], t)`` and vice versa.
+    """
+    if isinstance(question, str):
+        return tuple(tokenize(question))
+    return tuple(question)
+
+
+@dataclass(frozen=True)
+class TranslationRequest:
+    """One serving request.
+
+    ``beam_width=None`` means the model's configured default; requests
+    differing only in an *explicit vs defaulted* equal beam width still
+    share a cache entry (the service resolves the width before keying).
+    """
+
+    question: str | tuple[str, ...]
+    table: Table
+    beam_width: int | None = None
+
+
+def as_request(item) -> TranslationRequest:
+    """Coerce a request-like item into a :class:`TranslationRequest`."""
+    if isinstance(item, TranslationRequest):
+        return item
+    if isinstance(item, (tuple, list)) and len(item) in (2, 3):
+        question, table = item[0], item[1]
+        beam_width = item[2] if len(item) == 3 else None
+        if isinstance(table, Table):
+            return TranslationRequest(question=question, table=table,
+                                      beam_width=beam_width)
+    raise ReproError(
+        f"cannot interpret {item!r} as a translation request; expected "
+        "TranslationRequest or (question, table[, beam_width])")

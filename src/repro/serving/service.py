@@ -1,0 +1,194 @@
+"""The batched, cached serving layer over a trained :class:`NLIDB`.
+
+The paper evaluates the pipeline one question at a time; a deployed
+NLIDB (the DBPal / NaLIR framing) instead sees *traffic*: many
+questions, a few hot tables, and strict latency expectations.
+:class:`TranslationService` adds the serving machinery without touching
+model semantics:
+
+* a bounded LRU **translation cache** keyed on
+  ``(question tokens, table content fingerprint, beam width)`` — a
+  repeat question against content-equal table data is answered without
+  re-running annotation or beam search, and any table edit changes the
+  fingerprint and so misses cleanly;
+* :meth:`TranslationService.translate_batch`, which groups same-table
+  requests so per-table work (annotation column statistics, the header
+  encoding) is computed once per table per batch;
+* a :class:`~repro.serving.metrics.MetricsRegistry` counting requests,
+  cache hits/misses, and failures, with per-stage latency histograms
+  (annotate / translate / recover, plus the translator's own
+  encode / beam-search split when available).
+
+Thread safety: the numpy substrate's ``no_grad`` flips a module-global
+flag, so *model* inference is serialized behind one lock; cache hits
+never take that lock and therefore proceed concurrently.  Every
+returned :class:`~repro.core.nlidb.Translation` may be shared between
+callers — treat it as immutable.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.caching import LRUCache
+from repro.core.nlidb import NLIDB, Translation
+from repro.errors import ModelError
+from repro.sqlengine import Table, table_fingerprint
+
+from repro.serving.metrics import MetricsRegistry
+from repro.serving.requests import (
+    TranslationRequest,
+    as_request,
+    normalize_question,
+)
+
+__all__ = ["TranslationService", "DEFAULT_CACHE_SIZE"]
+
+DEFAULT_CACHE_SIZE = 1024
+
+
+class TranslationService:
+    """Serve ``translate`` requests with caching, batching, and metrics.
+
+    Parameters
+    ----------
+    nlidb:
+        A *fitted* :class:`NLIDB`.  The service attaches the
+        translator's ``timing_hook`` (when present) to its own metrics;
+        direct use of the same model object elsewhere will then also be
+        recorded here.
+    cache_size:
+        Capacity of the translation LRU cache.
+    metrics:
+        Optional shared registry; by default each service owns one.
+    """
+
+    def __init__(self, nlidb: NLIDB, cache_size: int = DEFAULT_CACHE_SIZE,
+                 metrics: MetricsRegistry | None = None):
+        if not getattr(nlidb, "_fitted", False):
+            raise ModelError("TranslationService needs a fitted NLIDB")
+        self.nlidb = nlidb
+        self.metrics = metrics or MetricsRegistry()
+        self._cache = LRUCache(maxsize=cache_size)
+        self._model_lock = threading.Lock()
+        translator = nlidb.translator
+        if hasattr(translator, "timing_hook"):
+            translator.timing_hook = self._record_translator_stage
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def translate(self, question: str | list[str], table: Table,
+                  beam_width: int | None = None) -> Translation:
+        """Translate one question, consulting the cache first."""
+        return self._serve(question, table, beam_width,
+                           table_fingerprint(table))
+
+    def translate_batch(self, requests) -> list[Translation]:
+        """Translate many requests, grouping same-table work.
+
+        ``requests`` is a sequence of :class:`TranslationRequest` or
+        ``(question, table[, beam_width])`` tuples.  Results come back
+        in input order and are identical to calling :meth:`translate`
+        per item; grouping only changes *how much* per-table work
+        (column statistics, header encodings) is recomputed.
+        """
+        batch = [as_request(item) for item in requests]
+        self.metrics.increment("batches")
+        self.metrics.increment("batch_requests", len(batch))
+        results: list[Translation | None] = [None] * len(batch)
+
+        groups: dict[str, list[int]] = {}
+        fingerprints: list[str] = []
+        for i, request in enumerate(batch):
+            fingerprint = table_fingerprint(request.table)
+            fingerprints.append(fingerprint)
+            groups.setdefault(fingerprint, []).append(i)
+
+        for fingerprint, indices in groups.items():
+            header_tokens: list[str] | None = None
+            for i in indices:
+                request = batch[i]
+                if header_tokens is None:
+                    header_tokens = self.nlidb.header_tokens(request.table)
+                results[i] = self._serve(request.question, request.table,
+                                         request.beam_width, fingerprint,
+                                         header_tokens=header_tokens)
+        return results  # fully populated: every index was served
+
+    def fingerprint(self, table: Table) -> str:
+        """The cache-key fingerprint of a table (content hash)."""
+        return table_fingerprint(table)
+
+    def stats(self) -> dict:
+        """Metrics snapshot plus cache occupancy, as a plain dict."""
+        snapshot = self.metrics.snapshot()
+        snapshot["cache"] = {
+            "size": len(self._cache),
+            "maxsize": self._cache.maxsize,
+            "evictions": self._cache.evictions,
+        }
+        return snapshot
+
+    def clear_cache(self) -> None:
+        """Drop every cached translation (metrics are kept)."""
+        self._cache.clear()
+
+    # ------------------------------------------------------------------
+    # Serving core
+    # ------------------------------------------------------------------
+
+    def _serve(self, question, table: Table, beam_width: int | None,
+               fingerprint: str,
+               header_tokens: list[str] | None = None) -> Translation:
+        self.metrics.increment("requests")
+        key = (normalize_question(question), fingerprint,
+               self._resolve_width(beam_width))
+        cached = self._cache.get(key)
+        if cached is not None:
+            self.metrics.increment("cache_hits")
+            return cached
+        with self._model_lock:
+            # Re-check: another thread may have computed this key while
+            # we waited for the model; counting it as a hit keeps
+            # hits + misses == requests exact under concurrency.
+            cached = self._cache.get(key)
+            if cached is not None:
+                self.metrics.increment("cache_hits")
+                return cached
+            self.metrics.increment("cache_misses")
+            translation = self._compute(list(key[0]), table, beam_width,
+                                        header_tokens)
+            self._cache.put(key, translation)
+            return translation
+
+    def _compute(self, question_tokens: list[str], table: Table,
+                 beam_width: int | None,
+                 header_tokens: list[str] | None) -> Translation:
+        # Caller holds the model lock (the substrate's grad-mode flag is
+        # process-global, so inference must not interleave).
+        try:
+            with self.metrics.time("annotate"):
+                annotation = self.nlidb.annotate(question_tokens, table)
+        except ModelError:
+            self.metrics.increment("annotation_failures")
+            raise
+        with self.metrics.time("translate"):
+            source, predicted = self.nlidb.predict_annotated(
+                annotation, beam_width, header_tokens=header_tokens)
+        with self.metrics.time("recover"):
+            translation = self.nlidb.recover(source, predicted, annotation)
+        if translation.error is not None:
+            self.metrics.increment("recovery_failures")
+        return translation
+
+    def _resolve_width(self, beam_width: int | None) -> int | None:
+        if beam_width is not None:
+            return beam_width
+        # Explicitly passing the configured default must share the
+        # defaulted entry, so resolve before keying.
+        return getattr(self.nlidb.translator.config, "beam_width", None)
+
+    def _record_translator_stage(self, stage: str, seconds: float) -> None:
+        self.metrics.observe(f"seq2seq.{stage}", seconds)

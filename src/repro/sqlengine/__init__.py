@@ -8,6 +8,7 @@ scoring).
 from repro.sqlengine.ast import Condition, Query
 from repro.sqlengine.canonical import canonical_equal, canonicalize
 from repro.sqlengine.executor import execute, results_equal
+from repro.sqlengine.fingerprint import table_fingerprint
 from repro.sqlengine.parser import parse_sql
 from repro.sqlengine.table import Column, Database, Table
 from repro.sqlengine.types import Aggregate, DataType, Operator
@@ -18,4 +19,5 @@ __all__ = [
     "Condition", "Query",
     "parse_sql", "execute", "results_equal",
     "canonicalize", "canonical_equal",
+    "table_fingerprint",
 ]

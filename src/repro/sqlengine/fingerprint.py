@@ -1,0 +1,60 @@
+"""Content fingerprints for tables.
+
+A fingerprint is a hex digest over a table's *content* — ordered column
+names, column types, and every cell value in row order.  Two tables with
+identical content hash identically regardless of object identity or the
+table's name, and any change to a column name, a column type, or a cell
+value produces a different digest.  The digest is computed with
+:mod:`hashlib`, so it is stable across processes (unlike the built-in
+``hash()``, which is salted per interpreter).
+
+The serving layer keys its translation cache on this fingerprint, and
+the annotator keys its column-statistics cache on it, so recreating an
+equal table (e.g. after reloading a dataset) still hits warm entries
+while any schema or data edit is an automatic invalidation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.sqlengine.table import Table
+
+__all__ = ["table_fingerprint"]
+
+_SEPARATOR = b"\x00"
+
+
+def _feed(digest, part: str) -> None:
+    # Length-prefix every field so concatenations cannot collide
+    # ("ab"+"c" vs "a"+"bc") and type tags stay unambiguous.
+    data = part.encode("utf-8")
+    digest.update(str(len(data)).encode("ascii"))
+    digest.update(_SEPARATOR)
+    digest.update(data)
+
+
+def _feed_cell(digest, cell) -> None:
+    # Tag the Python type so 1, 1.0, "1", and True all hash apart.
+    _feed(digest, type(cell).__name__)
+    _feed(digest, str(cell))
+
+
+def table_fingerprint(table: Table) -> str:
+    """Hex digest of a table's columns, types, and rows.
+
+    The table *name* is deliberately excluded: annotation and
+    translation depend only on schema and data, so content-equal tables
+    under different names may share cached work.
+    """
+    digest = hashlib.sha256()
+    digest.update(b"schema")
+    for column in table.columns:
+        _feed(digest, column.name)
+        _feed(digest, column.dtype.value)
+    digest.update(b"rows")
+    for row in table.rows:
+        digest.update(b"row")
+        for cell in row:
+            _feed_cell(digest, cell)
+    return digest.hexdigest()

@@ -1,0 +1,71 @@
+"""Regression tests for the annotator's column-statistics cache.
+
+The cache used to be keyed on ``id(table)``: CPython reuses id values
+after garbage collection, so a brand-new table could land on a dead
+entry's slot, and the dict grew without bound.  It is now keyed on the
+table *content fingerprint* with a bounded LRU — these tests pin the
+invalidation and bounding behaviour.
+"""
+
+from repro.core.annotator import STATS_CACHE_SIZE, Annotator
+from repro.sqlengine import Column, DataType, Table
+from repro.text import WordEmbeddings
+
+EMB = WordEmbeddings(dim=16, seed=0)
+
+
+def make_table(name="films", rows=None):
+    return Table(name, [Column("film"), Column("year", DataType.REAL)],
+                 rows if rows is not None
+                 else [("solaris", 1972), ("stalker", 1979)])
+
+
+class TestStatsCache:
+    def test_content_equal_recreated_table_shares_entry(self):
+        annotator = Annotator(EMB)
+        stats_a = annotator._stats_for(make_table())
+        stats_b = annotator._stats_for(make_table(name="films_reloaded"))
+        assert stats_b is stats_a  # one computation, one entry
+        assert len(annotator._column_stats_cache) == 1
+
+    def test_mutating_a_table_invalidates_the_entry(self):
+        annotator = Annotator(EMB)
+        table = make_table()
+        before = annotator._stats_for(table)
+        table.insert(("mirror", 1975))
+        after = annotator._stats_for(table)
+        assert after is not before
+        assert len(annotator._column_stats_cache) == 2
+
+    def test_dead_object_slot_cannot_be_hit_by_a_new_table(self):
+        """The id()-reuse hazard: a new table created after another was
+        collected must get its own statistics, not the dead entry's."""
+        annotator = Annotator(EMB)
+        vals = {}
+        # Churn through many short-lived tables with distinct content;
+        # under id() keying some of these would collide on recycled ids.
+        for i in range(32):
+            table = make_table(rows=[(f"film{i}", 1900 + i)])
+            stats = annotator._stats_for(table)
+            vals[i] = stats["year"].tobytes()
+            del table
+        # Distinct content produced distinct year statistics throughout.
+        assert len(set(vals.values())) == 32
+
+    def test_cache_is_bounded(self):
+        annotator = Annotator(EMB)
+        for i in range(STATS_CACHE_SIZE + 16):
+            annotator._stats_for(make_table(rows=[(f"film{i}", i)]))
+        assert len(annotator._column_stats_cache) == STATS_CACHE_SIZE
+        assert annotator._column_stats_cache.evictions == 16
+
+    def test_renamed_column_invalidates(self):
+        annotator = Annotator(EMB)
+        table = make_table()
+        annotator._stats_for(table)
+        renamed = Table("films", [Column("movie"), Column("year",
+                                                          DataType.REAL)],
+                        list(table.rows))
+        stats = annotator._stats_for(renamed)
+        assert "movie" in stats
+        assert len(annotator._column_stats_cache) == 2

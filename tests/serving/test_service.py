@@ -1,0 +1,273 @@
+"""Unit tests for the serving building blocks.
+
+These use a stub translator (no training) so cache semantics, metrics
+bookkeeping, and request normalization are exercised in milliseconds;
+the trained-model behaviour is covered by the differential suite.
+"""
+
+import json
+
+import pytest
+
+from repro.caching import LRUCache
+from repro.core import NLIDB, NLIDBConfig
+from repro.errors import ModelError, ReproError
+from repro.serving import (
+    MetricsRegistry,
+    TranslationRequest,
+    TranslationService,
+    as_request,
+    normalize_question,
+)
+from repro.sqlengine import Column, DataType, Table
+from repro.text import WordEmbeddings
+
+EMB = WordEmbeddings(dim=16, seed=0)
+
+
+class StubTranslator:
+    """Deterministic translator standing in for the seq2seq model."""
+
+    def __init__(self, output=("select", "g1")):
+        self.output = list(output)
+        self.calls = 0
+
+        class _Config:
+            beam_width = 5
+        self.config = _Config()
+
+    def translate(self, source, header_tokens, extra_symbols=(),
+                  beam_width=None):
+        self.calls += 1
+        return list(self.output)
+
+
+def make_table(name="films", rows=None):
+    return Table(name, [Column("film"), Column("director"),
+                        Column("year", DataType.REAL)],
+                 rows if rows is not None
+                 else [("solaris", "tarkovsky", 1972),
+                       ("stalker", "tarkovsky", 1979)])
+
+
+@pytest.fixture
+def stub():
+    return StubTranslator()
+
+
+@pytest.fixture
+def stub_service(stub):
+    model = NLIDB(EMB, NLIDBConfig(), translator=stub)
+    model._fitted = True  # annotator runs matcher-only when untrained
+    return TranslationService(model, cache_size=8)
+
+
+QUESTION = "which film has director tarkovsky ?"
+
+
+class TestLRUCache:
+    def test_eviction_is_least_recently_used(self):
+        cache = LRUCache(maxsize=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # promotes "a"
+        cache.put("c", 3)
+        assert "b" not in cache
+        assert cache.get("a") == 1 and cache.get("c") == 3
+        assert cache.evictions == 1
+
+    def test_overwrite_does_not_evict(self):
+        cache = LRUCache(maxsize=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)
+        assert len(cache) == 2
+        assert cache.get("a") == 10
+        assert cache.evictions == 0
+
+    def test_clear_and_len(self):
+        cache = LRUCache(maxsize=4)
+        for i in range(4):
+            cache.put(i, i)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.get(0) is None
+
+    def test_maxsize_validated(self):
+        with pytest.raises(ValueError):
+            LRUCache(maxsize=0)
+
+
+class TestMetricsRegistry:
+    def test_counters_and_snapshot(self):
+        metrics = MetricsRegistry()
+        metrics.increment("requests")
+        metrics.increment("requests", 2)
+        metrics.observe("annotate", 0.25)
+        metrics.observe("annotate", 0.75)
+        snap = metrics.snapshot()
+        assert snap["counters"]["requests"] == 3
+        hist = snap["histograms"]["annotate"]
+        assert hist["count"] == 2
+        assert hist["mean_s"] == pytest.approx(0.5)
+        assert hist["min_s"] == 0.25 and hist["max_s"] == 0.75
+
+    def test_time_context_records_a_sample(self):
+        metrics = MetricsRegistry()
+        with metrics.time("block"):
+            pass
+        assert metrics.snapshot()["histograms"]["block"]["count"] == 1
+
+    def test_reset(self):
+        metrics = MetricsRegistry()
+        metrics.increment("x")
+        metrics.observe("y", 1.0)
+        metrics.reset()
+        assert metrics.snapshot() == {"counters": {}, "histograms": {}}
+
+    def test_snapshot_is_json_serializable(self):
+        metrics = MetricsRegistry()
+        metrics.increment("requests")
+        metrics.observe("annotate", 0.1)
+        json.dumps(metrics.snapshot())
+
+
+class TestRequestNormalization:
+    def test_string_and_tokens_normalize_identically(self):
+        assert normalize_question(QUESTION) \
+            == normalize_question(QUESTION.split())
+
+    def test_as_request_accepts_tuples(self):
+        table = make_table()
+        request = as_request((QUESTION, table))
+        assert request == TranslationRequest(QUESTION, table)
+        widened = as_request((QUESTION, table, 3))
+        assert widened.beam_width == 3
+
+    def test_as_request_rejects_junk(self):
+        with pytest.raises(ReproError):
+            as_request("just a string")
+        with pytest.raises(ReproError):
+            as_request((QUESTION, "not a table"))
+
+
+class TestServiceCache:
+    def test_requires_fitted_model(self, stub):
+        model = NLIDB(EMB, NLIDBConfig(), translator=stub)
+        with pytest.raises(ModelError):
+            TranslationService(model)
+
+    def test_repeat_question_skips_the_model(self, stub_service, stub):
+        table = make_table()
+        first = stub_service.translate(QUESTION, table)
+        second = stub_service.translate(QUESTION, table)
+        assert stub.calls == 1
+        assert second is first  # the cached object itself
+        assert stub_service.metrics.counter("cache_hits") == 1
+
+    def test_content_equal_table_object_hits(self, stub_service, stub):
+        stub_service.translate(QUESTION, make_table())
+        replica = make_table(name="films_reloaded")
+        stub_service.translate(QUESTION, replica)
+        assert stub.calls == 1
+
+    def test_mutated_table_misses(self, stub_service, stub):
+        table = make_table()
+        stub_service.translate(QUESTION, table)
+        table.insert(("mirror", "tarkovsky", 1975))
+        stub_service.translate(QUESTION, table)
+        assert stub.calls == 2
+        assert stub_service.metrics.counter("cache_misses") == 2
+
+    def test_beam_width_is_part_of_the_key(self, stub_service, stub):
+        table = make_table()
+        stub_service.translate(QUESTION, table)
+        stub_service.translate(QUESTION, table, beam_width=2)
+        assert stub.calls == 2
+        # An explicit width equal to the configured default shares the
+        # defaulted entry.
+        stub_service.translate(QUESTION, table,
+                               beam_width=stub.config.beam_width)
+        assert stub.calls == 2
+
+    def test_bounded_cache_recomputes_after_eviction(self, stub):
+        model = NLIDB(EMB, NLIDBConfig(), translator=stub)
+        model._fitted = True
+        service = TranslationService(model, cache_size=2)
+        tables = [make_table(rows=[(f"film{i}", "x", i)]) for i in range(3)]
+        for table in tables:
+            service.translate(QUESTION, table)
+        service.translate(QUESTION, tables[0])  # evicted -> recompute
+        assert stub.calls == 4
+        assert service.stats()["cache"]["evictions"] >= 1
+
+    def test_clear_cache(self, stub_service, stub):
+        table = make_table()
+        stub_service.translate(QUESTION, table)
+        stub_service.clear_cache()
+        stub_service.translate(QUESTION, table)
+        assert stub.calls == 2
+
+
+class TestServiceFailures:
+    def test_recovery_failure_is_cached_and_counted(self, stub):
+        stub.output = ["bogus"]  # not a valid annotated SQL
+        model = NLIDB(EMB, NLIDBConfig(), translator=stub)
+        model._fitted = True
+        service = TranslationService(model, cache_size=8)
+        table = make_table()
+        first = service.translate(QUESTION, table)
+        second = service.translate(QUESTION, table)
+        assert first.query is None and first.error
+        assert second is first
+        assert service.metrics.counter("recovery_failures") == 1
+
+    def test_annotation_failure_counted_and_raised(self, stub_service):
+        with pytest.raises(ModelError):
+            stub_service.translate([], make_table())
+        metrics = stub_service.metrics
+        assert metrics.counter("annotation_failures") == 1
+        assert metrics.counter("cache_hits") \
+            + metrics.counter("cache_misses") == metrics.counter("requests")
+
+
+class TestServiceBatch:
+    def test_batch_preserves_input_order(self, stub_service):
+        tables = [make_table(rows=[(f"film{i}", "d", i)]) for i in range(3)]
+        questions = [f"which film has year {i} ?" for i in range(3)]
+        # Interleave tables so grouping must reorder work internally.
+        requests = [(questions[i], tables[i % 3]) for i in (0, 1, 2, 1, 0)]
+        results = stub_service.translate_batch(requests)
+        assert len(results) == 5
+        singles = [stub_service.translate(q, t) for q, t in requests]
+        for batched, single in zip(results, singles):
+            assert batched.result_equal(single)
+
+    def test_duplicates_within_a_batch_compute_once(self, stub_service,
+                                                    stub):
+        table = make_table()
+        results = stub_service.translate_batch(
+            [(QUESTION, table)] * 4)
+        assert stub.calls == 1
+        assert all(r is results[0] for r in results)
+        assert stub_service.metrics.counter("batch_requests") == 4
+        assert stub_service.metrics.counter("batches") == 1
+
+    def test_batch_groups_same_table_requests(self, stub_service):
+        table_a = make_table(rows=[("a", "d", 1)])
+        table_b = make_table(rows=[("b", "d", 2)])
+        requests = [("which film has year 1 ?", table_a),
+                    ("which film has year 2 ?", table_b),
+                    ("what is the director of the film a ?", table_a)]
+        results = stub_service.translate_batch(requests)
+        assert all(r is not None for r in results)
+        assert stub_service.metrics.counter("requests") == 3
+
+    def test_stats_shape(self, stub_service):
+        stub_service.translate(QUESTION, make_table())
+        stats = stub_service.stats()
+        json.dumps(stats)
+        assert {"counters", "histograms", "cache"} <= set(stats)
+        assert stats["cache"]["size"] == 1
+        for stage in ("annotate", "translate", "recover"):
+            assert stats["histograms"][stage]["count"] == 1
