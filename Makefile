@@ -1,17 +1,30 @@
 # Developer entry points.  `make check` is the one-command gate: the
-# tier-1 test suite plus the serving smoke benchmark.
+# tier-1 test suite, the fault-matrix resilience suite, and the serving
+# smoke benchmark.
 
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: check test bench-serving bench
+.PHONY: check test test-faults lint bench-serving bench
 
 # Tier-1: the full unit/integration/property suite.
 test:
 	$(PYTHON) -m pytest -x -q
 
-# Serving smoke benchmark: cold vs warm vs batched latency as JSON,
-# with the >=2x warm-speedup assertion, at the tiny smoke scale.
+# Fault matrix: every resilience policy against injected failures
+# (stage x transient/permanent x breaker open/closed).  Included in
+# `test` too; kept addressable so CI and `check` can gate on it
+# explicitly.
+test-faults:
+	$(PYTHON) -m pytest tests/serving/test_faults.py \
+		tests/serving/test_resilience.py -q
+
+# Style gate (requires ruff; CI installs it).
+lint:
+	ruff check src tests benchmarks
+
+# Serving smoke benchmark: cold vs warm vs batched latency plus the
+# degraded-ladder availability check, as JSON, at the tiny smoke scale.
 bench-serving:
 	REPRO_BENCH_SCALE=smoke $(PYTHON) -m pytest benchmarks/bench_serving.py -q
 
@@ -19,4 +32,4 @@ bench-serving:
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
-check: test bench-serving
+check: test test-faults bench-serving

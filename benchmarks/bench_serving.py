@@ -19,7 +19,13 @@ import json
 from time import perf_counter
 
 import common as C
-from repro.serving import TranslationService
+from repro.serving import (
+    FaultInjector,
+    FaultSpec,
+    FaultyNLIDB,
+    ResiliencePolicy,
+    TranslationService,
+)
 
 
 def _corpus():
@@ -37,9 +43,10 @@ def test_serving_cold_warm_batched(benchmark):
 
     def measure():
         service = TranslationService(model)
+        outcomes = {"ok": 0, "degraded": 0, "failed": 0}
         start = perf_counter()
         for question, table in corpus:
-            service.translate(question, table)
+            outcomes[service.translate(question, table).status] += 1
         cold = perf_counter() - start
 
         start = perf_counter()
@@ -51,10 +58,10 @@ def test_serving_cold_warm_batched(benchmark):
         start = perf_counter()
         batch_service.translate_batch(corpus)
         batched = perf_counter() - start
-        return cold, warm, batched, service.stats()
+        return cold, warm, batched, service.stats(), outcomes
 
-    cold, warm, batched, stats = benchmark.pedantic(measure, rounds=1,
-                                                    iterations=1)
+    cold, warm, batched, stats, outcomes = benchmark.pedantic(
+        measure, rounds=1, iterations=1)
     n = len(corpus)
     record = {
         "requests": n,
@@ -62,6 +69,7 @@ def test_serving_cold_warm_batched(benchmark):
         "warm_s_per_request": _per_request(warm, n),
         "batched_cold_s_per_request": _per_request(batched, n),
         "warm_speedup": cold / max(warm, 1e-12),
+        "cold_outcomes": outcomes,
         "service_stats": stats,
     }
     print(json.dumps(record, indent=2, sort_keys=True))
@@ -78,5 +86,61 @@ def test_serving_cold_warm_batched(benchmark):
     counters = stats["counters"]
     assert counters["cache_hits"] + counters["cache_misses"] \
         == counters["requests"]
+    # Every request came back as a structured envelope, and the outcome
+    # counters partition the request stream (resilient-serving contract).
+    assert sum(outcomes.values()) == n
+    assert counters.get("served_ok", 0) + counters.get("served_degraded", 0) \
+        + counters.get("served_failed", 0) == counters["requests"]
+    # A healthy model serves no degraded traffic and the breaker stays shut.
+    assert counters.get("served_degraded", 0) == 0
+    assert stats["breaker"]["state"] == "closed"
     # The warm path must beat cold by a wide margin; 2x is the floor.
     assert record["warm_speedup"] >= 2.0
+
+
+def test_serving_degraded_ladder(benchmark):
+    """Latency and availability of the context-free degraded rung.
+
+    With the full annotation rung knocked out by injected permanent
+    faults, every request must still come back structured, and the
+    degraded (matcher-only) annotation must not be slower than the full
+    adversarial path — it skips both classifiers.
+    """
+    model = C.full_nlidb()
+    corpus = _corpus()
+
+    def measure():
+        injector = FaultInjector(
+            [FaultSpec(stage="annotate", kind="permanent", mode="full")])
+        service = TranslationService(
+            FaultyNLIDB(model, injector),
+            policy=ResiliencePolicy(max_retries=0, backoff_base_s=0.0,
+                                    breaker_failure_threshold=10 ** 9))
+        start = perf_counter()
+        results = service.translate_batch(corpus)
+        elapsed = perf_counter() - start
+        return elapsed, results, service.stats()
+
+    elapsed, results, stats = benchmark.pedantic(measure, rounds=1,
+                                                 iterations=1)
+    n = len(corpus)
+    degraded = sum(1 for r in results if r.status == "degraded")
+    record = {
+        "requests": n,
+        "degraded_s_per_request": _per_request(elapsed, n),
+        "degraded_served": degraded,
+        "failed_served": sum(1 for r in results if r.status == "failed"),
+        "degraded_annotate_mean_s":
+            stats["histograms"].get("degraded.annotate", {}).get("mean_s"),
+    }
+    print(json.dumps(record, indent=2, sort_keys=True))
+
+    C.print_header("Serving — degraded (context-free) ladder rung")
+    C.print_row("per request",
+                f"{record['degraded_s_per_request'] * 1e3:.2f} ms")
+    C.print_row("served degraded", f"{degraded}/{n}")
+
+    # The resilient-serving contract: zero escaped exceptions, every
+    # envelope accounted for, and some SQL still recovered.
+    assert all(r.status in ("degraded", "failed") for r in results)
+    assert degraded >= 1

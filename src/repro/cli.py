@@ -24,7 +24,13 @@ from repro.core.persistence import load_nlidb, save_nlidb
 from repro.core.seq2seq.model import Seq2SeqConfig
 from repro.data import generate_wikisql_style, load_jsonl, save_jsonl
 from repro.errors import ReproError
-from repro.serving import TranslationService
+from repro.serving import (
+    FaultInjector,
+    FaultyNLIDB,
+    ResiliencePolicy,
+    TranslationService,
+    parse_fault_spec,
+)
 from repro.sqlengine import execute
 from repro.text import WordEmbeddings
 
@@ -81,6 +87,24 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--batched", action="store_true",
                        help="serve each pass through translate_batch()")
     serve.add_argument("--cache-size", type=int, default=1024)
+    # Resilience policy knobs (see repro.serving.ResiliencePolicy).
+    serve.add_argument("--deadline-s", type=float, default=None,
+                       help="per-request latency budget in seconds")
+    serve.add_argument("--max-retries", type=int, default=2,
+                       help="retries after the first attempt for "
+                            "retryable failures")
+    serve.add_argument("--backoff-base-s", type=float, default=0.05)
+    serve.add_argument("--no-degradation", action="store_true",
+                       help="disable the context-free fallback rung")
+    serve.add_argument("--breaker-threshold", type=int, default=5,
+                       help="consecutive failures tripping the breaker")
+    serve.add_argument("--breaker-cooldown-s", type=float, default=30.0)
+    # Deterministic fault injection (repro.serving.faults), repeatable:
+    # stage:kind[:count][:latency_s], e.g. --inject annotate:transient:2
+    serve.add_argument("--inject", action="append", default=[],
+                       metavar="STAGE:KIND[:COUNT][:LATENCY_S]",
+                       help="inject seeded faults before a stage")
+    serve.add_argument("--fault-seed", type=int, default=0)
     return parser
 
 
@@ -172,15 +196,35 @@ def _cmd_serve_stats(args) -> int:
     if not examples:
         print("dataset is empty", file=sys.stderr)
         return 1
-    service = TranslationService(model, cache_size=args.cache_size)
+    injector = None
+    if args.inject:
+        specs = [parse_fault_spec(text) for text in args.inject]
+        injector = FaultInjector(specs, seed=args.fault_seed)
+        model = FaultyNLIDB(model, injector)
+    policy = ResiliencePolicy(
+        deadline_s=args.deadline_s,
+        max_retries=args.max_retries,
+        backoff_base_s=args.backoff_base_s,
+        degradation=not args.no_degradation,
+        breaker_failure_threshold=args.breaker_threshold,
+        breaker_cooldown_s=args.breaker_cooldown_s)
+    service = TranslationService(model, cache_size=args.cache_size,
+                                 policy=policy)
+    outcomes = {"ok": 0, "degraded": 0, "failed": 0}
     for _ in range(max(args.passes, 1)):
         if args.batched:
-            service.translate_batch(
+            results = service.translate_batch(
                 [(e.question_tokens, e.table) for e in examples])
         else:
-            for example in examples:
-                service.translate(example.question_tokens, example.table)
-    print(json.dumps(service.stats(), indent=2, sort_keys=True))
+            results = [service.translate(e.question_tokens, e.table)
+                       for e in examples]
+        for result in results:
+            outcomes[result.status] += 1
+    report = service.stats()
+    report["outcomes"] = outcomes
+    if injector is not None:
+        report["faults"] = injector.stats()
+    print(json.dumps(report, indent=2, sort_keys=True))
     return 0
 
 

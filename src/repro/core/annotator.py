@@ -208,18 +208,32 @@ class Annotator:
     # Annotation
     # ------------------------------------------------------------------
 
-    def annotate(self, question: str | list[str],
-                 table: Table) -> AnnotatedQuestion:
-        """Produce the annotated form ``qᵃ`` of a question."""
+    def annotate(self, question: str | list[str], table: Table,
+                 mode: str = "full") -> AnnotatedQuestion:
+        """Produce the annotated form ``qᵃ`` of a question.
+
+        ``mode="full"`` runs the whole pipeline.  ``mode="context_free"``
+        restricts detection to the paper's context-free machinery —
+        exact/edit/semantic/knowledge column matching and exact cell
+        matches — skipping both trained classifiers and the adversarial
+        localization.  It is cheaper and model-independent, which makes
+        it the serving layer's degraded-annotation fallback.
+        """
+        if mode not in ("full", "context_free"):
+            raise ModelError(f"unknown annotation mode {mode!r}; "
+                             "expected 'full' or 'context_free'")
         tokens = tokenize(question) if isinstance(question, str) else list(question)
         if not tokens:
             raise ModelError("cannot annotate an empty question")
         cfg = self.config
+        classifiers_on = mode == "full"
 
-        value_spans = self._detect_values(tokens, table)
+        value_spans = self._detect_values(tokens, table,
+                                          use_classifier=classifiers_on)
         blocked = {i for candidate in value_spans
                    for i in range(candidate.start, candidate.end)}
-        column_spans = self._detect_columns(tokens, table, blocked)
+        column_spans = self._detect_columns(tokens, table, blocked,
+                                            use_classifier=classifiers_on)
 
         tree = (parse_dependency(tokens)
                 if cfg.use_dependency_resolution else _LinearTree(tokens))
@@ -248,8 +262,11 @@ class Annotator:
 
     # -- detection stages ------------------------------------------------
 
-    def _detect_values(self, tokens: list[str],
-                       table: Table) -> list[ValueCandidate]:
+    def _detect_values(self, tokens: list[str], table: Table,
+                       use_classifier: bool = True,
+                       ) -> list[ValueCandidate]:
+        # ``use_classifier=False`` is the context-free mode: only exact
+        # cell matches survive as value candidates.
         cfg = self.config
         stats = self._stats_for(table)
         by_span: dict[tuple[int, int], dict[str, float]] = {}
@@ -268,7 +285,8 @@ class Annotator:
         schema_words = {w for name in table.column_names
                         for w in tokenize(name)}
         ranges = self._numeric_ranges(table)
-        if cfg.use_value_classifier and self.value_classifier._trained:
+        if (use_classifier and cfg.use_value_classifier
+                and self.value_classifier._trained):
             for start, end in candidate_spans(tokens, cfg.max_value_span):
                 window = tokens[start:end]
                 if all(w in schema_words for w in window):
@@ -321,7 +339,11 @@ class Annotator:
         return chosen
 
     def _detect_columns(self, tokens: list[str], table: Table,
-                        blocked: set[int]) -> dict[str, tuple[int, int]]:
+                        blocked: set[int],
+                        use_classifier: bool = True,
+                        ) -> dict[str, tuple[int, int]]:
+        # ``use_classifier=False`` (context-free mode) keeps only the
+        # matcher's string/edit/semantic/knowledge candidates.
         cfg = self.config
         # span + confidence; matcher hits outrank classifier hits (+2).
         scored: dict[str, tuple[tuple[int, int], float]] = {}
@@ -334,7 +356,7 @@ class Annotator:
                 scored[column] = ((candidate.start, candidate.end),
                                   2.0 + candidate.score)
                 continue
-            if not (cfg.use_column_classifier
+            if not (use_classifier and cfg.use_column_classifier
                     and self.column_classifier._trained):
                 continue
             prob = self.column_classifier.predict_proba(tokens,

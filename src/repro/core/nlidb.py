@@ -187,10 +187,16 @@ class NLIDB:
     # Inference
     # ------------------------------------------------------------------
 
-    def annotate(self, question: str | list[str],
-                 table: Table) -> AnnotatedQuestion:
-        """Stage 1, ``q → qᵃ``: run the annotation pipeline."""
-        return self.annotator.annotate(question, table)
+    def annotate(self, question: str | list[str], table: Table,
+                 mode: str = "full") -> AnnotatedQuestion:
+        """Stage 1, ``q → qᵃ``: run the annotation pipeline.
+
+        ``mode="context_free"`` restricts detection to the paper's
+        context-free matchers (exact / edit / semantic / knowledge
+        column mentions, exact cell values), skipping the trained
+        classifiers — the serving layer's degraded-annotation rung.
+        """
+        return self.annotator.annotate(question, table, mode=mode)
 
     def predict_annotated(self, annotation: AnnotatedQuestion,
                           beam_width: int | None = None,
@@ -231,16 +237,18 @@ class NLIDB:
                            annotation=annotation)
 
     def translate(self, question: str | list[str], table: Table,
-                  beam_width: int | None = None) -> Translation:
+                  beam_width: int | None = None,
+                  mode: str = "full") -> Translation:
         """Translate a question into an executable SQL query.
 
         Composes the three stages (annotate → translate → recover); an
         attached :attr:`stage_timer` observes each stage's wall time.
+        ``mode`` selects the annotation pipeline (see :meth:`annotate`).
         """
         if not self._fitted:
             raise ModelError("translate() called before fit()")
         start = perf_counter()
-        annotation = self.annotate(question, table)
+        annotation = self.annotate(question, table, mode=mode)
         self._emit("annotate", start)
         start = perf_counter()
         source, predicted = self.predict_annotated(annotation, beam_width)

@@ -50,3 +50,51 @@ class VocabularyError(ReproError):
 
 class ModelError(ReproError):
     """A model was used in an invalid state (e.g. decode before fit)."""
+
+
+class ServingError(ReproError):
+    """Base class for serving-layer failures.
+
+    Serving errors carry two pieces of policy-relevant context: the
+    pipeline ``stage`` they occurred in (``"annotate"``, ``"translate"``,
+    ``"recover"``, or ``None`` when outside a stage) and whether the
+    failure is ``retryable`` — the single bit the retry policy reads.
+    ``retryable`` is a class default that an instance may override, so a
+    fault injector can mint transient and permanent faults from one
+    class.
+    """
+
+    retryable: bool = False
+
+    def __init__(self, message: str = "", *, stage: str | None = None,
+                 retryable: bool | None = None):
+        super().__init__(message)
+        self.stage = stage
+        if retryable is not None:
+            self.retryable = retryable
+
+
+class TransientServingError(ServingError):
+    """A failure expected to clear on retry (timeouts, races, blips)."""
+
+    retryable = True
+
+
+class DeadlineExceeded(ServingError):
+    """A request ran out of its latency budget.
+
+    Never retryable: the budget that expired covers the retries too.
+    """
+
+
+class CircuitOpen(ServingError):
+    """The circuit breaker is open; the full pipeline was not attempted."""
+
+
+def is_retryable(error: BaseException) -> bool:
+    """Whether the retry policy may re-attempt after ``error``.
+
+    Reads the ``retryable`` attribute, so it also honours non-
+    :class:`ServingError` exceptions that choose to carry the flag.
+    """
+    return bool(getattr(error, "retryable", False))

@@ -23,14 +23,22 @@ class _Histogram:
     def __init__(self) -> None:
         self.count = 0
         self.total = 0.0
-        self.min = float("inf")
+        self.min = 0.0
         self.max = 0.0
 
     def observe(self, value: float) -> None:
+        # min/max initialize from the first observation rather than
+        # sentinel values: with a 0.0-seeded max, an all-negative series
+        # (possible when a coarse clock ticks backwards across cores)
+        # would report max_s == 0.0, a value never observed.
+        if self.count == 0:
+            self.min = value
+            self.max = value
+        else:
+            self.min = min(self.min, value)
+            self.max = max(self.max, value)
         self.count += 1
         self.total += value
-        self.min = min(self.min, value)
-        self.max = max(self.max, value)
 
     def summary(self) -> dict:
         if not self.count:
@@ -56,6 +64,7 @@ class MetricsRegistry:
         self._lock = threading.Lock()
         self._counters: dict[str, int] = {}
         self._histograms: dict[str, _Histogram] = {}
+        self._gauges: dict[str, float] = {}
 
     # ------------------------------------------------------------------
     # Recording
@@ -73,6 +82,15 @@ class MetricsRegistry:
             if histogram is None:
                 histogram = self._histograms[name] = _Histogram()
             histogram.observe(seconds)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Set gauge ``name`` to a point-in-time ``value``.
+
+        Gauges hold last-write-wins levels (circuit-breaker state,
+        cache occupancy) where counters would only ever grow.
+        """
+        with self._lock:
+            self._gauges[name] = float(value)
 
     @contextmanager
     def time(self, name: str):
@@ -92,17 +110,24 @@ class MetricsRegistry:
         with self._lock:
             return self._counters.get(name, 0)
 
+    def gauge(self, name: str, default: float = 0.0) -> float:
+        """Current value of one gauge (``default`` if never set)."""
+        with self._lock:
+            return self._gauges.get(name, default)
+
     def snapshot(self) -> dict:
-        """Plain-dict view: ``{"counters": {...}, "histograms": {...}}``."""
+        """Plain-dict view: counters, gauges, and histogram summaries."""
         with self._lock:
             return {
                 "counters": dict(sorted(self._counters.items())),
+                "gauges": dict(sorted(self._gauges.items())),
                 "histograms": {name: hist.summary() for name, hist
                                in sorted(self._histograms.items())},
             }
 
     def reset(self) -> None:
-        """Zero every counter and histogram."""
+        """Zero every counter, gauge, and histogram."""
         with self._lock:
             self._counters.clear()
+            self._gauges.clear()
             self._histograms.clear()

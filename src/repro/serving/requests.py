@@ -8,10 +8,10 @@ plain ``(question, table)`` / ``(question, table, beam_width)`` tuples;
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.errors import ReproError
-from repro.sqlengine import Table
+from repro.sqlengine import Table, table_fingerprint
 from repro.text import tokenize
 
 __all__ = ["TranslationRequest", "as_request", "normalize_question"]
@@ -34,14 +34,39 @@ def normalize_question(question: str | list[str] | tuple[str, ...],
 class TranslationRequest:
     """One serving request.
 
+    ``question`` is normalized to its canonical token tuple on
+    construction (a raw string or token list is accepted), so a request
+    is always hashable, immutable cache-key material and two requests
+    for the same question compare equal regardless of input form.
+
     ``beam_width=None`` means the model's configured default; requests
     differing only in an *explicit vs defaulted* equal beam width still
     share a cache entry (the service resolves the width before keying).
     """
 
-    question: str | tuple[str, ...]
+    question: tuple[str, ...]
     table: Table
     beam_width: int | None = None
+    # Lazily memoized content fingerprint backing __hash__.
+    _fingerprint: str | None = field(default=None, init=False, repr=False,
+                                     compare=False)
+
+    def __post_init__(self) -> None:
+        # A frozen dataclass holding a raw list would be unhashable and
+        # silently mutable through the list; normalize in place.
+        object.__setattr__(self, "question",
+                           normalize_question(self.question))
+
+    def __hash__(self) -> int:
+        # Table is a mutable dataclass (no __hash__); hash its *content*
+        # fingerprint instead.  Equal tables have equal fingerprints, so
+        # the eq/hash contract holds — but do not mutate a table while
+        # using requests over it as dict/set keys.
+        fingerprint = self._fingerprint
+        if fingerprint is None:
+            fingerprint = table_fingerprint(self.table)
+            object.__setattr__(self, "_fingerprint", fingerprint)
+        return hash((self.question, fingerprint, self.beam_width))
 
 
 def as_request(item) -> TranslationRequest:

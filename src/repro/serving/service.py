@@ -1,38 +1,61 @@
-"""The batched, cached serving layer over a trained :class:`NLIDB`.
+"""The batched, cached, *resilient* serving layer over a trained NLIDB.
 
 The paper evaluates the pipeline one question at a time; a deployed
 NLIDB (the DBPal / NaLIR framing) instead sees *traffic*: many
-questions, a few hot tables, and strict latency expectations.
-:class:`TranslationService` adds the serving machinery without touching
-model semantics:
+questions, a few hot tables, strict latency expectations — and
+failures.  :class:`TranslationService` adds the serving machinery
+without touching model semantics:
 
 * a bounded LRU **translation cache** keyed on
-  ``(question tokens, table content fingerprint, beam width)`` — a
-  repeat question against content-equal table data is answered without
-  re-running annotation or beam search, and any table edit changes the
-  fingerprint and so misses cleanly;
+  ``(question tokens, table content fingerprint, beam width)``;
 * :meth:`TranslationService.translate_batch`, which groups same-table
   requests so per-table work (annotation column statistics, the header
   encoding) is computed once per table per batch;
-* a :class:`~repro.serving.metrics.MetricsRegistry` counting requests,
-  cache hits/misses, and failures, with per-stage latency histograms
-  (annotate / translate / recover, plus the translator's own
-  encode / beam-search split when available).
+* a :class:`~repro.serving.metrics.MetricsRegistry` with request /
+  cache / outcome counters, breaker and cache gauges, and per-stage
+  latency histograms;
+* the **resilience stack** (this PR): per-request deadlines with
+  per-stage budget checks, bounded retry with exponential backoff for
+  retryable failures, a graceful-degradation ladder (full adversarial
+  annotation → context-free matcher-only annotation → structured
+  failure), and a circuit breaker that trips after repeated full-path
+  failures and serves cache + degraded paths while open.
+
+The public API returns a :class:`~repro.serving.results.
+TranslationResult` envelope and **never raises** for per-request
+failures; ``translate(..., raw=True)`` is a deprecated shim that
+returns the bare :class:`~repro.core.nlidb.Translation` and re-raises
+errors, preserving the pre-envelope contract for one release.
 
 Thread safety: the numpy substrate's ``no_grad`` flips a module-global
 flag, so *model* inference is serialized behind one lock; cache hits
 never take that lock and therefore proceed concurrently.  Every
-returned :class:`~repro.core.nlidb.Translation` may be shared between
-callers — treat it as immutable.
+returned :class:`Translation` may be shared between callers — treat it
+as immutable.  Note that retry backoff sleeps while holding the model
+lock: inference is serialized anyway, so a sleeping retry cannot starve
+work that would otherwise run.
 """
 
 from __future__ import annotations
 
 import threading
+import time
+import warnings
+from contextlib import contextmanager
+from dataclasses import asdict
+from time import perf_counter
+from typing import Callable
 
 from repro.caching import LRUCache
 from repro.core.nlidb import NLIDB, Translation
-from repro.errors import ModelError
+from repro.errors import (
+    CircuitOpen,
+    DeadlineExceeded,
+    ModelError,
+    ReproError,
+    ServingError,
+    is_retryable,
+)
 from repro.sqlengine import Table, table_fingerprint
 
 from repro.serving.metrics import MetricsRegistry
@@ -41,6 +64,8 @@ from repro.serving.requests import (
     as_request,
     normalize_question,
 )
+from repro.serving.resilience import CircuitBreaker, Deadline, ResiliencePolicy
+from repro.serving.results import TranslationResult
 
 __all__ = ["TranslationService", "DEFAULT_CACHE_SIZE"]
 
@@ -48,31 +73,46 @@ DEFAULT_CACHE_SIZE = 1024
 
 
 class TranslationService:
-    """Serve ``translate`` requests with caching, batching, and metrics.
+    """Serve ``translate`` requests with caching, batching, metrics, and
+    graceful degradation.
 
     Parameters
     ----------
     nlidb:
-        A *fitted* :class:`NLIDB`.  The service attaches the
-        translator's ``timing_hook`` (when present) to its own metrics;
-        direct use of the same model object elsewhere will then also be
-        recorded here.
+        A *fitted* :class:`NLIDB` (or a wrapper such as
+        :class:`~repro.serving.faults.FaultyNLIDB`).  The service
+        attaches the translator's ``timing_hook`` (when present) to its
+        own metrics.
     cache_size:
         Capacity of the translation LRU cache.
     metrics:
         Optional shared registry; by default each service owns one.
+    policy:
+        The :class:`ResiliencePolicy` (deadline, retries, degradation,
+        breaker thresholds).  Defaults to production-shaped settings.
+    breaker:
+        Optional pre-built :class:`CircuitBreaker` (tests inject one
+        with a fake clock); by default built from ``policy``.
+    sleep:
+        Injectable sleep used for retry backoff.
     """
 
     def __init__(self, nlidb: NLIDB, cache_size: int = DEFAULT_CACHE_SIZE,
-                 metrics: MetricsRegistry | None = None):
+                 metrics: MetricsRegistry | None = None,
+                 policy: ResiliencePolicy | None = None,
+                 breaker: CircuitBreaker | None = None,
+                 sleep: Callable[[float], None] = time.sleep):
         if not getattr(nlidb, "_fitted", False):
             raise ModelError("TranslationService needs a fitted NLIDB")
         self.nlidb = nlidb
         self.metrics = metrics or MetricsRegistry()
+        self.policy = policy or ResiliencePolicy()
+        self.breaker = breaker or CircuitBreaker.from_policy(self.policy)
+        self._sleep = sleep
         self._cache = LRUCache(maxsize=cache_size)
         self._model_lock = threading.Lock()
-        translator = nlidb.translator
-        if hasattr(translator, "timing_hook"):
+        translator = getattr(nlidb, "translator", None)
+        if translator is not None and hasattr(translator, "timing_hook"):
             translator.timing_hook = self._record_translator_stage
 
     # ------------------------------------------------------------------
@@ -80,41 +120,66 @@ class TranslationService:
     # ------------------------------------------------------------------
 
     def translate(self, question: str | list[str], table: Table,
-                  beam_width: int | None = None) -> Translation:
-        """Translate one question, consulting the cache first."""
-        return self._serve(question, table, beam_width,
-                           table_fingerprint(table))
+                  beam_width: int | None = None, *,
+                  raw: bool = False) -> TranslationResult | Translation:
+        """Translate one question into a :class:`TranslationResult`.
 
-    def translate_batch(self, requests) -> list[Translation]:
+        Never raises for pipeline failures: a request that exhausts the
+        degradation ladder comes back as ``status="failed"`` with a
+        structured error.  ``raw=True`` (deprecated) restores the old
+        contract — the bare :class:`Translation`, re-raising errors.
+        """
+        result = self._serve(question, table, beam_width,
+                             table_fingerprint(table))
+        if raw:
+            return self._unwrap(result)
+        return result
+
+    def translate_batch(self, requests, *,
+                        raw: bool = False) -> list[TranslationResult]:
         """Translate many requests, grouping same-table work.
 
         ``requests`` is a sequence of :class:`TranslationRequest` or
         ``(question, table[, beam_width])`` tuples.  Results come back
-        in input order and are identical to calling :meth:`translate`
-        per item; grouping only changes *how much* per-table work
-        (column statistics, header encodings) is recomputed.
+        in input order, one :class:`TranslationResult` per request —
+        a bad or failing request yields a ``"failed"`` envelope at its
+        index and never poisons the rest of the batch.  Grouping only
+        changes *how much* per-table work (column statistics, header
+        encodings) is recomputed.
+
+        With ``raw=True`` (deprecated) the return is a list of bare
+        :class:`Translation` and the first failure raises.
         """
-        batch = [as_request(item) for item in requests]
+        items = list(requests)
         self.metrics.increment("batches")
-        self.metrics.increment("batch_requests", len(batch))
-        results: list[Translation | None] = [None] * len(batch)
+        self.metrics.increment("batch_requests", len(items))
+        results: list[TranslationResult | None] = [None] * len(items)
 
-        groups: dict[str, list[int]] = {}
-        fingerprints: list[str] = []
-        for i, request in enumerate(batch):
+        batch: list[tuple[int, TranslationRequest]] = []
+        for i, item in enumerate(items):
+            try:
+                batch.append((i, as_request(item)))
+            except ReproError as exc:
+                if raw:
+                    raise
+                self.metrics.increment("bad_requests")
+                results[i] = TranslationResult.from_failure(exc)
+
+        groups: dict[str, list[tuple[int, TranslationRequest]]] = {}
+        for i, request in batch:
             fingerprint = table_fingerprint(request.table)
-            fingerprints.append(fingerprint)
-            groups.setdefault(fingerprint, []).append(i)
+            groups.setdefault(fingerprint, []).append((i, request))
 
-        for fingerprint, indices in groups.items():
+        for fingerprint, members in groups.items():
             header_tokens: list[str] | None = None
-            for i in indices:
-                request = batch[i]
+            for i, request in members:
                 if header_tokens is None:
                     header_tokens = self.nlidb.header_tokens(request.table)
                 results[i] = self._serve(request.question, request.table,
                                          request.beam_width, fingerprint,
                                          header_tokens=header_tokens)
+        if raw:
+            return [self._unwrap(result) for result in results]
         return results  # fully populated: every index was served
 
     def fingerprint(self, table: Table) -> str:
@@ -122,13 +187,17 @@ class TranslationService:
         return table_fingerprint(table)
 
     def stats(self) -> dict:
-        """Metrics snapshot plus cache occupancy, as a plain dict."""
+        """Metrics snapshot plus cache, breaker, and policy state."""
+        self.metrics.set_gauge("breaker_state", self.breaker.state_gauge())
+        self.metrics.set_gauge("cache_size", float(len(self._cache)))
         snapshot = self.metrics.snapshot()
         snapshot["cache"] = {
             "size": len(self._cache),
             "maxsize": self._cache.maxsize,
             "evictions": self._cache.evictions,
         }
+        snapshot["breaker"] = self.breaker.snapshot()
+        snapshot["policy"] = asdict(self.policy)
         return snapshot
 
     def clear_cache(self) -> None:
@@ -141,14 +210,18 @@ class TranslationService:
 
     def _serve(self, question, table: Table, beam_width: int | None,
                fingerprint: str,
-               header_tokens: list[str] | None = None) -> Translation:
+               header_tokens: list[str] | None = None) -> TranslationResult:
         self.metrics.increment("requests")
         key = (normalize_question(question), fingerprint,
                self._resolve_width(beam_width))
         cached = self._cache.get(key)
         if cached is not None:
             self.metrics.increment("cache_hits")
-            return cached
+            return self._finish(
+                TranslationResult.from_translation(cached, cached=True))
+        # The deadline starts before the model lock so time spent queued
+        # behind other inference counts against this request's budget.
+        deadline = Deadline(self.policy.deadline_s)
         with self._model_lock:
             # Re-check: another thread may have computed this key while
             # we waited for the model; counting it as a hit keeps
@@ -156,39 +229,185 @@ class TranslationService:
             cached = self._cache.get(key)
             if cached is not None:
                 self.metrics.increment("cache_hits")
-                return cached
+                return self._finish(
+                    TranslationResult.from_translation(cached, cached=True))
             self.metrics.increment("cache_misses")
-            translation = self._compute(list(key[0]), table, beam_width,
-                                        header_tokens)
-            self._cache.put(key, translation)
-            return translation
+            result, cacheable = self._compute_resilient(
+                list(key[0]), table, beam_width, header_tokens, deadline)
+            if cacheable and result.translation is not None:
+                self._cache.put(key, result.translation)
+            return self._finish(result)
+
+    def _finish(self, result: TranslationResult) -> TranslationResult:
+        self.metrics.increment(f"served_{result.status}")
+        return result
+
+    def _compute_resilient(self, question_tokens: list[str], table: Table,
+                           beam_width: int | None,
+                           header_tokens: list[str] | None,
+                           deadline: Deadline,
+                           ) -> tuple[TranslationResult, bool]:
+        """Walk the degradation ladder; always return an envelope.
+
+        Returns ``(result, cacheable)`` — only translations produced by
+        the *full* pipeline are cacheable.  Degraded results are served
+        but never cached, so repeat traffic re-attempts the full path
+        once the underlying failure clears.
+        """
+        timings: dict[str, float] = {}
+        attempts_box = [0]
+        failure: BaseException | None = None
+
+        # Rung 1: the full adversarial pipeline, behind the breaker.
+        if self.breaker.allow():
+            try:
+                translation = self._attempt_full(
+                    question_tokens, table, beam_width, header_tokens,
+                    deadline, timings, attempts_box)
+                self.breaker.record_success()
+                return TranslationResult.from_translation(
+                    translation, attempts=attempts_box[0],
+                    timings=timings), True
+            except ReproError as exc:
+                failure = exc
+                self.breaker.record_failure()
+                self.metrics.increment("full_path_failures")
+                if isinstance(exc, DeadlineExceeded):
+                    # No budget left for a fallback rung either.
+                    self.metrics.increment("deadline_exceeded")
+                    return TranslationResult.from_failure(
+                        exc, attempts=attempts_box[0],
+                        timings=timings), False
+        else:
+            self.metrics.increment("breaker_short_circuits")
+            failure = CircuitOpen(
+                "circuit breaker open: full pipeline skipped")
+
+        # Rung 2: context-free matcher-only annotation (cheap, model-
+        # independent detection; the paper's exact/edit/semantic case).
+        if self.policy.degradation and not deadline.expired():
+            try:
+                translation = self._compute(
+                    question_tokens, table, beam_width, header_tokens,
+                    mode="context_free", deadline=deadline, timings=timings)
+                self.metrics.increment("degraded_fallbacks")
+                return TranslationResult.from_translation(
+                    translation, degraded=True, cause=failure,
+                    attempts=attempts_box[0], timings=timings), False
+            except ReproError as exc:
+                self.metrics.increment("degraded_failures")
+                if isinstance(exc, DeadlineExceeded):
+                    self.metrics.increment("deadline_exceeded")
+                failure = exc
+
+        # Rung 3: structured failure — the envelope still comes back.
+        return TranslationResult.from_failure(
+            failure if failure is not None
+            else ServingError("degradation disabled and full path failed"),
+            attempts=attempts_box[0], timings=timings), False
+
+    def _attempt_full(self, question_tokens: list[str], table: Table,
+                      beam_width: int | None,
+                      header_tokens: list[str] | None, deadline: Deadline,
+                      timings: dict[str, float],
+                      attempts_box: list[int]) -> Translation:
+        """The full pipeline with bounded retry on retryable failures."""
+        retries = 0
+        while True:
+            attempts_box[0] += 1
+            try:
+                return self._compute(question_tokens, table, beam_width,
+                                     header_tokens, mode="full",
+                                     deadline=deadline, timings=timings)
+            except ReproError as exc:
+                if (isinstance(exc, DeadlineExceeded)
+                        or not is_retryable(exc)
+                        or retries >= self.policy.max_retries):
+                    raise
+                retries += 1
+                self.metrics.increment("retries")
+                delay = min(self.policy.backoff_delay(retries),
+                            deadline.remaining())
+                if delay > 0:
+                    self._sleep(delay)
 
     def _compute(self, question_tokens: list[str], table: Table,
                  beam_width: int | None,
-                 header_tokens: list[str] | None) -> Translation:
+                 header_tokens: list[str] | None, *, mode: str = "full",
+                 deadline: Deadline | None = None,
+                 timings: dict[str, float] | None = None) -> Translation:
         # Caller holds the model lock (the substrate's grad-mode flag is
         # process-global, so inference must not interleave).
+        prefix = "" if mode == "full" else "degraded."
+        stage = "annotate"
         try:
-            with self.metrics.time("annotate"):
-                annotation = self.nlidb.annotate(question_tokens, table)
-        except ModelError:
-            self.metrics.increment("annotation_failures")
+            self._check(deadline, stage)
+            with self._stage_timer(prefix + stage, timings):
+                annotation = self.nlidb.annotate(question_tokens, table,
+                                                 mode=mode)
+            stage = "translate"
+            self._check(deadline, stage)
+            with self._stage_timer(prefix + stage, timings):
+                source, predicted = self.nlidb.predict_annotated(
+                    annotation, beam_width, header_tokens=header_tokens)
+            stage = "recover"
+            self._check(deadline, stage)
+            with self._stage_timer(prefix + stage, timings):
+                translation = self.nlidb.recover(source, predicted,
+                                                 annotation)
+        except ReproError as exc:
+            if getattr(exc, "stage", None) is None:
+                exc.stage = stage  # annotate for the error envelope
+            if stage == "annotate" and not isinstance(exc, DeadlineExceeded):
+                self.metrics.increment(prefix + "annotation_failures")
             raise
-        with self.metrics.time("translate"):
-            source, predicted = self.nlidb.predict_annotated(
-                annotation, beam_width, header_tokens=header_tokens)
-        with self.metrics.time("recover"):
-            translation = self.nlidb.recover(source, predicted, annotation)
         if translation.error is not None:
-            self.metrics.increment("recovery_failures")
+            self.metrics.increment(prefix + "recovery_failures")
         return translation
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _check(deadline: Deadline | None, stage: str) -> None:
+        if deadline is not None:
+            deadline.check(stage)
+
+    @contextmanager
+    def _stage_timer(self, name: str, timings: dict[str, float] | None):
+        start = perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = perf_counter() - start
+            self.metrics.observe(name, elapsed)
+            if timings is not None:
+                # Accumulate across retries so a request's timings sum
+                # to its real pipeline time.
+                timings[name] = timings.get(name, 0.0) + elapsed
+
+    def _unwrap(self, result: TranslationResult) -> Translation:
+        """The deprecated ``raw=True`` contract: Translation-or-raise."""
+        warnings.warn(
+            "raw=True is deprecated: TranslationService returns "
+            "TranslationResult envelopes; use result.translation instead",
+            DeprecationWarning, stacklevel=3)
+        if result.translation is not None:
+            return result.translation
+        if result.exception is not None:
+            raise result.exception
+        message = (result.error or {}).get("message", "translation failed")
+        raise ServingError(message)
 
     def _resolve_width(self, beam_width: int | None) -> int | None:
         if beam_width is not None:
             return beam_width
         # Explicitly passing the configured default must share the
         # defaulted entry, so resolve before keying.
-        return getattr(self.nlidb.translator.config, "beam_width", None)
+        translator = getattr(self.nlidb, "translator", None)
+        return getattr(getattr(translator, "config", None),
+                       "beam_width", None)
 
     def _record_translator_stage(self, stage: str, seconds: float) -> None:
         self.metrics.observe(f"seq2seq.{stage}", seconds)

@@ -127,6 +127,43 @@ class TestConfigSwitches:
         finally:
             annotator.config = original
 
+    def test_context_free_mode_skips_classifiers(self, trained):
+        # mode="context_free" must behave like a trained annotator with
+        # both classifiers switched off: only matcher mentions and exact
+        # cell matches survive.  It is the serving layer's degraded rung.
+        annotator, ds = trained
+        original = annotator.config
+        annotator.config = AnnotatorConfig(use_column_classifier=False,
+                                           use_value_classifier=False)
+        try:
+            for example in ds.dev[:5]:
+                reference = annotator.annotate(example.question_tokens,
+                                               example.table)
+                annotator.config = original
+                degraded = annotator.annotate(example.question_tokens,
+                                              example.table,
+                                              mode="context_free")
+                annotator.config = AnnotatorConfig(
+                    use_column_classifier=False,
+                    use_value_classifier=False)
+                assert degraded.annotated_tokens() \
+                    == reference.annotated_tokens()
+        finally:
+            annotator.config = original
+
+    def test_exact_cell_matches_survive_context_free(self, trained):
+        annotator, _ = trained
+        tokens = "which county has name carrowteige ?".split()
+        annotation = annotator.annotate(tokens, census_table(),
+                                        mode="context_free")
+        assert any(v.surface == "carrowteige" for v in annotation.values)
+
+    def test_unknown_mode_rejected(self, trained):
+        annotator, _ = trained
+        from repro.errors import ModelError
+        with pytest.raises(ModelError):
+            annotator.annotate(["x"], census_table(), mode="turbo")
+
     def test_knowledge_base_adds_candidates(self):
         kb = KnowledgeBase()
         kb.add("population", mention_phrases=["how many people live in"])

@@ -24,9 +24,9 @@ class TestConcurrentServing:
             outcomes = []
             for i in range(REQUESTS_PER_WORKER):
                 example, reference = hot[(worker_id + i) % len(hot)]
-                translation = service.translate(example.question_tokens,
-                                                example.table)
-                outcomes.append(translation.result_equal(reference))
+                result = service.translate(example.question_tokens,
+                                           example.table)
+                outcomes.append(result.translation.result_equal(reference))
             return outcomes
 
         with ThreadPoolExecutor(max_workers=WORKERS) as pool:
@@ -52,7 +52,7 @@ class TestConcurrentServing:
             rotated = pairs[offset:] + pairs[:offset]
             served = service.translate_batch(
                 [(e.question_tokens, e.table) for e, _ in rotated])
-            return [t.result_equal(r)
+            return [t.translation.result_equal(r)
                     for t, (_, r) in zip(served, rotated)]
 
         with ThreadPoolExecutor(max_workers=4) as pool:

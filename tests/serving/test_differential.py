@@ -8,7 +8,7 @@ all equal a direct ``NLIDB.translate`` — cold (first touch), warm
 (cache hit), and through ``translate_batch``.
 """
 
-from repro.serving import TranslationRequest
+from repro.serving import TranslationRequest, TranslationResult
 
 
 def _domain_of(example) -> str:
@@ -16,8 +16,17 @@ def _domain_of(example) -> str:
     return example.table.name.rsplit("_", 2)[0]
 
 
-def _assert_identical(translations, direct):
-    assert len(translations) == len(direct)
+def _assert_identical(results, direct):
+    assert len(results) == len(direct)
+    # Unwrap the service's TranslationResult envelopes: a request whose
+    # recovery fails is status "failed" but still carries the
+    # translation; every full-path request here must not be degraded.
+    translations = []
+    for result in results:
+        assert isinstance(result, TranslationResult)
+        assert result.status != "degraded"
+        assert (result.status == "ok") == (result.sql is not None)
+        translations.append(result.translation)
     for served, reference in zip(translations, direct):
         assert tuple(served.annotated_tokens) \
             == tuple(reference.annotated_tokens)
@@ -95,3 +104,7 @@ class TestDifferential:
         assert metrics.counter("requests") == 30
         assert metrics.counter("cache_hits") \
             + metrics.counter("cache_misses") == metrics.counter("requests")
+        # Outcome counters partition the request stream.
+        assert metrics.counter("served_ok") \
+            + metrics.counter("served_degraded") \
+            + metrics.counter("served_failed") == metrics.counter("requests")

@@ -1,0 +1,224 @@
+"""Unit tests for the resilience primitives.
+
+Pure-Python components — error taxonomy, deadline, backoff schedule,
+circuit breaker — tested with fake clocks so nothing here sleeps.
+The end-to-end behaviour under injected faults lives in
+``test_faults.py``.
+"""
+
+import json
+
+import pytest
+
+from repro.errors import (
+    CircuitOpen,
+    DeadlineExceeded,
+    ReproError,
+    ServingError,
+    TransientServingError,
+    is_retryable,
+)
+from repro.serving import (
+    BREAKER_CLOSED,
+    BREAKER_HALF_OPEN,
+    BREAKER_OPEN,
+    CircuitBreaker,
+    Deadline,
+    ResiliencePolicy,
+    TranslationResult,
+    describe_error,
+)
+
+
+class FakeClock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class TestErrorTaxonomy:
+    def test_serving_errors_are_repro_errors(self):
+        for cls in (ServingError, TransientServingError, DeadlineExceeded,
+                    CircuitOpen):
+            assert issubclass(cls, ReproError)
+
+    def test_retryable_defaults(self):
+        assert not ServingError("x").retryable
+        assert TransientServingError("x").retryable
+        assert not DeadlineExceeded("x").retryable
+        assert not CircuitOpen("x").retryable
+
+    def test_instance_override_and_stage(self):
+        err = ServingError("blip", stage="translate", retryable=True)
+        assert err.retryable and err.stage == "translate"
+        # The class default is untouched by the instance override.
+        assert not ServingError("y").retryable
+
+    def test_is_retryable_reads_the_flag_anywhere(self):
+        assert is_retryable(TransientServingError("x"))
+        assert not is_retryable(ValueError("x"))
+        plain = ValueError("x")
+        plain.retryable = True
+        assert is_retryable(plain)
+
+    def test_describe_error(self):
+        desc = describe_error(DeadlineExceeded("too slow", stage="recover"))
+        assert desc == {"type": "DeadlineExceeded", "message": "too slow",
+                        "stage": "recover", "retryable": False}
+        json.dumps(desc)
+
+
+class TestDeadline:
+    def test_unlimited_never_expires(self):
+        deadline = Deadline(None)
+        assert deadline.remaining() == float("inf")
+        assert not deadline.expired()
+        deadline.check("annotate")  # must not raise
+
+    def test_budget_counts_down(self):
+        clock = FakeClock()
+        deadline = Deadline(1.0, clock=clock)
+        assert deadline.remaining() == pytest.approx(1.0)
+        clock.advance(0.4)
+        assert deadline.remaining() == pytest.approx(0.6)
+        assert not deadline.expired()
+        clock.advance(0.7)
+        assert deadline.remaining() == 0.0
+        assert deadline.expired()
+
+    def test_check_raises_with_the_stage(self):
+        clock = FakeClock()
+        deadline = Deadline(0.5, clock=clock)
+        clock.advance(1.0)
+        with pytest.raises(DeadlineExceeded) as exc_info:
+            deadline.check("translate")
+        assert exc_info.value.stage == "translate"
+        assert not exc_info.value.retryable
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError):
+            Deadline(-1.0)
+
+
+class TestResiliencePolicy:
+    def test_backoff_schedule_is_bounded(self):
+        policy = ResiliencePolicy(backoff_base_s=0.1, backoff_multiplier=2.0,
+                                  backoff_cap_s=0.35)
+        delays = [policy.backoff_delay(n) for n in (1, 2, 3, 4)]
+        assert delays == pytest.approx([0.1, 0.2, 0.35, 0.35])
+
+    def test_backoff_is_one_based(self):
+        with pytest.raises(ValueError):
+            ResiliencePolicy().backoff_delay(0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ResiliencePolicy(max_retries=-1)
+        with pytest.raises(ValueError):
+            ResiliencePolicy(breaker_failure_threshold=0)
+
+
+class TestCircuitBreaker:
+    def make(self, threshold=3, cooldown=10.0, probes=1):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=threshold,
+                                 cooldown_s=cooldown,
+                                 half_open_probes=probes, clock=clock)
+        return breaker, clock
+
+    def test_opens_after_consecutive_failures(self):
+        breaker, _ = self.make(threshold=3)
+        for _ in range(2):
+            breaker.record_failure()
+        assert breaker.state == BREAKER_CLOSED and breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == BREAKER_OPEN
+        assert not breaker.allow()
+
+    def test_success_resets_the_failure_streak(self):
+        breaker, _ = self.make(threshold=2)
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == BREAKER_CLOSED
+
+    def test_half_opens_after_cooldown(self):
+        breaker, clock = self.make(threshold=1, cooldown=10.0)
+        breaker.record_failure()
+        assert not breaker.allow()
+        clock.advance(9.9)
+        assert not breaker.allow()
+        clock.advance(0.2)
+        assert breaker.state == BREAKER_HALF_OPEN
+        assert breaker.allow()  # the probe
+
+    def test_half_open_admits_bounded_probes(self):
+        breaker, clock = self.make(threshold=1, cooldown=1.0, probes=2)
+        breaker.record_failure()
+        clock.advance(1.1)
+        assert breaker.allow() and breaker.allow()
+        assert not breaker.allow()  # third concurrent probe refused
+
+    def test_probe_success_closes(self):
+        breaker, clock = self.make(threshold=1, cooldown=1.0)
+        breaker.record_failure()
+        clock.advance(1.1)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == BREAKER_CLOSED
+        assert breaker.allow()
+
+    def test_probe_failure_reopens_and_restarts_cooldown(self):
+        breaker, clock = self.make(threshold=1, cooldown=1.0)
+        breaker.record_failure()
+        clock.advance(1.1)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == BREAKER_OPEN
+        assert not breaker.allow()
+        clock.advance(1.1)
+        assert breaker.state == BREAKER_HALF_OPEN
+
+    def test_snapshot_and_gauge(self):
+        breaker, clock = self.make(threshold=1, cooldown=1.0)
+        assert breaker.state_gauge() == 0.0
+        breaker.record_failure()
+        snap = breaker.snapshot()
+        assert snap["state"] == BREAKER_OPEN and snap["opens"] == 1
+        assert breaker.state_gauge() == 1.0
+        clock.advance(1.1)
+        assert breaker.state_gauge() == 0.5
+        json.dumps(breaker.snapshot())
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(half_open_probes=0)
+
+    def test_from_policy(self):
+        policy = ResiliencePolicy(breaker_failure_threshold=7,
+                                  breaker_cooldown_s=2.5)
+        breaker = CircuitBreaker.from_policy(policy)
+        assert breaker.failure_threshold == 7
+        assert breaker.cooldown_s == 2.5
+
+
+class TestTranslationResultEnvelope:
+    def test_from_failure(self):
+        error = CircuitOpen("open", stage=None)
+        result = TranslationResult.from_failure(error, attempts=2,
+                                                timings={"annotate": 0.1})
+        assert result.status == "failed" and not result.ok
+        assert result.sql is None and result.translation is None
+        assert result.error["type"] == "CircuitOpen"
+        assert result.attempts == 2
+        assert result.exception is error
+        payload = result.to_dict()
+        json.dumps(payload)
+        assert "exception" not in payload and "translation" not in payload

@@ -2,7 +2,8 @@
 
 These use a stub translator (no training) so cache semantics, metrics
 bookkeeping, and request normalization are exercised in milliseconds;
-the trained-model behaviour is covered by the differential suite.
+the trained-model behaviour is covered by the differential suite and
+the resilience behaviour by ``test_resilience.py``/``test_faults.py``.
 """
 
 import json
@@ -15,6 +16,7 @@ from repro.errors import ModelError, ReproError
 from repro.serving import (
     MetricsRegistry,
     TranslationRequest,
+    TranslationResult,
     TranslationService,
     as_request,
     normalize_question,
@@ -112,6 +114,27 @@ class TestMetricsRegistry:
         assert hist["mean_s"] == pytest.approx(0.5)
         assert hist["min_s"] == 0.25 and hist["max_s"] == 0.75
 
+    def test_histogram_minmax_from_first_observation(self):
+        # A sub-zero first sample (coarse clocks can tick backwards
+        # across cores) must become the max, not be masked by a 0.0
+        # sentinel.
+        metrics = MetricsRegistry()
+        metrics.observe("skew", -0.002)
+        hist = metrics.snapshot()["histograms"]["skew"]
+        assert hist["min_s"] == -0.002 and hist["max_s"] == -0.002
+        metrics.observe("skew", -0.001)
+        hist = metrics.snapshot()["histograms"]["skew"]
+        assert hist["max_s"] == -0.001
+
+    def test_gauges(self):
+        metrics = MetricsRegistry()
+        assert metrics.gauge("breaker_state") == 0.0
+        metrics.set_gauge("breaker_state", 1.0)
+        metrics.set_gauge("cache_size", 12)
+        assert metrics.gauge("breaker_state") == 1.0
+        snap = metrics.snapshot()
+        assert snap["gauges"] == {"breaker_state": 1.0, "cache_size": 12.0}
+
     def test_time_context_records_a_sample(self):
         metrics = MetricsRegistry()
         with metrics.time("block"):
@@ -122,13 +145,16 @@ class TestMetricsRegistry:
         metrics = MetricsRegistry()
         metrics.increment("x")
         metrics.observe("y", 1.0)
+        metrics.set_gauge("z", 2.0)
         metrics.reset()
-        assert metrics.snapshot() == {"counters": {}, "histograms": {}}
+        assert metrics.snapshot() == {"counters": {}, "gauges": {},
+                                      "histograms": {}}
 
     def test_snapshot_is_json_serializable(self):
         metrics = MetricsRegistry()
         metrics.increment("requests")
         metrics.observe("annotate", 0.1)
+        metrics.set_gauge("cache_size", 1.0)
         json.dumps(metrics.snapshot())
 
 
@@ -144,6 +170,23 @@ class TestRequestNormalization:
         widened = as_request((QUESTION, table, 3))
         assert widened.beam_width == 3
 
+    def test_question_normalized_to_token_tuple(self):
+        table = make_table()
+        from_string = TranslationRequest(QUESTION, table)
+        from_list = TranslationRequest(QUESTION.split(), table)
+        assert isinstance(from_string.question, tuple)
+        assert from_string == from_list
+
+    def test_requests_are_hashable_cache_keys(self):
+        # Equal content (even across table objects) -> one set entry.
+        a = TranslationRequest(QUESTION, make_table())
+        b = TranslationRequest(QUESTION.split(), make_table())
+        assert hash(a) == hash(b)
+        assert len({a, b}) == 1
+        other = TranslationRequest(QUESTION, make_table(
+            rows=[("mirror", "tarkovsky", 1975)]))
+        assert len({a, other}) == 2
+
     def test_as_request_rejects_junk(self):
         with pytest.raises(ReproError):
             as_request("just a string")
@@ -157,12 +200,24 @@ class TestServiceCache:
         with pytest.raises(ModelError):
             TranslationService(model)
 
+    def test_envelope_shape_on_success(self, stub_service):
+        result = stub_service.translate(QUESTION, make_table())
+        assert isinstance(result, TranslationResult)
+        assert result.status == "ok" and result.ok
+        assert result.sql == result.translation.query.to_sql()
+        assert result.error is None
+        assert result.attempts == 1 and not result.cached
+        assert {"annotate", "translate", "recover"} <= set(result.timings)
+        json.dumps(result.to_dict())
+
     def test_repeat_question_skips_the_model(self, stub_service, stub):
         table = make_table()
         first = stub_service.translate(QUESTION, table)
         second = stub_service.translate(QUESTION, table)
         assert stub.calls == 1
-        assert second is first  # the cached object itself
+        assert second.translation is first.translation  # the cached object
+        assert second.cached and not first.cached
+        assert second.attempts == 0
         assert stub_service.metrics.counter("cache_hits") == 1
 
     def test_content_equal_table_object_hits(self, stub_service, stub):
@@ -209,6 +264,27 @@ class TestServiceCache:
         assert stub.calls == 2
 
 
+class TestRawShim:
+    def test_raw_returns_bare_translation(self, stub_service):
+        with pytest.deprecated_call():
+            translation = stub_service.translate(QUESTION, make_table(),
+                                                 raw=True)
+        assert translation.query is not None
+        assert not isinstance(translation, TranslationResult)
+
+    def test_raw_reraises_pipeline_errors(self, stub_service):
+        with pytest.deprecated_call():
+            with pytest.raises(ModelError):
+                stub_service.translate([], make_table(), raw=True)
+
+    def test_raw_batch(self, stub_service):
+        table = make_table()
+        with pytest.deprecated_call():
+            translations = stub_service.translate_batch(
+                [(QUESTION, table)] * 2, raw=True)
+        assert all(t.query is not None for t in translations)
+
+
 class TestServiceFailures:
     def test_recovery_failure_is_cached_and_counted(self, stub):
         stub.output = ["bogus"]  # not a valid annotated SQL
@@ -218,17 +294,28 @@ class TestServiceFailures:
         table = make_table()
         first = service.translate(QUESTION, table)
         second = service.translate(QUESTION, table)
-        assert first.query is None and first.error
-        assert second is first
+        assert first.status == "failed" and first.sql is None
+        assert first.translation.query is None and first.error
+        assert first.error["stage"] == "recover"
+        assert second.translation is first.translation
         assert service.metrics.counter("recovery_failures") == 1
 
-    def test_annotation_failure_counted_and_raised(self, stub_service):
-        with pytest.raises(ModelError):
-            stub_service.translate([], make_table())
+    def test_annotation_failure_is_structured(self, stub_service):
+        result = stub_service.translate([], make_table())
+        assert result.status == "failed"
+        assert result.translation is None and result.sql is None
+        assert result.error["type"] == "ModelError"
+        assert result.error["stage"] == "annotate"
         metrics = stub_service.metrics
         assert metrics.counter("annotation_failures") == 1
+        assert metrics.counter("served_failed") == 1
         assert metrics.counter("cache_hits") \
             + metrics.counter("cache_misses") == metrics.counter("requests")
+
+    def test_failures_are_not_cached(self, stub_service, stub):
+        stub_service.translate([], make_table())
+        stub_service.translate([], make_table())
+        assert stub_service.metrics.counter("cache_misses") == 2
 
 
 class TestServiceBatch:
@@ -241,7 +328,7 @@ class TestServiceBatch:
         assert len(results) == 5
         singles = [stub_service.translate(q, t) for q, t in requests]
         for batched, single in zip(results, singles):
-            assert batched.result_equal(single)
+            assert batched.translation.result_equal(single.translation)
 
     def test_duplicates_within_a_batch_compute_once(self, stub_service,
                                                     stub):
@@ -249,7 +336,7 @@ class TestServiceBatch:
         results = stub_service.translate_batch(
             [(QUESTION, table)] * 4)
         assert stub.calls == 1
-        assert all(r is results[0] for r in results)
+        assert all(r.translation is results[0].translation for r in results)
         assert stub_service.metrics.counter("batch_requests") == 4
         assert stub_service.metrics.counter("batches") == 1
 
@@ -263,11 +350,25 @@ class TestServiceBatch:
         assert all(r is not None for r in results)
         assert stub_service.metrics.counter("requests") == 3
 
+    def test_bad_item_yields_failed_envelope_not_exception(self,
+                                                           stub_service):
+        table = make_table()
+        results = stub_service.translate_batch(
+            [(QUESTION, table), "junk", (QUESTION, table)])
+        assert [r.status for r in results] == ["ok", "failed", "ok"]
+        assert results[1].error["type"] == "ReproError"
+        assert stub_service.metrics.counter("bad_requests") == 1
+
     def test_stats_shape(self, stub_service):
         stub_service.translate(QUESTION, make_table())
         stats = stub_service.stats()
         json.dumps(stats)
-        assert {"counters", "histograms", "cache"} <= set(stats)
+        assert {"counters", "gauges", "histograms", "cache", "breaker",
+                "policy"} <= set(stats)
         assert stats["cache"]["size"] == 1
+        assert stats["breaker"]["state"] == "closed"
+        assert stats["gauges"]["breaker_state"] == 0.0
+        assert stats["gauges"]["cache_size"] == 1.0
+        assert stats["counters"]["served_ok"] == 1
         for stage in ("annotate", "translate", "recover"):
             assert stats["histograms"][stage]["count"] == 1
