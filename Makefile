@@ -5,7 +5,8 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: check test test-faults lint bench-serving bench
+.PHONY: check test test-faults test-pipeline lint bench-serving \
+	bench-smoke bench
 
 # Tier-1: the full unit/integration/property suite.
 test:
@@ -19,6 +20,12 @@ test-faults:
 	$(PYTHON) -m pytest tests/serving/test_faults.py \
 		tests/serving/test_resilience.py -q
 
+# Stage-graph executor suite: the pipeline package, the NLIDB stage
+# decomposition, per-rung trace coverage, and the pre/post-refactor
+# SQL differential.
+test-pipeline:
+	$(PYTHON) -m pytest tests/pipeline -q
+
 # Style gate (requires ruff; CI installs it).
 lint:
 	ruff check src tests benchmarks
@@ -28,8 +35,12 @@ lint:
 bench-serving:
 	REPRO_BENCH_SCALE=smoke $(PYTHON) -m pytest benchmarks/bench_serving.py -q
 
+# CI-friendly alias: the serving benchmark at smoke scale is the
+# fastest end-to-end exercise of the stage-graph serving path.
+bench-smoke: bench-serving
+
 # Full paper-table benchmark suite (slow; standard scale by default).
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
-check: test test-faults bench-serving
+check: test test-pipeline test-faults bench-serving

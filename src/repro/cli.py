@@ -222,6 +222,9 @@ def _cmd_serve_stats(args) -> int:
             outcomes[result.status] += 1
     report = service.stats()
     report["outcomes"] = outcomes
+    # One per-stage trace, as a worked example of the pipeline records
+    # behind every histogram above.
+    report["trace_sample"] = results[-1].to_dict()["trace"]
     if injector is not None:
         report["faults"] = injector.stats()
     print(json.dumps(report, indent=2, sort_keys=True))

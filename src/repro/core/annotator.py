@@ -25,6 +25,12 @@ import numpy as np
 from repro.caching import LRUCache
 from repro.data.records import Example
 from repro.errors import ModelError
+from repro.pipeline import (
+    Pipeline,
+    PipelineContext,
+    StageTrace,
+    artifact_cache_middleware,
+)
 from repro.sqlengine import Table, table_fingerprint
 from repro.text import (
     KnowledgeBase,
@@ -52,12 +58,18 @@ from repro.core.mention import (
     resolve_mentions,
 )
 
-__all__ = ["AnnotatorConfig", "Annotator"]
+__all__ = ["AnnotatorConfig", "Annotator", "ANNOTATION_MODES"]
 
 #: Capacity of the per-annotator column-statistics cache.  Statistics
 #: are keyed by table *content* fingerprint, so the cache survives table
 #: object recreation but never outlives a data or schema edit.
 STATS_CACHE_SIZE = 64
+
+#: The annotation pipeline variants: the paper's full adversarial
+#: pipeline, and the context-free matcher-only rung the serving layer
+#: degrades to.  Variant selection lives on the ``PipelineContext``
+#: (``ctx.mode``); the stage graph itself is shared.
+ANNOTATION_MODES = ("full", "context_free")
 
 
 @dataclass
@@ -93,6 +105,7 @@ class Annotator:
             or ClassifierConfig(word_dim=embeddings.dim))
         self.value_classifier = ValueDetectionClassifier(embeddings)
         self._column_stats_cache = LRUCache(maxsize=STATS_CACHE_SIZE)
+        self._pipeline: Pipeline | None = None  # built lazily, stateless
         self._fitted = False
 
     # ------------------------------------------------------------------
@@ -170,16 +183,12 @@ class Annotator:
         # changes the key and recomputes.  The bounded LRU keeps the
         # cache from growing without limit under many-table traffic.
         key = table_fingerprint(table)
-        stats = self._column_stats_cache.get(key)
-        if stats is None:
-            stats = {
-                column.name.lower(): column_statistics(
-                    table.column_values(column.name), self.embeddings.vector,
-                    self.embeddings.dim)
-                for column in table.columns
-            }
-            self._column_stats_cache.put(key, stats)
-        return stats
+        return self._column_stats_cache.get_or_compute(key, lambda: {
+            column.name.lower(): column_statistics(
+                table.column_values(column.name), self.embeddings.vector,
+                self.embeddings.dim)
+            for column in table.columns
+        })
 
     @staticmethod
     def _numeric_ranges(table: Table) -> dict[str, tuple[float, float]]:
@@ -208,8 +217,29 @@ class Annotator:
     # Annotation
     # ------------------------------------------------------------------
 
+    def annotation_pipeline(self, mode: str = "full") -> Pipeline:
+        """The annotation stage graph (validated for ``mode``).
+
+        Four explicit substages — value detection, column detection
+        (classifier + adversarial localization in full mode), mention
+        resolution, symbol allocation — communicating through the
+        context's artifacts.  The graph itself is mode-independent
+        (stages read ``ctx.mode``); the argument only validates the
+        requested variant.
+        """
+        if mode not in ANNOTATION_MODES:
+            raise ModelError(f"unknown annotation mode {mode!r}; "
+                             "expected 'full' or 'context_free'")
+        if self._pipeline is None:
+            self._pipeline = Pipeline(
+                (_ValueDetectionStage(self), _ColumnDetectionStage(self),
+                 _MentionResolutionStage(self), _SymbolAllocationStage(self)),
+                middleware=(artifact_cache_middleware,), name="annotate")
+        return self._pipeline
+
     def annotate(self, question: str | list[str], table: Table,
-                 mode: str = "full") -> AnnotatedQuestion:
+                 mode: str = "full",
+                 trace: StageTrace | None = None) -> AnnotatedQuestion:
         """Produce the annotated form ``qᵃ`` of a question.
 
         ``mode="full"`` runs the whole pipeline.  ``mode="context_free"``
@@ -218,25 +248,24 @@ class Annotator:
         matches — skipping both trained classifiers and the adversarial
         localization.  It is cheaper and model-independent, which makes
         it the serving layer's degraded-annotation fallback.
+
+        Pass a :class:`StageTrace` to collect per-substage records
+        (wall time, outcome, the mention-resolution strategy).
         """
-        if mode not in ("full", "context_free"):
-            raise ModelError(f"unknown annotation mode {mode!r}; "
-                             "expected 'full' or 'context_free'")
-        tokens = tokenize(question) if isinstance(question, str) else list(question)
-        if not tokens:
-            raise ModelError("cannot annotate an empty question")
-        cfg = self.config
-        classifiers_on = mode == "full"
+        pipeline = self.annotation_pipeline(mode)
+        tokens = (tokenize(question) if isinstance(question, str)
+                  else list(question))
+        ctx = PipelineContext(question_tokens=tokens, table=table, mode=mode,
+                              trace=trace if trace is not None
+                              else StageTrace())
+        pipeline.run(ctx)
+        return ctx.artifacts["annotation"]
 
-        value_spans = self._detect_values(tokens, table,
-                                          use_classifier=classifiers_on)
-        blocked = {i for candidate in value_spans
-                   for i in range(candidate.start, candidate.end)}
-        column_spans = self._detect_columns(tokens, table, blocked,
-                                            use_classifier=classifiers_on)
-
-        tree = (parse_dependency(tokens)
-                if cfg.use_dependency_resolution else _LinearTree(tokens))
+    def _pair_mentions(self, tokens: list[str],
+                       column_spans: dict[str, tuple[int, int]],
+                       value_spans: list[ValueCandidate],
+                       tree) -> dict[tuple[int, int], str]:
+        """Pair value spans with columns (explicitly, then implicitly)."""
         resolved = resolve_mentions(tokens, column_spans, value_spans,
                                     tree=tree)
         paired_columns = {pair.column for pair in resolved}
@@ -257,8 +286,7 @@ class Annotator:
             _, column = max(free)
             assignments[key] = column
             paired_columns.add(column)
-
-        return self._allocate_symbols(tokens, table, column_spans, assignments)
+        return assignments
 
     # -- detection stages ------------------------------------------------
 
@@ -416,6 +444,93 @@ class Annotator:
                   for (start, end), column in sorted(assignments.items())]
         return AnnotatedQuestion(question_tokens=tokens, table=table,
                                  columns=columns, values=values)
+
+
+# ----------------------------------------------------------------------
+# Annotation substages (the stage-graph decomposition of ``annotate``)
+# ----------------------------------------------------------------------
+
+
+class _AnnotatorStage:
+    """Base for substages: stateless, bound to one annotator."""
+
+    __slots__ = ("annotator",)
+
+    def __init__(self, annotator: Annotator):
+        self.annotator = annotator
+
+
+class _ValueDetectionStage(_AnnotatorStage):
+    """Exact cell matching plus (full mode) the statistics classifier."""
+
+    name = "annotate.values"
+    provides = ("value_spans",)
+
+    def run(self, ctx) -> None:
+        tokens = ctx.question_tokens
+        if not tokens:
+            raise ModelError("cannot annotate an empty question")
+        use_classifier = ctx.mode == "full"
+        spans = self.annotator._detect_values(tokens, ctx.table,
+                                              use_classifier=use_classifier)
+        ctx.artifacts["value_spans"] = spans
+        ctx.note(classifier=use_classifier
+                 and self.annotator.config.use_value_classifier,
+                 spans=len(spans))
+
+
+class _ColumnDetectionStage(_AnnotatorStage):
+    """Context-free matching plus (full mode) classifier + adversarial
+    localization of column mentions."""
+
+    name = "annotate.columns"
+    provides = ("column_spans",)
+
+    def run(self, ctx) -> None:
+        value_spans = ctx.artifacts["value_spans"]
+        blocked = {i for candidate in value_spans
+                   for i in range(candidate.start, candidate.end)}
+        use_classifier = ctx.mode == "full"
+        spans = self.annotator._detect_columns(ctx.question_tokens, ctx.table,
+                                               blocked,
+                                               use_classifier=use_classifier)
+        ctx.artifacts["column_spans"] = spans
+        ctx.note(classifier=use_classifier
+                 and self.annotator.config.use_column_classifier,
+                 columns=len(spans))
+
+
+class _MentionResolutionStage(_AnnotatorStage):
+    """Pair value spans with columns; records which strategy resolved
+    them (dependency tree vs the linear token-distance fallback)."""
+
+    name = "annotate.resolve"
+    provides = ("assignments",)
+
+    def run(self, ctx) -> None:
+        annotator = self.annotator
+        tokens = ctx.question_tokens
+        if annotator.config.use_dependency_resolution:
+            strategy, tree = "dependency", parse_dependency(tokens)
+        else:
+            strategy, tree = "linear", _LinearTree(tokens)
+        assignments = annotator._pair_mentions(
+            tokens, ctx.artifacts["column_spans"],
+            ctx.artifacts["value_spans"], tree)
+        ctx.artifacts["assignments"] = assignments
+        ctx.note(strategy=strategy, pairs=len(assignments))
+
+
+class _SymbolAllocationStage(_AnnotatorStage):
+    """Allocate ``c_i`` / ``v_i`` indices in first-reference order."""
+
+    name = "annotate.symbols"
+    provides = ("annotation",)
+
+    def run(self, ctx) -> None:
+        ctx.artifacts["annotation"] = self.annotator._allocate_symbols(
+            ctx.question_tokens, ctx.table, ctx.artifacts["column_spans"],
+            ctx.artifacts["assignments"])
 
 
 class _LinearTree:

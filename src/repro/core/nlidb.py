@@ -10,11 +10,19 @@ domains never seen in training (the transfer-learnability claim).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from time import perf_counter
-from typing import Callable
+from typing import Callable, Sequence
 
 from repro.data.records import Example
 from repro.errors import AnnotationError, ModelError, ReproError
+from repro.pipeline import (
+    OUTCOME_OK,
+    Deadline,
+    Middleware,
+    Pipeline,
+    PipelineContext,
+    StageTrace,
+    artifact_cache_middleware,
+)
 from repro.sqlengine import Query, Table
 from repro.text import KnowledgeBase, WordEmbeddings, tokenize
 
@@ -64,6 +72,9 @@ class Translation:
     predicted_annotated_sql: list[str]
     annotation: AnnotatedQuestion
     error: str | None = None
+    #: Per-stage :class:`~repro.pipeline.StageRecord` tuple from the run
+    #: that produced this translation (excluded from outcome equality).
+    trace: tuple = field(default=(), repr=False, compare=False)
 
     def signature(self) -> tuple:
         """A hashable summary of the translation *outcome*.
@@ -110,6 +121,7 @@ class NLIDB:
         # with stage ∈ {"annotate", "translate", "recover"} on every
         # :meth:`translate` call — the serving layer's metrics hook.
         self.stage_timer: Callable[[str, float], None] | None = None
+        self._pipeline: Pipeline | None = None  # built lazily, stateless
         self._fitted = False
 
     # ------------------------------------------------------------------
@@ -236,31 +248,85 @@ class NLIDB:
                            predicted_annotated_sql=predicted,
                            annotation=annotation)
 
+    # ------------------------------------------------------------------
+    # The stage graph
+    # ------------------------------------------------------------------
+
+    def pipeline(self, mode: str = "full",
+                 middleware: Sequence[Middleware] = ()) -> Pipeline:
+        """The annotate → translate → recover stage graph.
+
+        The base graph is mode-independent (``mode`` travels on the
+        context) and cached on the instance; ``mode`` is validated here
+        so misconfigured callers fail before running anything.  Extra
+        ``middleware`` wraps outermost around the built-in artifact
+        cache — the serving layer adds deadline checks and fault
+        injection this way.
+        """
+        self.annotator.annotation_pipeline(mode)  # validates the mode
+        if self._pipeline is None:
+            self._pipeline = Pipeline(
+                (_AnnotateStage(self), _TranslateStage(self),
+                 _RecoverStage(self)),
+                middleware=(artifact_cache_middleware,), name="nlidb")
+        if middleware:
+            return self._pipeline.with_middleware(*middleware)
+        return self._pipeline
+
+    def context(self, question: str | list[str], table: Table,
+                mode: str = "full", beam_width: int | None = None,
+                header_tokens: list[str] | None = None,
+                deadline: Deadline | None = None,
+                trace: StageTrace | None = None, attempt: int = 1,
+                artifacts: dict | None = None) -> PipelineContext:
+        """Build the per-request context :meth:`pipeline` executes over.
+
+        Pass ``artifacts`` (e.g. a precomputed ``annotation``) to let
+        the artifact-cache middleware skip the stages that would
+        recompute them; pass ``trace`` to accumulate several runs into
+        one request-level trace.
+        """
+        tokens = (tokenize(question) if isinstance(question, str)
+                  else list(question))
+        return PipelineContext(
+            question_tokens=tokens, table=table, mode=mode,
+            beam_width=beam_width, header_tokens=header_tokens,
+            deadline=deadline, attempt=attempt,
+            artifacts=dict(artifacts) if artifacts else {},
+            trace=trace if trace is not None else StageTrace())
+
     def translate(self, question: str | list[str], table: Table,
                   beam_width: int | None = None,
                   mode: str = "full") -> Translation:
         """Translate a question into an executable SQL query.
 
-        Composes the three stages (annotate → translate → recover); an
-        attached :attr:`stage_timer` observes each stage's wall time.
-        ``mode`` selects the annotation pipeline (see :meth:`annotate`).
+        Runs the annotate → translate → recover :meth:`pipeline`; the
+        resulting :class:`Translation` carries the run's per-stage
+        trace, and an attached :attr:`stage_timer` observes each
+        completed top-level stage's wall time.  ``mode`` selects the
+        annotation pipeline (see :meth:`annotate`).
         """
         if not self._fitted:
             raise ModelError("translate() called before fit()")
-        start = perf_counter()
-        annotation = self.annotate(question, table, mode=mode)
-        self._emit("annotate", start)
-        start = perf_counter()
-        source, predicted = self.predict_annotated(annotation, beam_width)
-        self._emit("translate", start)
-        start = perf_counter()
-        translation = self.recover(source, predicted, annotation)
-        self._emit("recover", start)
+        ctx = self.context(question, table, mode=mode,
+                           beam_width=beam_width)
+        try:
+            self.pipeline(mode).run(ctx)
+        finally:
+            self._emit_timings(ctx.trace)
+        translation = ctx.artifacts["translation"]
+        translation.trace = tuple(ctx.trace)
         return translation
 
-    def _emit(self, stage: str, start: float) -> None:
-        if self.stage_timer is not None:
-            self.stage_timer(stage, perf_counter() - start)
+    def _emit_timings(self, records) -> None:
+        # Completed top-level stages only: sub-stages carry dotted
+        # names, and failed stages were never reported by the pre-graph
+        # implementation either.
+        if self.stage_timer is None:
+            return
+        for record in records:
+            if record.outcome == OUTCOME_OK and "." not in record.stage:
+                self.stage_timer(record.stage, record.wall_s)
 
     def to_sql(self, question: str | list[str], table: Table) -> str:
         """Convenience: question text in, SQL text out.
@@ -272,3 +338,66 @@ class NLIDB:
             raise AnnotationError(
                 f"could not recover SQL: {translation.error}")
         return translation.query.to_sql()
+
+
+# ----------------------------------------------------------------------
+# Stages (the paper's three steps as pipeline nodes)
+# ----------------------------------------------------------------------
+
+
+class _NLIDBStage:
+    """Base for stages bound to one (stateless w.r.t. requests) NLIDB."""
+
+    __slots__ = ("nlidb",)
+
+    def __init__(self, nlidb: NLIDB):
+        self.nlidb = nlidb
+
+
+class _AnnotateStage(_NLIDBStage):
+    """Step 1, ``q → qᵃ``: the annotator's sub-pipeline, composed.
+
+    Runs the annotation sub-stages on the *same* context, so their
+    dotted records (``annotate.values`` …) land in the same trace; any
+    escaping error is re-labelled with this stage's top-level name,
+    which is the granularity the serving ladder routes on.
+    """
+
+    name = "annotate"
+    provides = ("annotation",)
+
+    def run(self, ctx: PipelineContext) -> None:
+        try:
+            self.nlidb.annotator.annotation_pipeline(ctx.mode).run(ctx)
+        except ReproError as exc:
+            exc.stage = self.name
+            raise
+
+
+class _TranslateStage(_NLIDBStage):
+    """Step 2, ``qᵃ → sᵃ``: encode and beam-decode the annotation."""
+
+    name = "translate"
+    provides = ("source", "predicted")
+
+    def run(self, ctx: PipelineContext) -> None:
+        source, predicted = self.nlidb.predict_annotated(
+            ctx.artifacts["annotation"], beam_width=ctx.beam_width,
+            header_tokens=ctx.header_tokens)
+        ctx.artifacts["source"] = source
+        ctx.artifacts["predicted"] = predicted
+        ctx.note(source_len=len(source), predicted_len=len(predicted))
+
+
+class _RecoverStage(_NLIDBStage):
+    """Step 3, ``sᵃ → s``: resolve symbols into an executable query."""
+
+    name = "recover"
+    provides = ("translation",)
+
+    def run(self, ctx: PipelineContext) -> None:
+        translation = self.nlidb.recover(
+            ctx.artifacts["source"], ctx.artifacts["predicted"],
+            ctx.artifacts["annotation"])
+        ctx.artifacts["translation"] = translation
+        ctx.note(recovered=translation.error is None)

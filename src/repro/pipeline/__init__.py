@@ -1,0 +1,40 @@
+"""The typed stage-graph executor behind annotate → translate → recover.
+
+The paper's three-step pipeline (annotation ``q → qᵃ``, translation
+``qᵃ → sᵃ``, recovery ``sᵃ → s``) is the spine of the system; this
+package gives it one owner.  A :class:`Pipeline` sequences
+:class:`Stage` objects over a :class:`PipelineContext` (question
+tokens, table, artifacts, deadline, rng) while middleware composes the
+cross-cutting concerns — deadline checks, fault injection, artifact
+caching — and every run leaves an append-only :class:`StageTrace` of
+per-stage records (name, wall time, outcome, attempt, cache hit).
+
+Layering: this package depends only on ``repro.errors`` (and, for
+typing, ``repro.sqlengine``).  ``repro.core`` builds its pipelines
+from it; ``repro.serving`` adds caching, retries, degradation ladders,
+and breakers *around* it.
+"""
+
+from repro.pipeline.context import PipelineContext
+from repro.pipeline.deadline import Deadline
+from repro.pipeline.executor import Middleware, Pipeline, Stage
+from repro.pipeline.middleware import (
+    FaultMiddleware,
+    artifact_cache_middleware,
+    deadline_middleware,
+)
+from repro.pipeline.trace import (
+    OUTCOME_CACHED,
+    OUTCOME_ERROR,
+    OUTCOME_OK,
+    OUTCOME_SKIPPED,
+    StageRecord,
+    StageTrace,
+)
+
+__all__ = [
+    "Pipeline", "Stage", "Middleware", "PipelineContext",
+    "StageRecord", "StageTrace", "Deadline",
+    "OUTCOME_OK", "OUTCOME_ERROR", "OUTCOME_CACHED", "OUTCOME_SKIPPED",
+    "deadline_middleware", "FaultMiddleware", "artifact_cache_middleware",
+]

@@ -1,0 +1,62 @@
+"""The mutable state one question carries through the stage graph.
+
+A :class:`PipelineContext` is created per translation attempt and
+threaded through every stage: inputs (question tokens, table, mode,
+beam width, precomputed header tokens), cross-cutting controls (the
+deadline, an optional RNG), the ``artifacts`` dict stages read from
+and write to, and the append-only :class:`~repro.pipeline.trace.
+StageTrace` the executor fills in.
+
+The ``trace`` is injectable so a caller (the serving layer's retry /
+degradation ladder) can accumulate records from several pipeline runs
+into one request-level trace while giving each run fresh artifacts.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.pipeline.deadline import Deadline
+from repro.pipeline.trace import StageRecord, StageTrace
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sqlengine import Table
+
+__all__ = ["PipelineContext"]
+
+
+@dataclass
+class PipelineContext:
+    """Everything a stage may read or produce while translating.
+
+    Stages communicate exclusively through :attr:`artifacts` (keyed by
+    the names they declare in their ``provides`` tuple), so the
+    executor — not the stages — owns sequencing, and middleware can
+    skip a stage whose artifacts are already present.
+    """
+
+    question_tokens: list[str]
+    table: "Table | None" = None
+    mode: str = "full"
+    beam_width: int | None = None
+    header_tokens: list[str] | None = None
+    deadline: Deadline | None = None
+    rng: random.Random | None = None
+    #: 1-based attempt ordinal, stamped into every trace record.
+    attempt: int = 1
+    artifacts: dict = field(default_factory=dict)
+    trace: StageTrace = field(default_factory=StageTrace)
+    #: The record of the stage currently executing (executor-managed).
+    current_record: StageRecord | None = field(
+        default=None, init=False, repr=False, compare=False)
+
+    def note(self, **detail) -> None:
+        """Attach detail to the currently running stage's trace record.
+
+        No-op outside a stage, so helper code may call it
+        unconditionally.
+        """
+        if self.current_record is not None:
+            self.current_record.detail.update(detail)

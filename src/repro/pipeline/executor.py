@@ -1,0 +1,132 @@
+"""The typed stage-graph executor.
+
+A :class:`Pipeline` owns stage sequencing for the paper's
+annotate → translate → recover spine (and the annotator's sub-stages):
+it runs each :class:`Stage` through an onion of middleware, records a
+:class:`~repro.pipeline.trace.StageRecord` per stage into the
+context's trace — wall time, outcome, attempt, cache hit — and labels
+escaping :class:`~repro.errors.ReproError` exceptions with the stage
+they died in.  Cross-cutting concerns (deadlines, fault injection,
+artifact caching, metrics) compose as middleware instead of accreting
+into each caller.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+from typing import Callable, Protocol, Sequence, runtime_checkable
+
+from repro.errors import ReproError
+
+from repro.pipeline.context import PipelineContext
+from repro.pipeline.trace import OUTCOME_ERROR, StageRecord
+
+__all__ = ["Stage", "Middleware", "Pipeline"]
+
+
+@runtime_checkable
+class Stage(Protocol):
+    """One named unit of pipeline work.
+
+    A stage reads inputs from the context (and prior stages'
+    ``artifacts``) and writes the artifacts named in its optional
+    ``provides`` tuple.  Stages must be stateless with respect to the
+    request: all per-question state lives on the context, so one stage
+    instance may serve concurrent pipelines.
+    """
+
+    name: str
+
+    def run(self, ctx: PipelineContext) -> None: ...
+
+
+#: Middleware wraps a stage execution: it may inspect the context,
+#: raise (deadline checks, fault injection), skip the stage by not
+#: calling ``call_next`` (artifact caching), or simply delegate.
+Middleware = Callable[[Stage, PipelineContext, Callable[[], None]], None]
+
+
+class Pipeline:
+    """An ordered stage graph executed under shared middleware.
+
+    Pipelines are immutable and stateless: stages and middleware are
+    fixed at construction, all per-request state lives on the
+    :class:`PipelineContext`, so one pipeline instance is safely
+    shared across threads and requests.
+    """
+
+    __slots__ = ("stages", "middleware", "name")
+
+    def __init__(self, stages: Sequence[Stage],
+                 middleware: Sequence[Middleware] = (),
+                 name: str = "pipeline"):
+        stages = tuple(stages)
+        seen: set[str] = set()
+        for stage in stages:
+            stage_name = getattr(stage, "name", None)
+            if not stage_name or not callable(getattr(stage, "run", None)):
+                raise ValueError(
+                    f"{stage!r} does not implement the Stage protocol "
+                    "(needs a 'name' and a 'run(ctx)')")
+            if stage_name in seen:
+                raise ValueError(f"duplicate stage name {stage_name!r}")
+            seen.add(stage_name)
+        self.stages = stages
+        self.middleware = tuple(middleware)
+        self.name = name
+
+    def stage_names(self) -> tuple[str, ...]:
+        return tuple(stage.name for stage in self.stages)
+
+    def with_middleware(self, *middleware: Middleware) -> "Pipeline":
+        """A copy of this pipeline with ``middleware`` wrapped outermost.
+
+        Later layers (a service's deadline check) belong outside
+        earlier ones (fault injection, artifact caching), so prepending
+        is the natural composition direction.
+        """
+        return Pipeline(self.stages, tuple(middleware) + self.middleware,
+                        name=self.name)
+
+    def run(self, ctx: PipelineContext) -> PipelineContext:
+        """Execute every stage in order; returns the same context.
+
+        One :class:`StageRecord` is appended per stage — including
+        failing ones, so a raised run still leaves a complete partial
+        trace on the context for the caller to inspect.
+        """
+        for stage in self.stages:
+            self._run_stage(stage, ctx)
+        return ctx
+
+    # ------------------------------------------------------------------
+
+    def _run_stage(self, stage: Stage, ctx: PipelineContext) -> None:
+        record = StageRecord(stage=stage.name, attempt=ctx.attempt,
+                             mode=ctx.mode)
+        previous = ctx.current_record  # nested pipelines share the ctx
+        ctx.trace.append(record)
+        ctx.current_record = record
+        start = perf_counter()
+        try:
+            self._call(stage, ctx, 0)
+        except ReproError as exc:
+            record.outcome = OUTCOME_ERROR
+            record.error = type(exc).__name__
+            record.message = str(exc)
+            # Label the error with the stage it escaped from, unless a
+            # deeper layer (a nested pipeline, the fault injector, a
+            # deadline check) already named one.
+            if getattr(exc, "stage", None) is None:
+                exc.stage = stage.name
+            raise
+        finally:
+            record.wall_s = perf_counter() - start
+            ctx.current_record = previous
+
+    def _call(self, stage: Stage, ctx: PipelineContext, index: int) -> None:
+        if index < len(self.middleware):
+            self.middleware[index](
+                stage, ctx, lambda: self._call(stage, ctx, index + 1))
+        else:
+            stage.run(ctx)

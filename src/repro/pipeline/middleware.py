@@ -1,0 +1,80 @@
+"""Built-in pipeline middleware: the cross-cutting serving concerns.
+
+Each of these used to be hand-wired into a different layer — deadline
+checks in ``TranslationService._compute``, fault injection in
+``FaultyNLIDB``'s per-method shims, stage timing in three places.  As
+middleware they apply uniformly to any stage of any pipeline variant:
+
+* :func:`deadline_middleware` — consult ``ctx.deadline`` before each
+  stage (no-op when the context carries none);
+* :class:`FaultMiddleware` — run a fault injector's ``before(stage,
+  mode)`` hook ahead of each stage (deterministic failure testing);
+* :func:`artifact_cache_middleware` — skip a stage whose declared
+  ``provides`` artifacts are already on the context, recording a
+  ``cached`` outcome (pre-seeded annotations, replayed contexts).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Protocol
+
+from repro.pipeline.context import PipelineContext
+from repro.pipeline.trace import OUTCOME_CACHED
+
+__all__ = ["deadline_middleware", "FaultMiddleware",
+           "artifact_cache_middleware"]
+
+
+def deadline_middleware(stage, ctx: PipelineContext,
+                        call_next: Callable[[], None]) -> None:
+    """Enforce the context's latency budget before entering a stage.
+
+    Raises :class:`~repro.errors.DeadlineExceeded` naming the stage
+    that was about to run; contexts without a deadline pass through.
+    """
+    if ctx.deadline is not None:
+        ctx.deadline.check(stage.name)
+    call_next()
+
+
+class _Injector(Protocol):  # pragma: no cover - typing only
+    def before(self, stage: str, mode: str | None = None) -> None: ...
+
+
+class FaultMiddleware:
+    """Apply a fault injector's plan ahead of every stage.
+
+    The injector (see :class:`~repro.serving.faults.FaultInjector`) may
+    sleep (latency faults) or raise (transient/permanent faults); it
+    receives the stage name and the context's annotation mode, so one
+    plan can target e.g. only the full rung's ``annotate`` stage.
+    """
+
+    __slots__ = ("injector",)
+
+    def __init__(self, injector: _Injector):
+        self.injector = injector
+
+    def __call__(self, stage, ctx: PipelineContext,
+                 call_next: Callable[[], None]) -> None:
+        self.injector.before(stage.name, mode=ctx.mode)
+        call_next()
+
+
+def artifact_cache_middleware(stage, ctx: PipelineContext,
+                              call_next: Callable[[], None]) -> None:
+    """Skip a stage whose declared artifacts are already present.
+
+    A stage advertising ``provides = ("annotation",)`` is bypassed when
+    ``ctx.artifacts`` already holds every named key — the trace records
+    a ``cached`` outcome instead of re-running the work.  Stages
+    without a ``provides`` declaration always run.
+    """
+    provides = getattr(stage, "provides", ())
+    if provides and all(key in ctx.artifacts for key in provides):
+        record = ctx.current_record
+        if record is not None:
+            record.outcome = OUTCOME_CACHED
+            record.cached = True
+        return
+    call_next()

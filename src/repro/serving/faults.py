@@ -68,10 +68,11 @@ class FaultSpec:
     latency_s:
         Sleep duration for ``kind="latency"``.
     mode:
-        Restrict ``annotate`` faults to one annotation mode (``"full"``
-        or ``"context_free"``); ``None`` matches any.  This is how the
-        ladder tests break the full rung while leaving the context-free
-        rung healthy.
+        Restrict faults to one annotation mode (``"full"`` or
+        ``"context_free"``); ``None`` matches any.  Every stage of a
+        pipeline run carries the run's mode, so this is how the ladder
+        tests break the full rung while leaving the context-free rung
+        healthy.
     message:
         Override the generated error message.
     """
@@ -179,8 +180,10 @@ class FaultInjector:
 class FaultyNLIDB:
     """An :class:`NLIDB` lookalike with faults injected before stages.
 
-    Only the three staged-inference methods are intercepted; every
-    other attribute (``translator``, ``config``, ``header_tokens``,
+    Pipeline execution gets faults via :class:`~repro.pipeline.
+    FaultMiddleware` (see :meth:`pipeline`); the three staged-inference
+    methods are also intercepted for direct callers.  Every other
+    attribute (``translator``, ``config``, ``header_tokens``,
     ``_fitted``, …) is delegated, so the wrapper is a drop-in argument
     to :class:`~repro.serving.service.TranslationService`.
     """
@@ -188,6 +191,18 @@ class FaultyNLIDB:
     def __init__(self, nlidb, injector: FaultInjector):
         self._nlidb = nlidb
         self.injector = injector
+
+    def pipeline(self, mode: str = "full", middleware=()):
+        """The wrapped model's stage graph, plus fault middleware.
+
+        The injector hook runs innermost — directly before each stage,
+        inside the caller's deadline checks — which mirrors where the
+        old per-method shims sat.
+        """
+        from repro.pipeline import FaultMiddleware
+        return self._nlidb.pipeline(
+            mode, middleware=tuple(middleware)
+            + (FaultMiddleware(self.injector),))
 
     def annotate(self, question, table, mode: str = "full"):
         self.injector.before("annotate", mode=mode)

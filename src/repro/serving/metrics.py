@@ -15,16 +15,31 @@ from time import perf_counter
 __all__ = ["MetricsRegistry"]
 
 
-class _Histogram:
-    """Streaming summary of one latency series (seconds)."""
+#: Ring-buffer size for percentile estimation.  Bounded so a hot
+#: histogram cannot grow without limit; 1024 recent samples give stable
+#: p99 estimates for serving-sized traffic.
+RESERVOIR_SIZE = 1024
 
-    __slots__ = ("count", "total", "min", "max")
+#: The percentiles reported in every histogram summary.
+PERCENTILES = (50, 95, 99)
+
+
+class _Histogram:
+    """Streaming summary of one latency series (seconds).
+
+    count/total/min/max are exact over the whole series; percentiles
+    are nearest-rank estimates over a sliding window of the most recent
+    :data:`RESERVOIR_SIZE` observations.
+    """
+
+    __slots__ = ("count", "total", "min", "max", "_recent")
 
     def __init__(self) -> None:
         self.count = 0
         self.total = 0.0
         self.min = 0.0
         self.max = 0.0
+        self._recent: list[float] = []
 
     def observe(self, value: float) -> None:
         # min/max initialize from the first observation rather than
@@ -37,20 +52,38 @@ class _Histogram:
         else:
             self.min = min(self.min, value)
             self.max = max(self.max, value)
+        if len(self._recent) < RESERVOIR_SIZE:
+            self._recent.append(value)
+        else:
+            self._recent[self.count % RESERVOIR_SIZE] = value
         self.count += 1
         self.total += value
+
+    def percentile(self, q: float) -> float:
+        """Nearest-rank percentile ``q`` in [0, 100] over recent samples."""
+        if not self._recent:
+            return 0.0
+        ordered = sorted(self._recent)
+        rank = max(1, -(-q * len(ordered) // 100))  # ceil without floats
+        return ordered[int(rank) - 1]
 
     def summary(self) -> dict:
         if not self.count:
             return {"count": 0, "total_s": 0.0, "mean_s": 0.0,
-                    "min_s": 0.0, "max_s": 0.0}
-        return {
+                    "min_s": 0.0, "max_s": 0.0,
+                    **{f"p{q}_s": 0.0 for q in PERCENTILES}}
+        ordered = sorted(self._recent)
+        summary = {
             "count": self.count,
             "total_s": self.total,
             "mean_s": self.total / self.count,
             "min_s": self.min,
             "max_s": self.max,
         }
+        for q in PERCENTILES:
+            rank = max(1, -(-q * len(ordered) // 100))
+            summary[f"p{q}_s"] = ordered[int(rank) - 1]
+        return summary
 
 
 class MetricsRegistry:

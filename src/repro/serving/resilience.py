@@ -7,9 +7,9 @@ request is strictly more useful than one that is fast until the first
 unhandled exception.  This module holds the three mechanisms
 :class:`~repro.serving.service.TranslationService` composes:
 
-* :class:`Deadline` — a per-request latency budget checked before each
-  pipeline stage, raising :class:`~repro.errors.DeadlineExceeded` with
-  the stage it expired in;
+* :class:`~repro.pipeline.Deadline` (re-exported) — a per-request
+  latency budget enforced per stage by ``deadline_middleware``, raising
+  :class:`~repro.errors.DeadlineExceeded` with the stage it expired in;
 * :class:`ResiliencePolicy` — the knob bundle: deadline, bounded
   retry/backoff schedule, degradation switch, breaker thresholds;
 * :class:`CircuitBreaker` — a classic closed → open → half-open
@@ -30,7 +30,9 @@ from dataclasses import dataclass
 from time import monotonic
 from typing import Callable
 
-from repro.errors import DeadlineExceeded
+# Deadline moved down into repro.pipeline (it is enforced by pipeline
+# middleware now); re-exported here for backward compatibility.
+from repro.pipeline.deadline import Deadline
 
 __all__ = ["Deadline", "ResiliencePolicy", "CircuitBreaker",
            "BREAKER_CLOSED", "BREAKER_OPEN", "BREAKER_HALF_OPEN"]
@@ -43,49 +45,6 @@ BREAKER_HALF_OPEN = "half_open"
 #: snapshots want numbers, dashboards want a threshold-able series).
 BREAKER_STATE_GAUGE = {BREAKER_CLOSED: 0.0, BREAKER_HALF_OPEN: 0.5,
                        BREAKER_OPEN: 1.0}
-
-
-class Deadline:
-    """A latency budget started at construction time.
-
-    ``budget_s=None`` means "no deadline": :meth:`remaining` is
-    infinite and :meth:`check` never raises, so callers need no
-    conditional plumbing for the unlimited case.
-    """
-
-    __slots__ = ("budget_s", "_start", "_clock")
-
-    def __init__(self, budget_s: float | None,
-                 clock: Callable[[], float] = monotonic):
-        if budget_s is not None and budget_s < 0:
-            raise ValueError(f"deadline budget must be >= 0, got {budget_s}")
-        self.budget_s = budget_s
-        self._clock = clock
-        self._start = clock()
-
-    def elapsed(self) -> float:
-        """Seconds since the deadline started."""
-        return self._clock() - self._start
-
-    def remaining(self) -> float:
-        """Seconds left in the budget (``inf`` when unlimited, >= 0)."""
-        if self.budget_s is None:
-            return float("inf")
-        return max(0.0, self.budget_s - self.elapsed())
-
-    def expired(self) -> bool:
-        return self.remaining() <= 0.0
-
-    def check(self, stage: str) -> None:
-        """Raise :class:`DeadlineExceeded` if the budget is spent.
-
-        Called *before* entering each pipeline stage, so the raised
-        error names the stage that was about to run when time ran out.
-        """
-        if self.expired():
-            raise DeadlineExceeded(
-                f"deadline of {self.budget_s:.3f}s exceeded before "
-                f"{stage!r} (elapsed {self.elapsed():.3f}s)", stage=stage)
 
 
 @dataclass(frozen=True)

@@ -23,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.core.nlidb import Translation
+from repro.pipeline import OUTCOME_ERROR, StageRecord
 
 __all__ = ["TranslationResult", "STATUS_OK", "STATUS_DEGRADED",
            "STATUS_FAILED", "describe_error"]
@@ -73,6 +74,11 @@ class TranslationResult:
         are prefixed ``"degraded."``.
     cached:
         Whether the translation came from the warm cache.
+    trace:
+        Every :class:`~repro.pipeline.StageRecord` the request produced,
+        across all ladder rungs and retry attempts, in execution order.
+        Never empty: even a cache hit or a pre-pipeline failure records
+        one entry.
     """
 
     status: str
@@ -82,6 +88,7 @@ class TranslationResult:
     attempts: int = 0
     timings: dict[str, float] = field(default_factory=dict)
     cached: bool = False
+    trace: tuple = ()
     #: The exception behind ``error`` — kept so the deprecated
     #: ``raw=True`` shim can re-raise with the original type/traceback.
     exception: BaseException | None = field(default=None, repr=False,
@@ -100,6 +107,7 @@ class TranslationResult:
             "attempts": self.attempts,
             "timings": dict(self.timings),
             "cached": self.cached,
+            "trace": [record.to_dict() for record in self.trace],
         }
 
     # ------------------------------------------------------------------
@@ -112,33 +120,49 @@ class TranslationResult:
                          cause: BaseException | None = None,
                          attempts: int = 0,
                          timings: dict[str, float] | None = None,
-                         cached: bool = False) -> "TranslationResult":
+                         cached: bool = False,
+                         trace=None) -> "TranslationResult":
         """Envelope a completed pipeline rung.
 
         A translation whose recovery failed (``query is None``) is a
         ``"failed"`` result — the service produced no SQL — with the
-        recovery message as the structured error.
+        recovery message as the structured error.  ``trace`` defaults
+        to the translation's own run trace.
         """
         timings = timings or {}
+        trace = tuple(trace) if trace is not None else \
+            tuple(getattr(translation, "trace", ()))
         if translation.query is None:
             error = {"type": "RecoveryError",
                      "message": translation.error or "recovery failed",
                      "stage": "recover", "retryable": False}
             return cls(status=STATUS_FAILED, sql=None,
                        translation=translation, error=error,
-                       attempts=attempts, timings=timings, cached=cached)
+                       attempts=attempts, timings=timings, cached=cached,
+                       trace=trace)
         status = STATUS_DEGRADED if degraded else STATUS_OK
         error = describe_error(cause) if degraded and cause is not None \
             else None
         return cls(status=status, sql=translation.query.to_sql(),
                    translation=translation, error=error,
-                   attempts=attempts, timings=timings, cached=cached)
+                   attempts=attempts, timings=timings, cached=cached,
+                   trace=trace)
 
     @classmethod
     def from_failure(cls, error: BaseException, *, attempts: int = 0,
                      timings: dict[str, float] | None = None,
-                     ) -> "TranslationResult":
-        """Envelope a request for which every ladder rung raised."""
+                     trace=None) -> "TranslationResult":
+        """Envelope a request for which every ladder rung raised.
+
+        When no pipeline stage ever ran (a malformed request, say), a
+        synthetic record keeps the every-result-has-a-trace invariant.
+        """
+        trace = tuple(trace) if trace is not None else ()
+        if not trace:
+            trace = (StageRecord(
+                stage=getattr(error, "stage", None) or "request",
+                outcome=OUTCOME_ERROR, error=type(error).__name__,
+                message=str(error)),)
         return cls(status=STATUS_FAILED, sql=None, translation=None,
                    error=describe_error(error), attempts=attempts,
-                   timings=timings or {}, exception=error)
+                   timings=timings or {}, exception=error, trace=trace)

@@ -14,12 +14,18 @@ without touching model semantics:
 * a :class:`~repro.serving.metrics.MetricsRegistry` with request /
   cache / outcome counters, breaker and cache gauges, and per-stage
   latency histograms;
-* the **resilience stack** (this PR): per-request deadlines with
-  per-stage budget checks, bounded retry with exponential backoff for
-  retryable failures, a graceful-degradation ladder (full adversarial
-  annotation → context-free matcher-only annotation → structured
-  failure), and a circuit breaker that trips after repeated full-path
-  failures and serves cache + degraded paths while open.
+* the **resilience stack**: per-request deadlines with per-stage budget
+  checks, bounded retry with exponential backoff for retryable
+  failures, a graceful-degradation ladder (full adversarial annotation
+  → context-free matcher-only annotation → structured failure), and a
+  circuit breaker that trips after repeated full-path failures and
+  serves cache + degraded paths while open.
+
+Every ladder rung executes through the same
+:class:`~repro.pipeline.Pipeline` stage graph (deadline checks ride as
+middleware); the per-stage metrics, the envelope's ``timings``, and its
+``trace`` are all derived from the run's
+:class:`~repro.pipeline.StageTrace` records.
 
 The public API returns a :class:`~repro.serving.results.
 TranslationResult` envelope and **never raises** for per-request
@@ -41,9 +47,7 @@ from __future__ import annotations
 import threading
 import time
 import warnings
-from contextlib import contextmanager
 from dataclasses import asdict
-from time import perf_counter
 from typing import Callable
 
 from repro.caching import LRUCache
@@ -55,6 +59,13 @@ from repro.errors import (
     ReproError,
     ServingError,
     is_retryable,
+)
+from repro.pipeline import (
+    OUTCOME_CACHED,
+    OUTCOME_SKIPPED,
+    StageRecord,
+    StageTrace,
+    deadline_middleware,
 )
 from repro.sqlengine import Table, table_fingerprint
 
@@ -111,6 +122,14 @@ class TranslationService:
         self._sleep = sleep
         self._cache = LRUCache(maxsize=cache_size)
         self._model_lock = threading.Lock()
+        # Both ladder rungs execute through the same stage-graph
+        # executor; the per-request deadline check rides as the
+        # outermost middleware (a FaultyNLIDB adds its fault middleware
+        # underneath, where its per-method shims used to sit).
+        self._pipelines = {
+            mode: nlidb.pipeline(mode, middleware=(deadline_middleware,))
+            for mode in ("full", "context_free")
+        }
         translator = getattr(nlidb, "translator", None)
         if translator is not None and hasattr(translator, "timing_hook"):
             translator.timing_hook = self._record_translator_stage
@@ -195,6 +214,9 @@ class TranslationService:
             "size": len(self._cache),
             "maxsize": self._cache.maxsize,
             "evictions": self._cache.evictions,
+            "hits": self._cache.hits,
+            "misses": self._cache.misses,
+            "hit_rate": self._cache.hit_rate(),
         }
         snapshot["breaker"] = self.breaker.snapshot()
         snapshot["policy"] = asdict(self.policy)
@@ -217,26 +239,33 @@ class TranslationService:
         cached = self._cache.get(key)
         if cached is not None:
             self.metrics.increment("cache_hits")
-            return self._finish(
-                TranslationResult.from_translation(cached, cached=True))
+            return self._finish(self._cache_hit(cached))
         # The deadline starts before the model lock so time spent queued
         # behind other inference counts against this request's budget.
         deadline = Deadline(self.policy.deadline_s)
         with self._model_lock:
             # Re-check: another thread may have computed this key while
             # we waited for the model; counting it as a hit keeps
-            # hits + misses == requests exact under concurrency.
-            cached = self._cache.get(key)
+            # hits + misses == requests exact under concurrency.  The
+            # LRU's own counters already saw this request once, so the
+            # re-check is uncounted there.
+            cached = self._cache.get(key, count=False)
             if cached is not None:
                 self.metrics.increment("cache_hits")
-                return self._finish(
-                    TranslationResult.from_translation(cached, cached=True))
+                return self._finish(self._cache_hit(cached))
             self.metrics.increment("cache_misses")
             result, cacheable = self._compute_resilient(
                 list(key[0]), table, beam_width, header_tokens, deadline)
             if cacheable and result.translation is not None:
                 self._cache.put(key, result.translation)
             return self._finish(result)
+
+    @staticmethod
+    def _cache_hit(cached: Translation) -> TranslationResult:
+        record = StageRecord(stage="cache", outcome=OUTCOME_CACHED,
+                             cached=True)
+        return TranslationResult.from_translation(cached, cached=True,
+                                                  trace=(record,))
 
     def _finish(self, result: TranslationResult) -> TranslationResult:
         self.metrics.increment(f"served_{result.status}")
@@ -253,8 +282,13 @@ class TranslationService:
         the *full* pipeline are cacheable.  Degraded results are served
         but never cached, so repeat traffic re-attempts the full path
         once the underlying failure clears.
+
+        One request-level :class:`StageTrace` accumulates across every
+        rung and retry attempt; each rung's slice also feeds the
+        per-stage metrics and the envelope's ``timings``.
         """
         timings: dict[str, float] = {}
+        trace = StageTrace()
         attempts_box = [0]
         failure: BaseException | None = None
 
@@ -263,11 +297,11 @@ class TranslationService:
             try:
                 translation = self._attempt_full(
                     question_tokens, table, beam_width, header_tokens,
-                    deadline, timings, attempts_box)
+                    deadline, timings, trace, attempts_box)
                 self.breaker.record_success()
                 return TranslationResult.from_translation(
                     translation, attempts=attempts_box[0],
-                    timings=timings), True
+                    timings=timings, trace=tuple(trace)), True
             except ReproError as exc:
                 failure = exc
                 self.breaker.record_failure()
@@ -277,23 +311,28 @@ class TranslationService:
                     self.metrics.increment("deadline_exceeded")
                     return TranslationResult.from_failure(
                         exc, attempts=attempts_box[0],
-                        timings=timings), False
+                        timings=timings, trace=tuple(trace)), False
         else:
             self.metrics.increment("breaker_short_circuits")
             failure = CircuitOpen(
                 "circuit breaker open: full pipeline skipped")
+            trace.append(StageRecord(
+                stage="full", outcome=OUTCOME_SKIPPED,
+                detail={"reason": "circuit breaker open"}))
 
         # Rung 2: context-free matcher-only annotation (cheap, model-
         # independent detection; the paper's exact/edit/semantic case).
         if self.policy.degradation and not deadline.expired():
             try:
-                translation = self._compute(
+                translation = self._run_pipeline(
                     question_tokens, table, beam_width, header_tokens,
-                    mode="context_free", deadline=deadline, timings=timings)
+                    mode="context_free", deadline=deadline, trace=trace,
+                    attempt=1, timings=timings)
                 self.metrics.increment("degraded_fallbacks")
                 return TranslationResult.from_translation(
                     translation, degraded=True, cause=failure,
-                    attempts=attempts_box[0], timings=timings), False
+                    attempts=attempts_box[0], timings=timings,
+                    trace=tuple(trace)), False
             except ReproError as exc:
                 self.metrics.increment("degraded_failures")
                 if isinstance(exc, DeadlineExceeded):
@@ -304,21 +343,23 @@ class TranslationService:
         return TranslationResult.from_failure(
             failure if failure is not None
             else ServingError("degradation disabled and full path failed"),
-            attempts=attempts_box[0], timings=timings), False
+            attempts=attempts_box[0], timings=timings,
+            trace=tuple(trace)), False
 
     def _attempt_full(self, question_tokens: list[str], table: Table,
                       beam_width: int | None,
                       header_tokens: list[str] | None, deadline: Deadline,
-                      timings: dict[str, float],
+                      timings: dict[str, float], trace: StageTrace,
                       attempts_box: list[int]) -> Translation:
         """The full pipeline with bounded retry on retryable failures."""
         retries = 0
         while True:
             attempts_box[0] += 1
             try:
-                return self._compute(question_tokens, table, beam_width,
-                                     header_tokens, mode="full",
-                                     deadline=deadline, timings=timings)
+                return self._run_pipeline(
+                    question_tokens, table, beam_width, header_tokens,
+                    mode="full", deadline=deadline, trace=trace,
+                    attempt=attempts_box[0], timings=timings)
             except ReproError as exc:
                 if (isinstance(exc, DeadlineExceeded)
                         or not is_retryable(exc)
@@ -331,36 +372,38 @@ class TranslationService:
                 if delay > 0:
                     self._sleep(delay)
 
-    def _compute(self, question_tokens: list[str], table: Table,
-                 beam_width: int | None,
-                 header_tokens: list[str] | None, *, mode: str = "full",
-                 deadline: Deadline | None = None,
-                 timings: dict[str, float] | None = None) -> Translation:
+    def _run_pipeline(self, question_tokens: list[str], table: Table,
+                      beam_width: int | None,
+                      header_tokens: list[str] | None, *, mode: str,
+                      deadline: Deadline, trace: StageTrace, attempt: int,
+                      timings: dict[str, float]) -> Translation:
+        """Execute one pipeline variant over one fresh context.
+
+        The context gets fresh artifacts (a retry must recompute) but
+        shares the request-level ``trace``; this run's slice of it is
+        absorbed into metrics and ``timings`` whether the run completed
+        or raised.
+        """
         # Caller holds the model lock (the substrate's grad-mode flag is
         # process-global, so inference must not interleave).
         prefix = "" if mode == "full" else "degraded."
-        stage = "annotate"
+        ctx = self.nlidb.context(question_tokens, table, mode=mode,
+                                 beam_width=beam_width,
+                                 header_tokens=header_tokens,
+                                 deadline=deadline, trace=trace,
+                                 attempt=attempt)
+        mark = len(trace)
         try:
-            self._check(deadline, stage)
-            with self._stage_timer(prefix + stage, timings):
-                annotation = self.nlidb.annotate(question_tokens, table,
-                                                 mode=mode)
-            stage = "translate"
-            self._check(deadline, stage)
-            with self._stage_timer(prefix + stage, timings):
-                source, predicted = self.nlidb.predict_annotated(
-                    annotation, beam_width, header_tokens=header_tokens)
-            stage = "recover"
-            self._check(deadline, stage)
-            with self._stage_timer(prefix + stage, timings):
-                translation = self.nlidb.recover(source, predicted,
-                                                 annotation)
+            self._pipelines[mode].run(ctx)
         except ReproError as exc:
-            if getattr(exc, "stage", None) is None:
-                exc.stage = stage  # annotate for the error envelope
-            if stage == "annotate" and not isinstance(exc, DeadlineExceeded):
+            if (getattr(exc, "stage", None) == "annotate"
+                    and not isinstance(exc, DeadlineExceeded)):
                 self.metrics.increment(prefix + "annotation_failures")
             raise
+        finally:
+            self._absorb(trace[mark:], prefix, timings)
+        translation: Translation = ctx.artifacts["translation"]
+        translation.trace = tuple(trace[mark:])
         if translation.error is not None:
             self.metrics.increment(prefix + "recovery_failures")
         return translation
@@ -369,23 +412,24 @@ class TranslationService:
     # Helpers
     # ------------------------------------------------------------------
 
-    @staticmethod
-    def _check(deadline: Deadline | None, stage: str) -> None:
-        if deadline is not None:
-            deadline.check(stage)
+    def _absorb(self, records, prefix: str,
+                timings: dict[str, float]) -> None:
+        """Fold one run's stage records into metrics and timings.
 
-    @contextmanager
-    def _stage_timer(self, name: str, timings: dict[str, float] | None):
-        start = perf_counter()
-        try:
-            yield
-        finally:
-            elapsed = perf_counter() - start
-            self.metrics.observe(name, elapsed)
-            if timings is not None:
+        Deadline-refused stages are excluded: the deadline fires
+        *before* a stage starts, so no work was timed.  Sub-stages
+        (dotted names) feed the latency histograms but stay out of the
+        envelope's top-level ``timings``.
+        """
+        for record in records:
+            if record.error == "DeadlineExceeded":
+                continue
+            name = prefix + record.stage
+            self.metrics.observe(name, record.wall_s)
+            if "." not in record.stage:
                 # Accumulate across retries so a request's timings sum
                 # to its real pipeline time.
-                timings[name] = timings.get(name, 0.0) + elapsed
+                timings[name] = timings.get(name, 0.0) + record.wall_s
 
     def _unwrap(self, result: TranslationResult) -> Translation:
         """The deprecated ``raw=True`` contract: Translation-or-raise."""

@@ -1,0 +1,44 @@
+"""Session-wide trained-model fixtures.
+
+One small NLIDB is trained per session and shared wherever a *real*
+fitted model is needed — the serving differential/concurrency suites
+and the pipeline trace suites — so the expensive training happens once.
+Mutable per-test objects (services, injectors) live in the package
+conftests instead.
+"""
+
+import pytest
+
+from repro.core import NLIDB, NLIDBConfig
+from repro.core.seq2seq.model import Seq2SeqConfig
+from repro.data import generate_wikisql_style
+from repro.text import WordEmbeddings
+
+
+@pytest.fixture(scope="session")
+def serving_dataset():
+    # dev is the serving corpus: ≥ 50 (question, table) pairs spread
+    # round-robin over every training domain (≥ 3 domains guaranteed,
+    # asserted in the differential suite).
+    return generate_wikisql_style(seed=23, train_size=60, dev_size=54,
+                                  test_size=0, rows_per_table=6)
+
+
+@pytest.fixture(scope="session")
+def nlidb(serving_dataset):
+    cfg = NLIDBConfig(classifier_epochs=1, value_epochs=12,
+                      seq2seq_epochs=4,
+                      seq2seq=Seq2SeqConfig(hidden=24, attention_dim=24))
+    return NLIDB(WordEmbeddings(dim=32, seed=0), cfg).fit(
+        serving_dataset.train)
+
+
+@pytest.fixture(scope="session")
+def corpus(serving_dataset):
+    return serving_dataset.dev
+
+
+@pytest.fixture(scope="session")
+def direct_translations(nlidb, corpus):
+    """Ground truth: the slow path, one direct call per pair."""
+    return [nlidb.translate(e.question_tokens, e.table) for e in corpus]

@@ -1,0 +1,251 @@
+"""Unit tests for the stage-graph executor itself.
+
+Toy stages only — no models — so sequencing, trace recording, error
+labelling, and middleware composition are pinned down in isolation.
+The real annotate → translate → recover graphs are covered by
+``test_nlidb_pipeline.py`` and ``test_service_traces.py``.
+"""
+
+import pytest
+
+from repro.errors import DeadlineExceeded, ReproError, ServingError
+from repro.pipeline import (
+    OUTCOME_CACHED,
+    OUTCOME_ERROR,
+    OUTCOME_OK,
+    Deadline,
+    FaultMiddleware,
+    Pipeline,
+    PipelineContext,
+    StageRecord,
+    StageTrace,
+    artifact_cache_middleware,
+    deadline_middleware,
+)
+
+
+class Emit:
+    """Toy stage: writes ``value`` under ``key``, optionally raising."""
+
+    def __init__(self, name, key=None, value=None,
+                 error: Exception | None = None):
+        self.name = name
+        if key is not None:
+            self.provides = (key,)
+        self.key = key
+        self.value = value
+        self.error = error
+        self.runs = 0
+
+    def run(self, ctx):
+        self.runs += 1
+        if self.error is not None:
+            raise self.error
+        if self.key is not None:
+            ctx.artifacts[self.key] = self.value
+
+
+def ctx_for(**kwargs):
+    return PipelineContext(question_tokens=["q"], **kwargs)
+
+
+class TestPipelineExecution:
+    def test_stages_run_in_order_and_share_artifacts(self):
+        order = []
+
+        class Probe:
+            name = "probe"
+
+            def run(self, ctx):
+                order.append(ctx.artifacts["a"])
+
+        pipe = Pipeline((Emit("first", "a", 1), Probe()))
+        ctx = pipe.run(ctx_for())
+        assert order == [1]
+        assert ctx.trace.stage_names() == ["first", "probe"]
+        assert all(r.outcome == OUTCOME_OK for r in ctx.trace)
+        assert all(r.wall_s >= 0.0 for r in ctx.trace)
+
+    def test_attempt_and_mode_stamped_into_records(self):
+        pipe = Pipeline((Emit("s", "a", 1),))
+        ctx = pipe.run(ctx_for(mode="context_free", attempt=3))
+        record = ctx.trace.last("s")
+        assert record.mode == "context_free" and record.attempt == 3
+
+    def test_failing_stage_is_recorded_and_labelled(self):
+        boom = ServingError("boom")
+        pipe = Pipeline((Emit("good", "a", 1),
+                         Emit("bad", error=boom),
+                         Emit("never", "b", 2)))
+        ctx = ctx_for()
+        with pytest.raises(ServingError) as err:
+            pipe.run(ctx)
+        assert err.value.stage == "bad"
+        assert ctx.trace.stage_names() == ["good", "bad"]  # partial trace
+        record = ctx.trace.last("bad")
+        assert record.outcome == OUTCOME_ERROR
+        assert record.error == "ServingError" and record.message == "boom"
+
+    def test_pre_labelled_error_stage_is_preserved(self):
+        inner = ServingError("deep failure", stage="inner.detail")
+        pipe = Pipeline((Emit("outer", error=inner),))
+        with pytest.raises(ServingError) as err:
+            pipe.run(ctx_for())
+        assert err.value.stage == "inner.detail"
+
+    def test_duplicate_stage_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Pipeline((Emit("s", "a", 1), Emit("s", "b", 2)))
+
+    def test_non_stage_rejected(self):
+        with pytest.raises(ValueError, match="Stage protocol"):
+            Pipeline((object(),))
+
+    def test_note_attaches_detail_to_current_record(self):
+        class Noisy:
+            name = "noisy"
+
+            def run(self, ctx):
+                ctx.note(strategy="linear", pairs=2)
+
+        ctx = Pipeline((Noisy(),)).run(ctx_for())
+        assert ctx.trace.last("noisy").detail == {"strategy": "linear",
+                                                  "pairs": 2}
+        ctx.note(ignored=True)  # outside any stage: a no-op
+        assert "ignored" not in ctx.trace.last("noisy").detail
+
+    def test_nested_pipeline_shares_trace_and_restores_record(self):
+        inner = Pipeline((Emit("outer.sub", "a", 1),))
+
+        class Composite:
+            name = "outer"
+            provides = ("a",)
+
+            def run(self, ctx):
+                inner.run(ctx)
+                ctx.note(composed=True)  # must land on *outer*'s record
+
+        ctx = Pipeline((Composite(),)).run(ctx_for())
+        assert ctx.trace.stage_names() == ["outer", "outer.sub"]
+        assert ctx.trace.last("outer").detail == {"composed": True}
+        # The composite's wall time covers its sub-stages.
+        assert ctx.trace.last("outer").wall_s \
+            >= ctx.trace.last("outer.sub").wall_s
+
+
+class TestMiddleware:
+    def test_onion_order_first_listed_outermost(self):
+        events = []
+
+        def mw(tag):
+            def middleware(stage, ctx, call_next):
+                events.append(f"{tag}>{stage.name}")
+                call_next()
+                events.append(f"{tag}<{stage.name}")
+            return middleware
+
+        pipe = Pipeline((Emit("s", "a", 1),), middleware=(mw("A"), mw("B")))
+        pipe.run(ctx_for())
+        assert events == ["A>s", "B>s", "B<s", "A<s"]
+
+    def test_with_middleware_prepends_outermost(self):
+        events = []
+
+        def mw(tag):
+            def middleware(stage, ctx, call_next):
+                events.append(tag)
+                call_next()
+            return middleware
+
+        base = Pipeline((Emit("s", "a", 1),), middleware=(mw("inner"),))
+        wrapped = base.with_middleware(mw("outer"))
+        wrapped.run(ctx_for())
+        assert events == ["outer", "inner"]
+        assert base.middleware != wrapped.middleware  # base untouched
+
+    def test_deadline_middleware_refuses_expired_budget(self):
+        stage = Emit("translate", "a", 1)
+        pipe = Pipeline((stage,), middleware=(deadline_middleware,))
+        ctx = ctx_for(deadline=Deadline(0.0))
+        with pytest.raises(DeadlineExceeded) as err:
+            pipe.run(ctx)
+        assert err.value.stage == "translate"
+        assert stage.runs == 0  # refused before entry
+        record = ctx.trace.last("translate")
+        assert record.outcome == OUTCOME_ERROR
+        assert record.error == "DeadlineExceeded"
+
+    def test_deadline_middleware_noop_without_deadline(self):
+        pipe = Pipeline((Emit("s", "a", 1),), middleware=(deadline_middleware,))
+        ctx = pipe.run(ctx_for())
+        assert ctx.trace.last("s").outcome == OUTCOME_OK
+
+    def test_fault_middleware_passes_stage_and_mode(self):
+        seen = []
+
+        class Injector:
+            def before(self, stage, mode=None):
+                seen.append((stage, mode))
+                if stage == "bad":
+                    raise ServingError("injected", stage=stage,
+                                      retryable=True)
+
+        pipe = Pipeline((Emit("good", "a", 1), Emit("bad", "b", 2)),
+                        middleware=(FaultMiddleware(Injector()),))
+        ctx = ctx_for(mode="context_free")
+        with pytest.raises(ServingError):
+            pipe.run(ctx)
+        assert seen == [("good", "context_free"), ("bad", "context_free")]
+        assert ctx.trace.last("bad").outcome == OUTCOME_ERROR
+
+    def test_artifact_cache_skips_satisfied_stage(self):
+        stage = Emit("s", "a", 1)
+        pipe = Pipeline((stage,), middleware=(artifact_cache_middleware,))
+        ctx = pipe.run(ctx_for(artifacts={"a": 99}))
+        assert stage.runs == 0
+        assert ctx.artifacts["a"] == 99  # pre-seeded value untouched
+        record = ctx.trace.last("s")
+        assert record.outcome == OUTCOME_CACHED and record.cached
+
+    def test_artifact_cache_runs_unsatisfied_stage(self):
+        stage = Emit("s", "a", 1)
+        pipe = Pipeline((stage,), middleware=(artifact_cache_middleware,))
+        ctx = pipe.run(ctx_for())
+        assert stage.runs == 1
+        assert ctx.trace.last("s").outcome == OUTCOME_OK
+
+
+class TestStageTrace:
+    def test_sequence_protocol_and_slicing(self):
+        trace = StageTrace()
+        assert not trace and len(trace) == 0
+        trace.append(StageRecord(stage="a"))
+        trace.append(StageRecord(stage="b"))
+        assert trace and len(trace) == 2
+        assert trace[0].stage == "a"
+        assert [r.stage for r in trace[1:]] == ["b"]
+        assert trace.last("missing") is None
+
+    def test_record_to_dict_shapes(self):
+        ok = StageRecord(stage="annotate", wall_s=0.5)
+        payload = ok.to_dict()
+        assert payload["stage"] == "annotate"
+        assert payload["outcome"] == OUTCOME_OK
+        assert "error" not in payload and "detail" not in payload
+        bad = StageRecord(stage="x", outcome=OUTCOME_ERROR,
+                          error="ReproError", message="nope",
+                          detail={"k": 1})
+        payload = bad.to_dict()
+        assert payload["error"] == "ReproError"
+        assert payload["message"] == "nope"
+        assert payload["detail"] == {"k": 1}
+
+    def test_executor_labels_errors_without_stage_attribute(self):
+        # Core errors (ModelError, AnnotationError…) don't predefine
+        # ``stage``; the executor must attach it dynamically.
+        err = ReproError("x")
+        assert getattr(err, "stage", None) is None
+        pipe = Pipeline((Emit("s", error=err),))
+        with pytest.raises(ReproError):
+            pipe.run(ctx_for())
+        assert err.stage == "s"

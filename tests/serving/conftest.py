@@ -1,47 +1,14 @@
-"""Shared fixtures for the serving-layer tests.
+"""Serving-layer fixtures.
 
-One small NLIDB is trained per session and shared by the differential
-and concurrency suites; each test gets its own fresh
-:class:`TranslationService` so cache/metrics state never leaks between
-tests.
+The session-scoped trained model (``nlidb``), corpus, and direct
+translations live in the top-level ``tests/conftest.py``; here each
+test just gets its own fresh :class:`TranslationService` so
+cache/metrics state never leaks between tests.
 """
 
 import pytest
 
-from repro.core import NLIDB, NLIDBConfig
-from repro.core.seq2seq.model import Seq2SeqConfig
-from repro.data import generate_wikisql_style
 from repro.serving import TranslationService
-from repro.text import WordEmbeddings
-
-
-@pytest.fixture(scope="session")
-def serving_dataset():
-    # dev is the serving corpus: ≥ 50 (question, table) pairs spread
-    # round-robin over every training domain (≥ 3 domains guaranteed,
-    # asserted in the differential suite).
-    return generate_wikisql_style(seed=23, train_size=60, dev_size=54,
-                                  test_size=0, rows_per_table=6)
-
-
-@pytest.fixture(scope="session")
-def nlidb(serving_dataset):
-    cfg = NLIDBConfig(classifier_epochs=1, value_epochs=12,
-                      seq2seq_epochs=4,
-                      seq2seq=Seq2SeqConfig(hidden=24, attention_dim=24))
-    return NLIDB(WordEmbeddings(dim=32, seed=0), cfg).fit(
-        serving_dataset.train)
-
-
-@pytest.fixture(scope="session")
-def corpus(serving_dataset):
-    return serving_dataset.dev
-
-
-@pytest.fixture(scope="session")
-def direct_translations(nlidb, corpus):
-    """Ground truth: the slow path, one direct call per pair."""
-    return [nlidb.translate(e.question_tokens, e.table) for e in corpus]
 
 
 @pytest.fixture

@@ -6,7 +6,9 @@ the trained-model behaviour is covered by the differential suite and
 the resilience behaviour by ``test_resilience.py``/``test_faults.py``.
 """
 
+import inspect
 import json
+import threading
 
 import pytest
 
@@ -99,6 +101,57 @@ class TestLRUCache:
         with pytest.raises(ValueError):
             LRUCache(maxsize=0)
 
+    def test_hit_and_miss_counters(self):
+        cache = LRUCache(maxsize=2)
+        assert cache.get("a") is None
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert cache.get("a", count=False) == 1  # uncounted double-check
+        assert cache.hits == 1 and cache.misses == 1
+        assert cache.hit_rate() == pytest.approx(0.5)
+
+    def test_hit_rate_without_traffic(self):
+        assert LRUCache(maxsize=2).hit_rate() == 0.0
+
+    def test_get_or_compute_computes_once_per_key(self):
+        cache = LRUCache(maxsize=4)
+        calls = []
+        assert cache.get_or_compute("k", lambda: calls.append(1) or 7) == 7
+        assert cache.get_or_compute("k", lambda: calls.append(1) or 9) == 7
+        assert len(calls) == 1
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_get_or_compute_propagates_errors_and_retries(self):
+        cache = LRUCache(maxsize=4)
+        with pytest.raises(RuntimeError):
+            cache.get_or_compute("k", lambda: (_ for _ in ()).throw(
+                RuntimeError("boom")))
+        # The failed computation is not cached: the next call retries.
+        assert cache.get_or_compute("k", lambda: 5) == 5
+
+    def test_get_or_compute_single_flight_under_concurrency(self):
+        cache = LRUCache(maxsize=4)
+        gate = threading.Event()
+        compute_calls = []
+
+        def slow_compute():
+            compute_calls.append(1)
+            gate.wait(timeout=5.0)
+            return 42
+
+        values = []
+        threads = [threading.Thread(
+            target=lambda: values.append(cache.get_or_compute(
+                "k", slow_compute))) for _ in range(4)]
+        for t in threads:
+            t.start()
+        gate.set()
+        for t in threads:
+            t.join(timeout=5.0)
+        assert values == [42] * 4
+        assert len(compute_calls) == 1  # one leader, three coalesced
+        assert cache.misses == 1 and cache.hits == 3
+
 
 class TestMetricsRegistry:
     def test_counters_and_snapshot(self):
@@ -125,6 +178,43 @@ class TestMetricsRegistry:
         metrics.observe("skew", -0.001)
         hist = metrics.snapshot()["histograms"]["skew"]
         assert hist["max_s"] == -0.001
+
+    def test_percentiles_nearest_rank(self):
+        metrics = MetricsRegistry()
+        for ms in range(1, 101):  # 0.001s .. 0.100s
+            metrics.observe("latency", ms / 1000.0)
+        hist = metrics.snapshot()["histograms"]["latency"]
+        assert hist["p50_s"] == pytest.approx(0.050)
+        assert hist["p95_s"] == pytest.approx(0.095)
+        assert hist["p99_s"] == pytest.approx(0.099)
+
+    def test_percentiles_single_sample_and_empty(self):
+        metrics = MetricsRegistry()
+        metrics.observe("one", 0.25)
+        hist = metrics.snapshot()["histograms"]["one"]
+        assert hist["p50_s"] == hist["p95_s"] == hist["p99_s"] == 0.25
+        empty = MetricsRegistry()
+        empty.observe("x", 0.1)
+        empty.reset()
+        # Histogram dropped entirely on reset; the zero-count summary
+        # shape is exercised through _Histogram directly.
+        from repro.serving.metrics import _Histogram
+        assert _Histogram().summary()["p99_s"] == 0.0
+
+    def test_percentiles_window_is_bounded(self):
+        from repro.serving.metrics import RESERVOIR_SIZE, _Histogram
+        hist = _Histogram()
+        # An initial slow regime, then RESERVOIR_SIZE fast samples: the
+        # slow regime must age out of the percentile window while the
+        # exact aggregates still remember it.
+        for _ in range(100):
+            hist.observe(10.0)
+        for _ in range(RESERVOIR_SIZE):
+            hist.observe(0.001)
+        summary = hist.summary()
+        assert summary["count"] == 100 + RESERVOIR_SIZE
+        assert summary["max_s"] == 10.0
+        assert summary["p99_s"] == pytest.approx(0.001)
 
     def test_gauges(self):
         metrics = MetricsRegistry()
@@ -283,6 +373,35 @@ class TestRawShim:
             translations = stub_service.translate_batch(
                 [(QUESTION, table)] * 2, raw=True)
         assert all(t.query is not None for t in translations)
+
+    def test_raw_returns_legacy_translation_type(self, stub_service):
+        # The shim's contract is the *pre-envelope* return type: a bare
+        # core Translation, complete with its staged fields.
+        from repro.core.nlidb import Translation
+        with pytest.deprecated_call():
+            translation = stub_service.translate(QUESTION, make_table(),
+                                                 raw=True)
+        assert isinstance(translation, Translation)
+        assert translation.annotated_tokens
+        assert translation.predicted_annotated_sql
+
+    def test_shim_signature_unchanged(self):
+        # Regression: the deprecation shim must not change the public
+        # signatures ("no call-site churn for one release").
+        params = inspect.signature(TranslationService.translate).parameters
+        assert list(params) == ["self", "question", "table", "beam_width",
+                                "raw"]
+        assert params["raw"].kind is inspect.Parameter.KEYWORD_ONLY
+        assert params["raw"].default is False
+        batch_params = inspect.signature(
+            TranslationService.translate_batch).parameters
+        assert list(batch_params) == ["self", "requests", "raw"]
+        assert batch_params["raw"].kind is inspect.Parameter.KEYWORD_ONLY
+
+    def test_raw_warning_names_the_replacement(self, stub_service):
+        with pytest.warns(DeprecationWarning,
+                          match="result.translation"):
+            stub_service.translate(QUESTION, make_table(), raw=True)
 
 
 class TestServiceFailures:
