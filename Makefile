@@ -6,7 +6,7 @@ PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: check test test-faults test-pipeline lint bench-serving \
-	bench-smoke bench
+	bench-inference bench-smoke bench
 
 # Tier-1: the full unit/integration/property suite.
 test:
@@ -35,9 +35,16 @@ lint:
 bench-serving:
 	REPRO_BENCH_SCALE=smoke $(PYTHON) -m pytest benchmarks/bench_serving.py -q
 
-# CI-friendly alias: the serving benchmark at smoke scale is the
-# fastest end-to-end exercise of the stage-graph serving path.
-bench-smoke: bench-serving
+# Vectorized-inference benchmark: batched column scoring, lockstep vs
+# per-beam decoding, and schema-cache cold/warm latency.  Writes
+# BENCH_inference.json at the repo root; fails if the batched paths
+# are slower than the per-item reference.
+bench-inference:
+	REPRO_BENCH_SCALE=smoke $(PYTHON) -m pytest benchmarks/bench_inference.py -q
+
+# CI-friendly alias: both smoke benchmarks — the fastest end-to-end
+# exercise of the serving path and the inference fast path.
+bench-smoke: bench-serving bench-inference
 
 # Full paper-table benchmark suite (slow; standard scale by default).
 bench:

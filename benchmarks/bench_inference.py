@@ -1,0 +1,206 @@
+"""Vectorized-inference benchmark: batched kernels vs per-item loops.
+
+Measures the three layers of the inference fast path on the headline
+model and writes one ``BENCH_inference.json`` record at the repo root:
+
+* column scoring — K sequential ``predict_proba`` calls vs one
+  ``score_columns`` pass over a ≥ 8-column table, cold (encoding built
+  per call) and warm (fingerprint-keyed schema-cache hit);
+* beam search — the per-beam reference decoder vs the lockstep decoder
+  over the dev slice;
+* end-to-end serving — per-request latency with a cold vs warm schema
+  cache, plus the cache's own counters.
+
+The floors are scale-aware: at ``standard`` the batched column path
+must be ≥ 2× the sequential one; at ``smoke`` it only must not lose.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from time import perf_counter
+
+import numpy as np
+
+import common as C
+from repro.serving import TranslationService
+from repro.sqlengine import Column, DataType, Table
+from repro.text import tokenize
+
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_inference.json"
+
+#: Accumulated across the module's tests; rewritten after each one so a
+#: partial run still leaves a valid JSON artifact.
+RECORD: dict = {"scale": None}
+
+
+def _write_record() -> None:
+    RECORD["scale"] = "standard" if C.strict_shape() else "smoke"
+    RESULT_PATH.write_text(json.dumps(RECORD, indent=2, sort_keys=True))
+    print(json.dumps(RECORD, indent=2, sort_keys=True))
+
+
+def wide_table(columns: int = 10, rows: int = 8) -> Table:
+    """A deterministic ≥ 8-column table for the annotation benchmark."""
+    names = ["player name", "team", "games played", "points scored",
+             "assists", "rebounds", "season year", "home city",
+             "jersey number", "position", "minutes", "salary"][:columns]
+    cols = [Column(n, DataType.REAL if i % 2 else DataType.TEXT)
+            for i, n in enumerate(names)]
+    data = [tuple(f"v{r}c{c}" if c % 2 == 0 else float(r * 10 + c)
+                  for c in range(columns)) for r in range(rows)]
+    return Table("stats", columns=cols, rows=data)
+
+
+def _percentiles(samples: list[float]) -> dict:
+    arr = np.array(samples)
+    return {"p50_ms": float(np.percentile(arr, 50) * 1e3),
+            "p95_ms": float(np.percentile(arr, 95) * 1e3)}
+
+
+def test_batched_column_scoring(benchmark):
+    model = C.full_nlidb()
+    classifier = model.annotator.column_classifier
+    table = wide_table()
+    columns = [tokenize(name) for name in table.column_names]
+    questions = [e.question_tokens
+                 for e in C.dataset().dev[:C.scale().eval_limit]]
+
+    def measure():
+        start = perf_counter()
+        for question in questions:
+            for col in columns:
+                classifier.predict_proba(question, col)
+        sequential = perf_counter() - start
+
+        start = perf_counter()
+        for question in questions:
+            classifier.score_columns(question, columns)
+        batched_cold = perf_counter() - start
+
+        encoded = classifier.encode_columns(columns)
+        start = perf_counter()
+        for question in questions:
+            classifier.score_columns(question, encoded=encoded)
+        batched_warm = perf_counter() - start
+        return sequential, batched_cold, batched_warm
+
+    sequential, cold, warm = benchmark.pedantic(measure, rounds=1,
+                                                iterations=1)
+    n = len(questions)
+    RECORD["column_scoring"] = {
+        "columns": len(columns),
+        "questions": n,
+        "sequential_s_per_question": sequential / n,
+        "batched_cold_s_per_question": cold / n,
+        "batched_warm_s_per_question": warm / n,
+        "batched_speedup": sequential / max(cold, 1e-12),
+        "warm_speedup": sequential / max(warm, 1e-12),
+    }
+    _write_record()
+
+    C.print_header(f"Annotation — {len(columns)}-column table, batched "
+                   "vs per-column (per question)")
+    C.print_row("sequential predict_proba", f"{sequential / n * 1e3:.2f} ms")
+    C.print_row("score_columns (cold)", f"{cold / n * 1e3:.2f} ms")
+    C.print_row("score_columns (cached schema)", f"{warm / n * 1e3:.2f} ms")
+    C.print_row("batched speedup",
+                f"{RECORD['column_scoring']['batched_speedup']:.2f}x")
+
+    floor = 2.0 if C.strict_shape() else 1.0
+    assert RECORD["column_scoring"]["batched_speedup"] >= floor
+    assert warm <= cold * 1.1  # reusing the encoding can only help
+
+
+def test_lockstep_beam_search(benchmark):
+    model = C.full_nlidb()
+    examples = C.dataset().dev[:C.scale().eval_limit]
+    prepared = []
+    for example in examples:
+        annotation = model.annotate(example.question_tokens, example.table)
+        prepared.append((annotation.annotated_tokens(
+            append=model.config.column_name_appending,
+            header_encoding=model.config.header_encoding),
+            model.header_tokens(example.table),
+            model._symbols(annotation)))
+
+    def measure():
+        per_beam, lockstep = [], []
+        outputs = []
+        for source, headers, symbols in prepared:
+            start = perf_counter()
+            slow = model.translator.translate(source, headers, symbols,
+                                              lockstep=False)
+            per_beam.append(perf_counter() - start)
+            start = perf_counter()
+            fast = model.translator.translate(source, headers, symbols,
+                                              lockstep=True)
+            lockstep.append(perf_counter() - start)
+            outputs.append((slow, fast))
+        return per_beam, lockstep, outputs
+
+    per_beam, lockstep, outputs = benchmark.pedantic(measure, rounds=1,
+                                                     iterations=1)
+    RECORD["beam_search"] = {
+        "pairs": len(prepared),
+        "beam_width": model.translator.config.beam_width,
+        "per_beam": _percentiles(per_beam),
+        "lockstep": _percentiles(lockstep),
+        "lockstep_speedup": sum(per_beam) / max(sum(lockstep), 1e-12),
+        "identical_sql": all(slow == fast for slow, fast in outputs),
+    }
+    _write_record()
+
+    C.print_header("Beam search — lockstep vs per-beam decoder")
+    C.print_row("per-beam p50", f"{RECORD['beam_search']['per_beam']['p50_ms']:.2f} ms")
+    C.print_row("lockstep p50", f"{RECORD['beam_search']['lockstep']['p50_ms']:.2f} ms")
+    C.print_row("lockstep speedup",
+                f"{RECORD['beam_search']['lockstep_speedup']:.2f}x")
+
+    assert RECORD["beam_search"]["identical_sql"]
+    if C.strict_shape():
+        assert RECORD["beam_search"]["lockstep_speedup"] >= 1.0
+
+
+def test_end_to_end_schema_cache(benchmark):
+    model = C.full_nlidb()
+    examples = C.dataset().dev[:C.scale().eval_limit]
+
+    def measure():
+        model.annotator._schema_cache.clear()
+        service = TranslationService(model)
+        cold, warm = [], []
+        for example in examples:
+            start = perf_counter()
+            service.translate(example.question_tokens, example.table)
+            cold.append(perf_counter() - start)
+        for example in examples:
+            # Distinct question, same table: translation-cache miss but
+            # schema-cache hit — isolates the schema reuse.
+            start = perf_counter()
+            service.translate(list(example.question_tokens) + ["please"],
+                              example.table)
+            warm.append(perf_counter() - start)
+        return cold, warm, service.stats()
+
+    cold, warm, stats = benchmark.pedantic(measure, rounds=1, iterations=1)
+    n = len(examples)
+    RECORD["end_to_end"] = {
+        "requests_per_phase": n,
+        "cold_schema": _percentiles(cold),
+        "warm_schema": _percentiles(warm),
+        "qps_warm": n / max(sum(warm), 1e-12),
+        "schema_cache": stats["schema_cache"],
+    }
+    _write_record()
+
+    C.print_header("End to end — schema cache cold vs warm (per request)")
+    C.print_row("cold p50", f"{RECORD['end_to_end']['cold_schema']['p50_ms']:.2f} ms")
+    C.print_row("warm p50", f"{RECORD['end_to_end']['warm_schema']['p50_ms']:.2f} ms")
+    C.print_row("schema-cache hit rate",
+                f"{stats['schema_cache']['hit_rate']:.2f}")
+
+    # The warm phase reused every per-table encoding it touched.
+    assert stats["schema_cache"]["hits"] >= 1
+    assert stats["schema_cache"]["hit_rate"] > 0.0

@@ -18,6 +18,7 @@ from repro.core.metrics import (
 from repro.core.metadata import MinedPhrase, build_knowledge_base, mine_column_phrases
 from repro.core.nlidb import NLIDB, NLIDBConfig, Translation
 from repro.core.persistence import load_nlidb, save_nlidb
+from repro.core.schema import SchemaEncoding, build_schema_encoding
 from repro.core.seq2seq.model import AnnotatedSeq2Seq, Seq2SeqConfig, TrainingPair
 
 __all__ = [
@@ -26,6 +27,7 @@ __all__ = [
     "Annotator", "AnnotatorConfig",
     "NLIDB", "NLIDBConfig", "Translation",
     "save_nlidb", "load_nlidb",
+    "SchemaEncoding", "build_schema_encoding",
     "MinedPhrase", "mine_column_phrases", "build_knowledge_base",
     "AnnotatedSeq2Seq", "Seq2SeqConfig", "TrainingPair",
     "EvalResult", "evaluate", "mention_detection_accuracy", "annotated_match",

@@ -57,6 +57,7 @@ from repro.core.mention import (
     locate_mention,
     resolve_mentions,
 )
+from repro.core.schema import SchemaEncoding, build_schema_encoding
 
 __all__ = ["AnnotatorConfig", "Annotator", "ANNOTATION_MODES"]
 
@@ -64,6 +65,12 @@ __all__ = ["AnnotatorConfig", "Annotator", "ANNOTATION_MODES"]
 #: are keyed by table *content* fingerprint, so the cache survives table
 #: object recreation but never outlives a data or schema edit.
 STATS_CACHE_SIZE = 64
+
+#: Capacity of the per-annotator schema-encoding cache (column-RNN
+#: states, unit embeddings, header token vectors — see
+#: :mod:`repro.core.schema`).  Encodings are larger than raw statistics,
+#: so the bound is tighter.
+SCHEMA_CACHE_SIZE = 32
 
 #: The annotation pipeline variants: the paper's full adversarial
 #: pipeline, and the context-free matcher-only rung the serving layer
@@ -105,6 +112,7 @@ class Annotator:
             or ClassifierConfig(word_dim=embeddings.dim))
         self.value_classifier = ValueDetectionClassifier(embeddings)
         self._column_stats_cache = LRUCache(maxsize=STATS_CACHE_SIZE)
+        self._schema_cache = LRUCache(maxsize=SCHEMA_CACHE_SIZE)
         self._pipeline: Pipeline | None = None  # built lazily, stateless
         self._fitted = False
 
@@ -126,6 +134,9 @@ class Annotator:
 
         value_rows = self._value_rows(examples, rng)
         self.value_classifier.fit(value_rows, epochs=value_epochs)
+        # Cached schema encodings embed the (now stale) classifier's
+        # column-RNN states; drop them so inference re-encodes.
+        self._schema_cache.clear()
         self._fitted = True
 
     def _column_pairs(self, examples: list[Example],
@@ -189,6 +200,46 @@ class Annotator:
                 self.embeddings.dim)
             for column in table.columns
         })
+
+    # ------------------------------------------------------------------
+    # Schema encodings (the fingerprint-keyed fast-path artifact)
+    # ------------------------------------------------------------------
+
+    def schema_encoding(self, table: Table) -> tuple[SchemaEncoding, str]:
+        """The table's cached :class:`SchemaEncoding`, building on miss.
+
+        Returns ``(encoding, status)`` with status ``"hit"`` or
+        ``"miss"`` — derived from the cache's miss counter so a
+        coalesced concurrent build still reports as a hit.
+        """
+        key = table_fingerprint(table)
+        misses_before = self._schema_cache.misses
+        encoding = self._schema_cache.get_or_compute(
+            key, lambda: build_schema_encoding(self, table))
+        status = "miss" if self._schema_cache.misses > misses_before \
+            else "hit"
+        return encoding, status
+
+    def peek_schema_encoding(self, table: Table) -> SchemaEncoding | None:
+        """The cached encoding if present — never builds, never counts.
+
+        The translate stage uses this to piggyback on an encoding the
+        column stage already built, without forcing one on paths (e.g.
+        context-free degraded annotation) that skipped it.
+        """
+        return self._schema_cache.get(table_fingerprint(table), count=False)
+
+    def schema_cache_stats(self) -> dict:
+        """Hit/miss/eviction counters of the schema-encoding cache."""
+        cache = self._schema_cache
+        return {
+            "size": len(cache),
+            "maxsize": cache.maxsize,
+            "hits": cache.hits,
+            "misses": cache.misses,
+            "evictions": cache.evictions,
+            "hit_rate": cache.hit_rate(),
+        }
 
     @staticmethod
     def _numeric_ranges(table: Table) -> dict[str, tuple[float, float]]:
@@ -369,14 +420,19 @@ class Annotator:
     def _detect_columns(self, tokens: list[str], table: Table,
                         blocked: set[int],
                         use_classifier: bool = True,
+                        schema: SchemaEncoding | None = None,
+                        info: dict | None = None,
                         ) -> dict[str, tuple[int, int]]:
         # ``use_classifier=False`` (context-free mode) keeps only the
-        # matcher's string/edit/semantic/knowledge candidates.
+        # matcher's string/edit/semantic/knowledge candidates.  Pass a
+        # ``SchemaEncoding`` to reuse cached column-RNN states; ``info``
+        # (when given) reports the classifier batch size.
         cfg = self.config
         # span + confidence; matcher hits outrank classifier hits (+2).
         scored: dict[str, tuple[tuple[int, int], float]] = {}
         profiles = {}
         confidences = {}
+        needed: list[str] = []
         for column in table.column_names:
             candidate = self.matcher.best(tokens, column)
             if candidate is not None and not any(
@@ -387,15 +443,28 @@ class Annotator:
             if not (use_classifier and cfg.use_column_classifier
                     and self.column_classifier._trained):
                 continue
-            prob = self.column_classifier.predict_proba(tokens,
-                                                        tokenize(column))
-            if prob <= cfg.column_threshold:
-                continue
-            confidences[column] = prob
-            profiles[column] = compute_influence(
-                self.column_classifier, tokens, tokenize(column),
-                alpha=cfg.influence_alpha, beta=cfg.influence_beta,
-                norm=cfg.influence_norm)
+            needed.append(column)
+
+        if info is not None:
+            info["batch"] = len(needed)
+        if needed:
+            # One lockstep classifier pass over every undecided column —
+            # the question side is computed once and broadcast.
+            encoded = schema.encoded_subset(needed) if schema is not None \
+                else None
+            probs = self.column_classifier.score_columns(
+                tokens, [tokenize(column) for column in needed],
+                encoded=encoded)
+            for column, prob in zip(needed, probs):
+                if prob <= cfg.column_threshold:
+                    continue
+                # Adversarial localization needs per-column gradients
+                # (Section IV-C) and stays per-item by construction.
+                confidences[column] = float(prob)
+                profiles[column] = compute_influence(
+                    self.column_classifier, tokens, tokenize(column),
+                    alpha=cfg.influence_alpha, beta=cfg.influence_beta,
+                    norm=cfg.influence_norm)
         if cfg.use_contrastive_influence and profiles:
             profiles = {
                 col: contrastive_profile(
@@ -487,17 +556,28 @@ class _ColumnDetectionStage(_AnnotatorStage):
     provides = ("column_spans",)
 
     def run(self, ctx) -> None:
+        annotator = self.annotator
         value_spans = ctx.artifacts["value_spans"]
         blocked = {i for candidate in value_spans
                    for i in range(candidate.start, candidate.end)}
         use_classifier = ctx.mode == "full"
-        spans = self.annotator._detect_columns(ctx.question_tokens, ctx.table,
-                                               blocked,
-                                               use_classifier=use_classifier)
+        # Fetch (or build) the cached per-table encoding only when the
+        # classifier will actually run; the context-free rung must stay
+        # cheap and model-independent.
+        schema, cache_status = None, "off"
+        if (use_classifier and annotator.config.use_column_classifier
+                and annotator.column_classifier._trained):
+            schema, cache_status = annotator.schema_encoding(ctx.table)
+        info: dict = {}
+        spans = annotator._detect_columns(ctx.question_tokens, ctx.table,
+                                          blocked,
+                                          use_classifier=use_classifier,
+                                          schema=schema, info=info)
         ctx.artifacts["column_spans"] = spans
         ctx.note(classifier=use_classifier
-                 and self.annotator.config.use_column_classifier,
-                 columns=len(spans))
+                 and annotator.config.use_column_classifier,
+                 columns=len(spans), schema_cache=cache_status,
+                 batch=info.get("batch", 0))
 
 
 class _MentionResolutionStage(_AnnotatorStage):

@@ -10,6 +10,7 @@ from repro.core.mention.column_classifier import (
     ClassifierConfig,
     ColumnMentionClassifier,
     EmbeddedWord,
+    EncodedColumns,
 )
 from repro.core.mention.matcher import ColumnMatcher, MentionCandidate
 from repro.core.mention.resolution import (
@@ -24,6 +25,7 @@ from repro.core.mention.value_classifier import (
 
 __all__ = [
     "ClassifierConfig", "ColumnMentionClassifier", "EmbeddedWord",
+    "EncodedColumns",
     "InfluenceProfile", "compute_influence", "contrastive_profile",
     "locate_mention",
     "ColumnMatcher", "MentionCandidate",

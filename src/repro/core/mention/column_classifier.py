@@ -41,10 +41,12 @@ from repro.nn import (
     clip_grad_norm,
     concat,
     no_grad,
+    pack_steps,
 )
 from repro.text import CHAR_VOCAB_SIZE, WordEmbeddings, char_ids
 
-__all__ = ["ClassifierConfig", "ColumnMentionClassifier", "EmbeddedWord"]
+__all__ = ["ClassifierConfig", "ColumnMentionClassifier", "EmbeddedWord",
+           "EncodedColumns"]
 
 
 @dataclass
@@ -87,6 +89,37 @@ class EmbeddedWord:
     combined: Tensor
 
 
+@dataclass
+class EncodedColumns:
+    """Question-independent column-side encodings of one schema.
+
+    ``states[t]`` holds the column BiLSTM output at step ``t`` for every
+    column (rows past a column's length are padding) and ``units`` the
+    unit-normalized word+char embeddings the similarity features use.
+    Pure numpy — an inference artifact, safe to cache across requests
+    until the classifier is retrained.
+    """
+
+    tokens: list[list[str]]      # per column, truncated to max words
+    lengths: np.ndarray          # (B,) true token counts
+    states: list[np.ndarray]     # T × (B, 2·hidden) column-RNN outputs
+    units: np.ndarray            # (B, T, emb_dim); zero rows past length
+
+    def subset(self, indices: list[int]) -> "EncodedColumns":
+        """Row-gather a sub-batch of columns (no recomputation)."""
+        idx = np.asarray(indices, dtype=np.intp)
+        lengths = self.lengths[idx]
+        t_max = int(lengths.max()) if len(lengths) else 0
+        return EncodedColumns(
+            tokens=[self.tokens[i] for i in indices],
+            lengths=lengths,
+            states=[s[idx] for s in self.states[:t_max]],
+            units=self.units[idx][:, :t_max])
+
+    def __len__(self) -> int:
+        return len(self.tokens)
+
+
 class ColumnMentionClassifier(Module):
     """The machine-comprehension binary classifier of Section IV-B."""
 
@@ -125,6 +158,10 @@ class ColumnMentionClassifier(Module):
         self.head = MLP(
             [(2 * cfg.hidden + 2) * cfg.max_column_words, cfg.mlp_hidden, 1],
             rng, hidden_activation="tanh")
+        # Shared zero block padding short columns to max_column_words —
+        # constant, so one instance serves every forward call (gradients
+        # never flow into a non-leaf zeros tensor).
+        self._feature_pad = Tensor.zeros(1, 2 * cfg.hidden + 2)
         self._trained = False
 
     # ------------------------------------------------------------------
@@ -157,6 +194,22 @@ class ColumnMentionClassifier(Module):
     # Forward
     # ------------------------------------------------------------------
 
+    def _question_side(self, question: list[str], capture: bool = False,
+                       ) -> tuple[list[EmbeddedWord], Tensor, Tensor]:
+        """Column-independent work: ``(embedded, memory S^q, q_unit)``.
+
+        Computed once per question and shared by every column — both by
+        :meth:`forward` (one column) and :meth:`score_columns` (all of
+        a table's columns in one batch).
+        """
+        q_embedded = self.embed_words(question, capture=capture)
+        s_q = self.question_rnn([e.combined for e in q_embedded])
+        memory = concat(s_q, axis=0)  # (n, hidden)
+        q_matrix = concat([e.combined for e in q_embedded], axis=0)
+        q_norms = ((q_matrix * q_matrix).sum(axis=1, keepdims=True)
+                   + 1e-8) ** 0.5
+        return q_embedded, memory, q_matrix / q_norms
+
     def forward(self, question: list[str], column: list[str],
                 capture: bool = False,
                 ) -> tuple[Tensor, list[EmbeddedWord]]:
@@ -166,12 +219,10 @@ class ColumnMentionClassifier(Module):
         cfg = self.config
         column = column[:cfg.max_column_words]
 
-        q_embedded = self.embed_words(question, capture=capture)
+        q_embedded, memory, q_unit = self._question_side(question,
+                                                         capture=capture)
         c_embedded = self.embed_words(column)
-
-        s_q = self.question_rnn([e.combined for e in q_embedded])
         s_c = self.column_rnn([e.combined for e in c_embedded])
-        memory = concat(s_q, axis=0)  # (n, hidden)
 
         # Attentive BiLSTM over the column (part iii).
         def run_direction(cell, states):
@@ -193,10 +244,6 @@ class ColumnMentionClassifier(Module):
         # BiDAF-style similarity features: per column word, the max and
         # mean cosine similarity against all question words, computed on
         # the combined word+char embeddings *inside the graph*.
-        q_matrix = concat([e.combined for e in q_embedded], axis=0)
-        q_norms = ((q_matrix * q_matrix).sum(axis=1, keepdims=True)
-                   + 1e-8) ** 0.5
-        q_unit = q_matrix / q_norms
         for t, emb_t in enumerate(c_embedded):
             c_norm = ((emb_t.combined * emb_t.combined).sum(
                 axis=1, keepdims=True) + 1e-8) ** 0.5
@@ -208,9 +255,8 @@ class ColumnMentionClassifier(Module):
             d_states[t] = concat([d_states[t], sim_features], axis=-1)
 
         # Zero-pad to max_column_words and concatenate for the MLP head.
-        pad = Tensor.zeros(1, 2 * cfg.hidden + 2)
         while len(d_states) < cfg.max_column_words:
-            d_states.append(pad)
+            d_states.append(self._feature_pad)
         features = concat(d_states, axis=-1)
         logit = self.head(features).reshape(1)
         return logit, q_embedded
@@ -256,6 +302,109 @@ class ColumnMentionClassifier(Module):
         with no_grad():
             logit, _ = self(question, column)
         return float(1.0 / (1.0 + np.exp(-logit.numpy()[0])))
+
+    # ------------------------------------------------------------------
+    # Batched inference (the vectorized fast path)
+    # ------------------------------------------------------------------
+
+    def encode_columns(self, columns: list[list[str]]) -> EncodedColumns:
+        """Precompute the question-independent side of every column.
+
+        One lockstep column-RNN pass over all B columns; the result is
+        a numpy artifact reusable across every question asked against
+        the same schema (see :class:`EncodedColumns`).
+        """
+        if not columns:
+            raise ModelError("encode_columns() needs at least one column")
+        cfg = self.config
+        tokens = [list(column[:cfg.max_column_words]) for column in columns]
+        if any(not column for column in tokens):
+            raise ModelError("question and column must be non-empty")
+        with no_grad():
+            embedded = [self.embed_words(column) for column in tokens]
+            steps, lengths = pack_steps(
+                [[e.combined for e in col] for col in embedded])
+            states = [s.numpy()
+                      for s in self.column_rnn.forward_batch(steps, lengths)]
+            units = np.zeros((len(tokens), len(steps), cfg.emb_dim))
+            for b, col in enumerate(embedded):
+                for t, emb_t in enumerate(col):
+                    vec = emb_t.combined.numpy()
+                    norm = np.sqrt((vec * vec).sum() + 1e-8)
+                    units[b, t] = vec.reshape(-1) / norm
+        return EncodedColumns(tokens=tokens, lengths=lengths,
+                              states=states, units=units)
+
+    def score_columns(self, question: list[str],
+                      columns: list[list[str]] | None = None, *,
+                      encoded: EncodedColumns | None = None) -> np.ndarray:
+        """Mention probabilities of many columns in one batched pass.
+
+        The question side (embedding, question LSTM, unit matrix) runs
+        once; the attentive BiLSTM advances all columns in lockstep with
+        batched attention.  Equals per-column :meth:`predict_proba` to
+        float64 precision (BLAS path differences only).  Pass ``encoded``
+        to reuse a cached :meth:`encode_columns` artifact.
+        """
+        if not question:
+            raise ModelError("question and column must be non-empty")
+        cfg = self.config
+        with no_grad():
+            if encoded is None:
+                if not columns:
+                    raise ModelError(
+                        "score_columns() needs columns or encoded=")
+                encoded = self.encode_columns(columns)
+            batch = len(encoded)
+            total = len(encoded.states)
+            _, memory, q_unit = self._question_side(question)
+
+            needs_mask = int(encoded.lengths.min()) < total
+            masks = [(encoded.lengths > t).astype(np.float64).reshape(-1, 1)
+                     for t in range(total)] if needs_mask else None
+
+            def run_direction(cell, reverse):
+                h, c = cell.initial_state(batch)
+                outputs: list[Tensor | None] = [None] * total
+                order = range(total - 1, -1, -1) if reverse \
+                    else range(total)
+                for t in order:
+                    s_t = Tensor(encoded.states[t])
+                    query = concat([s_t, h], axis=-1)
+                    context, _ = self.attention.forward_batch(memory, query)
+                    z_t = concat([s_t, context], axis=-1)
+                    h_new, c_new = cell(z_t, h, c)
+                    if masks is not None:
+                        m = Tensor(masks[t])
+                        h = h_new * m + h * (1.0 - m)
+                        c = c_new * m + c * (1.0 - m)
+                    else:
+                        h, c = h_new, c_new
+                    outputs[t] = h
+                return outputs
+
+            fwd = run_direction(self.fwd_cell, reverse=False)
+            bwd = run_direction(self.bwd_cell, reverse=True)
+
+            # Similarity features for all (column word, question) pairs:
+            # (B, T, emb) × (n, emb) → (B, T, n), then max/mean over n.
+            sims = encoded.units @ q_unit.numpy().T
+            sim_max = sims.max(axis=2)
+            sim_mean = sims.mean(axis=2)
+
+            # Assemble the zero-padded feature matrix exactly as the
+            # per-item path does: valid steps get [d_t; max; mean],
+            # steps past a column's length stay zero.
+            width = 2 * cfg.hidden + 2
+            features = np.zeros((batch, width * cfg.max_column_words))
+            for t in range(total):
+                block = np.concatenate(
+                    [fwd[t].numpy(), bwd[t].numpy(),
+                     sim_max[:, t:t + 1], sim_mean[:, t:t + 1]], axis=1)
+                valid = encoded.lengths > t
+                features[valid, t * width:(t + 1) * width] = block[valid]
+            logits = self.head(Tensor(features)).numpy().reshape(batch)
+        return 1.0 / (1.0 + np.exp(-logits))
 
     def predict(self, question: list[str], column: list[str],
                 threshold: float = 0.5) -> bool:

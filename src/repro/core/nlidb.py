@@ -213,21 +213,30 @@ class NLIDB:
     def predict_annotated(self, annotation: AnnotatedQuestion,
                           beam_width: int | None = None,
                           header_tokens: list[str] | None = None,
+                          token_vectors: dict | None = None,
                           ) -> tuple[list[str], list[str]]:
         """Stage 2, ``qᵃ → sᵃ``: encode and beam-decode one annotation.
 
         Returns ``(source_tokens, predicted_annotated_sql)``.  Pass
         ``header_tokens`` to reuse a precomputed header encoding (the
-        serving batch path computes it once per table per batch).
+        serving batch path computes it once per table per batch) and
+        ``token_vectors`` to reuse the schema cache's frozen candidate
+        embeddings — only forwarded when the translator advertises
+        ``accepts_token_vectors`` (the Transformer ablation does not).
         """
         source = annotation.annotated_tokens(
             append=self.config.column_name_appending,
             header_encoding=self.config.header_encoding)
         if header_tokens is None:
             header_tokens = self.header_tokens(annotation.table)
+        kwargs = {}
+        if token_vectors is not None and getattr(
+                self.translator, "accepts_token_vectors", False):
+            kwargs["token_vectors"] = token_vectors
         predicted = self.translator.translate(
             source, header_tokens,
-            extra_symbols=self._symbols(annotation), beam_width=beam_width)
+            extra_symbols=self._symbols(annotation), beam_width=beam_width,
+            **kwargs)
         return source, predicted
 
     def recover(self, source: list[str], predicted: list[str],
@@ -381,12 +390,27 @@ class _TranslateStage(_NLIDBStage):
     provides = ("source", "predicted")
 
     def run(self, ctx: PipelineContext) -> None:
+        # Reuse the schema cache's warm artifact when one exists: its
+        # header tokens and frozen candidate-token vectors are
+        # question-independent.  peek never *builds* an encoding, so
+        # degraded modes that skipped the annotator's cache stay cheap.
+        header_tokens = ctx.header_tokens
+        token_vectors = None
+        schema = self.nlidb.annotator.peek_schema_encoding(ctx.table)
+        if schema is not None:
+            if header_tokens is None:
+                header_tokens = schema.header_tokens
+            token_vectors = schema.token_vectors
         source, predicted = self.nlidb.predict_annotated(
             ctx.artifacts["annotation"], beam_width=ctx.beam_width,
-            header_tokens=ctx.header_tokens)
+            header_tokens=header_tokens, token_vectors=token_vectors)
         ctx.artifacts["source"] = source
         ctx.artifacts["predicted"] = predicted
-        ctx.note(source_len=len(source), predicted_len=len(predicted))
+        decode = getattr(self.nlidb.translator, "last_decode", None) or {}
+        ctx.note(source_len=len(source), predicted_len=len(predicted),
+                 schema_encoding="hit" if schema is not None else "none",
+                 **({"decode_path": decode["path"],
+                     "decode_steps": decode["steps"]} if decode else {}))
 
 
 class _RecoverStage(_NLIDBStage):

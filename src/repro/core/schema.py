@@ -1,0 +1,100 @@
+"""Fingerprint-keyed schema encodings (the per-table inference artifact).
+
+Like SQLNet/TypeSQL-style column-attention models, the column side of
+the paper's annotation step is *question-independent*: the column-RNN
+states the mention classifier attends from, the unit-normalized column
+word embeddings its similarity features use, the value classifier's
+per-column statistics, and the translator's header tokens and their
+frozen embedding vectors all depend only on the table.  A
+:class:`SchemaEncoding` bundles that work so one table's encoding is
+computed once and reused for every question asked against it — the
+annotator caches these in an LRU keyed by the table's *content*
+fingerprint (:func:`repro.sqlengine.table_fingerprint`), so a
+recreated-but-equal table hits the warm entry while any schema or data
+edit recomputes.
+
+The classifier-derived fields become stale when the mention classifier
+is retrained; :meth:`repro.core.annotator.Annotator.fit` therefore
+drops the cache.  The ``token_vectors`` are frozen hash embeddings and
+would survive retraining, but rebuilding them is cheap enough that the
+simpler whole-cache invalidation wins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.nn import no_grad
+from repro.sqlengine import Table, table_fingerprint
+from repro.text import tokenize
+
+from repro.core.mention import EncodedColumns
+from repro.core.seq2seq.vocab import STRUCTURAL_TOKENS, is_symbol
+
+__all__ = ["SchemaEncoding", "build_schema_encoding"]
+
+
+@dataclass
+class SchemaEncoding:
+    """Precomputed, question-independent inference state of one table."""
+
+    fingerprint: str
+    column_names: list[str]
+    column_tokens: dict[str, list[str]]
+    column_index: dict[str, int]
+    #: Lockstep column-RNN states + unit embeddings for the mention
+    #: classifier's batched scoring; ``None`` when it is untrained.
+    columns: EncodedColumns | None
+    #: Per-column value statistics (the value classifier's ``s_c``).
+    stats: dict[str, np.ndarray]
+    #: Tokenized headers fed to the translator's copy space.
+    header_tokens: list[str]
+    #: Frozen embedding vectors of the non-symbol candidate tokens the
+    #: translator can always see for this table (structural + header).
+    token_vectors: dict[str, np.ndarray] = field(repr=False)
+
+    def encoded_subset(self, names: list[str]) -> EncodedColumns | None:
+        """Cached column encodings row-gathered down to ``names``."""
+        if self.columns is None:
+            return None
+        return self.columns.subset([self.column_index[name]
+                                    for name in names])
+
+
+def build_schema_encoding(annotator, table: Table) -> SchemaEncoding:
+    """Encode one table's column side for the given annotator.
+
+    Everything runs under ``no_grad``; the artifact holds plain numpy
+    (no autodiff graph), so it is safe to share across requests.
+    """
+    column_names = list(table.column_names)
+    column_tokens = {name: tokenize(name) for name in column_names}
+
+    header_tokens: list[str] = []
+    for name in column_names:
+        header_tokens.extend(column_tokens[name])
+
+    classifier = annotator.column_classifier
+    encoded = None
+    if getattr(classifier, "_trained", False):
+        encoded = classifier.encode_columns(
+            [column_tokens[name] for name in column_names])
+
+    embeddings = annotator.embeddings
+    token_vectors: dict[str, np.ndarray] = {}
+    with no_grad():
+        for token in list(STRUCTURAL_TOKENS) + header_tokens:
+            if token not in token_vectors and not is_symbol(token):
+                token_vectors[token] = embeddings.vector(token)
+
+    return SchemaEncoding(
+        fingerprint=table_fingerprint(table),
+        column_names=column_names,
+        column_tokens=column_tokens,
+        column_index={name: i for i, name in enumerate(column_names)},
+        columns=encoded,
+        stats=annotator._stats_for(table),
+        header_tokens=header_tokens,
+        token_vectors=token_vectors)

@@ -67,6 +67,10 @@ class Seq2SeqConfig:
     grad_clip: float = 5.0
     max_symbol_index: int = 30
     seed: int = 0
+    #: Advance all live beams through one batched decoder/attention call
+    #: per step (the vectorized fast path).  The per-beam Python loop is
+    #: kept as the differential-testing reference.
+    lockstep_beam: bool = True
 
 
 @dataclass
@@ -85,6 +89,10 @@ class TrainingPair:
 
 class AnnotatedSeq2Seq(Module):
     """Sequence-to-sequence translation of ``qᵃ`` into ``sᵃ``."""
+
+    #: The serving/pipeline layers may pass precomputed frozen token
+    #: vectors (header + structural tokens) to :meth:`translate`.
+    accepts_token_vectors = True
 
     def __init__(self, embeddings: WordEmbeddings,
                  config: Seq2SeqConfig | None = None):
@@ -111,6 +119,10 @@ class AnnotatedSeq2Seq(Module):
         # with stage ∈ {"encode", "beam_search"} on every translate()
         # call (the serving layer's latency histograms attach here).
         self.timing_hook = None
+        #: Facts about the most recent :meth:`translate` decode (path,
+        #: steps, beam width, candidate count) — the translate pipeline
+        #: stage copies these into its trace record.
+        self.last_decode: dict = {}
         self._fitted = False
 
     # ------------------------------------------------------------------
@@ -268,57 +280,220 @@ class AnnotatedSeq2Seq(Module):
     # Inference (beam search)
     # ------------------------------------------------------------------
 
+    @staticmethod
+    def _top_k(probs: np.ndarray, k: int) -> np.ndarray:
+        """Indices of the ``k`` largest entries, best first.
+
+        ``argpartition`` + a small sort instead of a full argsort of the
+        candidate vocabulary.  Ties break toward the lower candidate
+        index (partition indices are pre-sorted, the rank sort is
+        stable), so the per-beam and lockstep paths — which both route
+        through here — expand candidates in the same order.
+        """
+        if k >= probs.shape[0]:
+            idx = np.arange(probs.shape[0])
+        else:
+            idx = np.sort(np.argpartition(probs, -k)[-k:])
+        return idx[np.argsort(-probs[idx], kind="stable")]
+
+    def _attend_batch(self, memory: Tensor, memory_proj: Tensor,
+                      d_batch: Tensor) -> tuple[np.ndarray, np.ndarray]:
+        """Batched :meth:`_attend`: B decoder states against one memory.
+
+        Returns numpy ``(scores (B, T), contexts (B, enc_dim))`` — the
+        lockstep decoder is inference-only, so no graph is needed.
+        """
+        t = memory.shape[0]
+        b = d_batch.shape[0]
+        attn = self.config.attention_dim
+        hidden = (memory_proj.reshape(1, t, attn)
+                  + self.att_query(d_batch).reshape(b, 1, attn)).tanh()
+        scores = self.att_v(hidden.reshape(b * t, attn)).numpy().reshape(b, t)
+        weights = np.exp(scores - scores.max(axis=1, keepdims=True))
+        weights /= weights.sum(axis=1, keepdims=True)
+        return scores, weights @ memory.numpy()
+
+    def _step_distribution_batch(self, d_batch: np.ndarray,
+                                 contexts: np.ndarray,
+                                 attention_scores: np.ndarray,
+                                 copy_map: np.ndarray,
+                                 candidate_matrix: np.ndarray) -> np.ndarray:
+        """Batched :meth:`_step_distribution`: ``(B, C)`` probabilities.
+
+        Row ``b`` applies the paper's ``∝ exp(U[d,β]) + M_i`` rule with
+        the same shared shift (max over that row's generation logits and
+        attention scores) the per-beam path uses.
+        """
+        projected = self.out_proj(
+            Tensor(np.concatenate([d_batch, contexts], axis=1))).numpy()
+        gen_logits = projected @ candidate_matrix.T
+        if self.config.use_copy:
+            shift = np.maximum(gen_logits.max(axis=1),
+                               attention_scores.max(axis=1))[:, None]
+            mass = (np.exp(gen_logits - shift)
+                    + np.exp(attention_scores - shift) @ copy_map.T)
+        else:
+            shift = gen_logits.max(axis=1, keepdims=True)
+            mass = np.exp(gen_logits - shift)
+        return mass / mass.sum(axis=1, keepdims=True)
+
+    def _inference_candidate_matrix(self, candidates: list[str],
+                                    token_vectors: dict | None) -> Tensor:
+        """The ``(C, dim)`` tied-embedding matrix, from cached vectors.
+
+        Bit-identical to :meth:`TokenEmbedder.candidate_matrix`: frozen
+        hash vectors come straight from ``token_vectors`` (or the
+        embedder) as numpy rows, symbols still go through the trainable
+        type ⊕ index embeddings.
+        """
+        rows = np.empty((len(candidates), self.embedder.dim))
+        for i, token in enumerate(candidates):
+            vector = token_vectors.get(token) if token_vectors else None
+            if vector is None:
+                vector = self.embedder.embed(token).numpy().reshape(-1)
+            rows[i] = vector
+        return Tensor(rows)
+
     def translate(self, source: list[str], header_tokens: list[str],
                   extra_symbols: tuple[str, ...] = (),
-                  beam_width: int | None = None) -> list[str]:
-        """Decode the most likely annotated SQL token sequence."""
+                  beam_width: int | None = None,
+                  lockstep: bool | None = None,
+                  token_vectors: dict | None = None) -> list[str]:
+        """Decode the most likely annotated SQL token sequence.
+
+        ``lockstep`` overrides ``config.lockstep_beam`` (``True`` stacks
+        all live beams into one decoder/attention call per step;
+        ``False`` is the reference per-beam loop — both produce
+        identical SQL).  ``token_vectors`` optionally supplies
+        precomputed frozen embeddings for candidate tokens (the schema
+        cache provides header + structural vectors).
+        """
         width = beam_width or self.config.beam_width
+        use_lockstep = (self.config.lockstep_beam if lockstep is None
+                        else lockstep)
         candidates = build_candidates(source, header_tokens, extra_symbols)
         with no_grad():
             start = perf_counter()
             states = self.encode(source)
             memory = concat(states, axis=0)
             memory_proj = self.att_memory(memory)
-            candidate_matrix = self.embedder.candidate_matrix(candidates)
+            candidate_matrix = self._inference_candidate_matrix(
+                candidates, token_vectors)
             copy_map = self._copy_map(candidates, source)
+            d0 = self._initial_state(states)
+            _, context0 = self._attend(memory, memory_proj, d0)
             if self.timing_hook is not None:
                 self.timing_hook("encode", perf_counter() - start)
 
             start = perf_counter()
-            d0 = self._initial_state(states)
-            _, context0 = self._attend(memory, memory_proj, d0)
-            beams = [(0.0, [], d0, context0, None)]  # (nll, tokens, d, ctx, prev)
-            finished: list[tuple[float, list[str]]] = []
-            for _ in range(self.config.max_decode_len):
-                expansions = []
-                for nll, tokens, d, context, prev in beams:
-                    prev_emb = (self.embedder.embed(prev) if prev
-                                else Tensor.zeros(1, self.embedder.dim))
-                    d_next = self.decoder_cell(
-                        concat([prev_emb, context], axis=-1), d)
-                    att_scores, ctx_next = self._attend(memory, memory_proj,
-                                                     d_next)
-                    probs = self._step_distribution(
-                        d_next, ctx_next, att_scores, copy_map,
-                        candidate_matrix).numpy()
-                    top = np.argsort(probs)[::-1][:width]
-                    for ci in top:
-                        token = candidates[int(ci)]
-                        new_nll = nll - float(np.log(probs[ci] + 1e-12))
-                        if token == EOS:
-                            finished.append((new_nll / (len(tokens) + 1),
-                                             tokens))
-                        else:
-                            expansions.append((new_nll, tokens + [token],
-                                               d_next, ctx_next, token))
-                if not expansions:
-                    break
-                expansions.sort(key=lambda b: b[0])
-                beams = expansions[:width]
-            if not finished:
-                finished = [(nll / max(len(tokens), 1), tokens)
-                            for nll, tokens, *_ in beams]
+            decode = self._decode_lockstep if use_lockstep \
+                else self._decode_per_beam
+            finished, steps = decode(candidates, memory, memory_proj,
+                                     candidate_matrix, copy_map,
+                                     d0, context0, width)
             if self.timing_hook is not None:
                 self.timing_hook("beam_search", perf_counter() - start)
         finished.sort(key=lambda b: b[0])
+        self.last_decode = {
+            "path": "lockstep" if use_lockstep else "per_beam",
+            "steps": steps, "beam_width": width,
+            "candidates": len(candidates),
+        }
         return finished[0][1]
+
+    def _decode_per_beam(self, candidates, memory, memory_proj,
+                         candidate_matrix, copy_map, d0, context0,
+                         width: int):
+        """The reference decoder: a Python loop over live beams."""
+        beams = [(0.0, [], d0, context0, None)]  # (nll, tokens, d, ctx, prev)
+        finished: list[tuple[float, list[str]]] = []
+        steps = 0
+        for _ in range(self.config.max_decode_len):
+            steps += 1
+            expansions = []
+            for nll, tokens, d, context, prev in beams:
+                prev_emb = (self.embedder.embed(prev) if prev
+                            else Tensor.zeros(1, self.embedder.dim))
+                d_next = self.decoder_cell(
+                    concat([prev_emb, context], axis=-1), d)
+                att_scores, ctx_next = self._attend(memory, memory_proj,
+                                                    d_next)
+                probs = self._step_distribution(
+                    d_next, ctx_next, att_scores, copy_map,
+                    candidate_matrix).numpy()
+                for ci in self._top_k(probs, width):
+                    token = candidates[int(ci)]
+                    new_nll = nll - float(np.log(probs[ci] + 1e-12))
+                    if token == EOS:
+                        finished.append((new_nll / (len(tokens) + 1),
+                                         tokens))
+                    else:
+                        expansions.append((new_nll, tokens + [token],
+                                           d_next, ctx_next, token))
+            if not expansions:
+                break
+            expansions.sort(key=lambda b: b[0])
+            beams = expansions[:width]
+        if not finished:
+            finished = [(nll / max(len(tokens), 1), tokens)
+                        for nll, tokens, *_ in beams]
+        return finished, steps
+
+    def _decode_lockstep(self, candidates, memory, memory_proj,
+                         candidate_matrix, copy_map, d0, context0,
+                         width: int):
+        """Lockstep decoder: all live beams share one call per step.
+
+        Beam states live in ``(B, enc_dim)`` matrices; survivors of the
+        pruning step are row-gathered.  Expansion order (beam-major,
+        best-candidate-first) and the stable score sorts match the
+        per-beam loop exactly, so both paths pick identical SQL.
+        """
+        cand_rows = candidate_matrix.numpy()
+        d_mat = d0.numpy()
+        ctx_mat = context0.numpy().reshape(1, -1)
+        meta: list[tuple[float, list[str], str | None]] = [(0.0, [], None)]
+        finished: list[tuple[float, list[str]]] = []
+        embed_cache: dict[str, np.ndarray] = {}
+        steps = 0
+        for _ in range(self.config.max_decode_len):
+            steps += 1
+            prev_embs = np.zeros((len(meta), self.embedder.dim))
+            for b, (_, _, prev) in enumerate(meta):
+                if prev is not None:
+                    vec = embed_cache.get(prev)
+                    if vec is None:
+                        vec = self.embedder.embed(prev).numpy().reshape(-1)
+                        embed_cache[prev] = vec
+                    prev_embs[b] = vec
+            d_next = self.decoder_cell(
+                Tensor(np.concatenate([prev_embs, ctx_mat], axis=1)),
+                Tensor(d_mat))
+            att_scores, ctx_next = self._attend_batch(memory, memory_proj,
+                                                      d_next)
+            d_np = d_next.numpy()
+            probs = self._step_distribution_batch(
+                d_np, ctx_next, att_scores, copy_map, cand_rows)
+            expansions = []  # (nll, tokens, beam row, token)
+            for b, (nll, tokens, _) in enumerate(meta):
+                for ci in self._top_k(probs[b], width):
+                    token = candidates[int(ci)]
+                    new_nll = nll - float(np.log(probs[b, ci] + 1e-12))
+                    if token == EOS:
+                        finished.append((new_nll / (len(tokens) + 1),
+                                         tokens))
+                    else:
+                        expansions.append((new_nll, tokens + [token],
+                                           b, token))
+            if not expansions:
+                break
+            expansions.sort(key=lambda b: b[0])
+            kept = expansions[:width]
+            rows = [row for _, _, row, _ in kept]
+            d_mat = d_np[rows]
+            ctx_mat = ctx_next[rows]
+            meta = [(nll, tokens, token) for nll, tokens, _, token in kept]
+        if not finished:
+            finished = [(nll / max(len(tokens), 1), tokens)
+                        for nll, tokens, _ in meta]
+        return finished, steps

@@ -65,3 +65,26 @@ class AdditiveAttention(Module):
             weights = softmax(e, axis=-1)
         context = weights.reshape(1, weights.shape[0]) @ memory
         return context.reshape(memory.shape[1]), weights
+
+    def scores_batch(self, memory: Tensor, queries: Tensor) -> Tensor:
+        """Scores for B queries at once: ``(B, T)`` from ``(B, query_dim)``.
+
+        Row ``b`` equals :meth:`scores` on ``queries[b]`` — one shared
+        memory projection, one broadcast add, one flattened matmul
+        instead of B independent calls.
+        """
+        if memory.ndim != 2:
+            raise ShapeError(f"attention memory must be 2-D, got {memory.shape}")
+        if queries.ndim != 2:
+            raise ShapeError(f"batched queries must be 2-D, got {queries.shape}")
+        t, attn = memory.shape[0], self.v.shape[0]
+        b = queries.shape[0]
+        hidden = (self.memory_proj(memory).reshape(1, t, attn)
+                  + self.query_proj(queries).reshape(b, 1, attn)).tanh()
+        return (hidden.reshape(b * t, attn) @ self.v).reshape(b, t)
+
+    def forward_batch(self, memory: Tensor,
+                      queries: Tensor) -> tuple[Tensor, Tensor]:
+        """Batched :meth:`forward`: ``(contexts (B, md), weights (B, T))``."""
+        weights = softmax(self.scores_batch(memory, queries), axis=-1)
+        return weights @ memory, weights

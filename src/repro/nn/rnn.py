@@ -8,6 +8,15 @@ The stacked variants insert an affine transformation before each layer,
 exactly as the paper specifies for both the classifier's question/column
 LSTMs (Section IV-B) and the seq2seq encoder (Section V-B):
 ``x_i^(l+1) = L^(l+1)(h_i^(l))`` with ``L^l(x) = W_0^l x + b_0^l``.
+
+Every sequence layer also has a ``forward_batch`` lockstep runner: B
+variable-length sequences, packed into per-step ``(B, features)``
+tensors with :func:`pack_steps`, advance through ONE cell call per time
+step.  Finished lanes are length-masked with a hold update
+``h ← h_new·m + h·(1−m)``; the backward direction iterates global time
+from the end with the same ``t < len_b`` mask and stores each state at
+its original index, so lane ``b``'s outputs match running that sequence
+alone (exactly — masked lanes never contaminate live ones).
 """
 
 from __future__ import annotations
@@ -19,7 +28,43 @@ from repro.nn.layers import Linear
 from repro.nn.module import Module
 from repro.nn.tensor import Tensor, concat
 
-__all__ = ["LSTMCell", "GRUCell", "LSTM", "BiLSTM", "GRU", "BiGRU"]
+__all__ = ["LSTMCell", "GRUCell", "LSTM", "BiLSTM", "GRU", "BiGRU",
+           "pack_steps"]
+
+
+def pack_steps(sequences: list[list[Tensor]],
+               ) -> tuple[list[Tensor], np.ndarray]:
+    """Pack B per-item sequences into lockstep ``(B, features)`` steps.
+
+    Each input sequence is a list of ``(1, features)`` tensors.  Returns
+    ``(steps, lengths)`` where ``steps[t]`` stacks row ``b`` from
+    sequence ``b`` (zero rows past its length) and ``lengths[b]`` is the
+    true length of sequence ``b`` — the mask ``forward_batch`` needs.
+    """
+    if not sequences or any(not seq for seq in sequences):
+        raise ShapeError("pack_steps() requires non-empty sequences")
+    lengths = np.array([len(seq) for seq in sequences], dtype=np.intp)
+    feat = sequences[0][0].shape[-1]
+    pad = Tensor.zeros(1, feat)
+    steps = [concat([seq[t] if t < len(seq) else pad for seq in sequences],
+                    axis=0)
+             for t in range(int(lengths.max()))]
+    return steps, lengths
+
+
+def _step_masks(lengths: np.ndarray | None, total: int,
+                batch: int) -> list[Tensor] | None:
+    """Per-step hold masks ``(B, 1)``, or ``None`` when nothing to mask."""
+    if lengths is None:
+        return None
+    lengths = np.asarray(lengths, dtype=np.intp)
+    if lengths.shape != (batch,):
+        raise ShapeError(
+            f"lengths shape {lengths.shape} does not match batch {batch}")
+    if lengths.min() == total:
+        return None
+    return [Tensor((lengths > t).astype(np.float64).reshape(batch, 1))
+            for t in range(total)]
 
 
 class LSTMCell(Module):
@@ -105,6 +150,37 @@ class LSTM(Module):
             outputs = layer_out
         return outputs
 
+    def forward_batch(self, steps: list[Tensor],
+                      lengths: np.ndarray | None = None,
+                      reverse: bool = False) -> list[Tensor]:
+        """Lockstep run over B packed sequences (see :func:`pack_steps`).
+
+        With ``reverse=True`` every layer consumes global time from the
+        end; outputs stay at their original indices, so lane ``b``
+        matches a per-item run over its reversed sequence (its first
+        live step is ``t = lengths[b] - 1``, from the zero state).
+        """
+        _check_steps(steps)
+        batch = steps[0].shape[0]
+        masks = _step_masks(lengths, len(steps), batch)
+        order = range(len(steps) - 1, -1, -1) if reverse \
+            else range(len(steps))
+        outputs = list(steps)
+        for pre, cell in zip(self.pre, self.cells):
+            h, c = cell.initial_state(batch)
+            layer_out: list[Tensor | None] = [None] * len(steps)
+            for t in order:
+                h_new, c_new = cell(pre(outputs[t]), h, c)
+                if masks is not None:
+                    m = masks[t]
+                    h = h_new * m + h * (1.0 - m)
+                    c = c_new * m + c * (1.0 - m)
+                else:
+                    h, c = h_new, c_new
+                layer_out[t] = h
+            outputs = layer_out
+        return outputs
+
 
 class BiLSTM(Module):
     """Bidirectional LSTM; output per step is ``[forward; backward]``."""
@@ -120,6 +196,14 @@ class BiLSTM(Module):
         _check_steps(steps)
         fwd = self.forward_rnn(steps)
         bwd = list(reversed(self.backward_rnn(list(reversed(steps)))))
+        return [concat([f, b], axis=-1) for f, b in zip(fwd, bwd)]
+
+    def forward_batch(self, steps: list[Tensor],
+                      lengths: np.ndarray | None = None) -> list[Tensor]:
+        """Lockstep bidirectional run; per-step ``[forward; backward]``."""
+        _check_steps(steps)
+        fwd = self.forward_rnn.forward_batch(steps, lengths)
+        bwd = self.backward_rnn.forward_batch(steps, lengths, reverse=True)
         return [concat([f, b], axis=-1) for f, b in zip(fwd, bwd)]
 
 
@@ -146,6 +230,30 @@ class GRU(Module):
             for x in outputs:
                 h = cell(pre(x), h)
                 layer_out.append(h)
+            outputs = layer_out
+        return outputs
+
+    def forward_batch(self, steps: list[Tensor],
+                      lengths: np.ndarray | None = None,
+                      reverse: bool = False) -> list[Tensor]:
+        """Lockstep run over B packed sequences (see :class:`LSTM`)."""
+        _check_steps(steps)
+        batch = steps[0].shape[0]
+        masks = _step_masks(lengths, len(steps), batch)
+        order = range(len(steps) - 1, -1, -1) if reverse \
+            else range(len(steps))
+        outputs = list(steps)
+        for pre, cell in zip(self.pre, self.cells):
+            h = cell.initial_state(batch)
+            layer_out: list[Tensor | None] = [None] * len(steps)
+            for t in order:
+                h_new = cell(pre(outputs[t]), h)
+                if masks is not None:
+                    m = masks[t]
+                    h = h_new * m + h * (1.0 - m)
+                else:
+                    h = h_new
+                layer_out[t] = h
             outputs = layer_out
         return outputs
 
@@ -185,5 +293,38 @@ class BiGRU(Module):
                 h = bwd_cell(x, h)
                 bwd.append(h)
             bwd.reverse()
+            outputs = [concat([f, b], axis=-1) for f, b in zip(fwd, bwd)]
+        return outputs
+
+    def forward_batch(self, steps: list[Tensor],
+                      lengths: np.ndarray | None = None) -> list[Tensor]:
+        """Lockstep bidirectional run; per-step ``[forward; backward]``."""
+        _check_steps(steps)
+        batch = steps[0].shape[0]
+        masks = _step_masks(lengths, len(steps), batch)
+        outputs = list(steps)
+        for pre, fwd_cell, bwd_cell in zip(self.pre, self.fwd_cells,
+                                           self.bwd_cells):
+            inputs = [pre(x) for x in outputs]
+            h = fwd_cell.initial_state(batch)
+            fwd: list[Tensor | None] = [None] * len(steps)
+            for t in range(len(steps)):
+                h_new = fwd_cell(inputs[t], h)
+                if masks is not None:
+                    m = masks[t]
+                    h = h_new * m + h * (1.0 - m)
+                else:
+                    h = h_new
+                fwd[t] = h
+            h = bwd_cell.initial_state(batch)
+            bwd: list[Tensor | None] = [None] * len(steps)
+            for t in range(len(steps) - 1, -1, -1):
+                h_new = bwd_cell(inputs[t], h)
+                if masks is not None:
+                    m = masks[t]
+                    h = h_new * m + h * (1.0 - m)
+                else:
+                    h = h_new
+                bwd[t] = h
             outputs = [concat([f, b], axis=-1) for f, b in zip(fwd, bwd)]
         return outputs

@@ -220,6 +220,13 @@ class TranslationService:
         }
         snapshot["breaker"] = self.breaker.snapshot()
         snapshot["policy"] = asdict(self.policy)
+        # The annotator's fingerprint-keyed schema-encoding cache, when
+        # the wrapped NLIDB has one (fault wrappers delegate; test stubs
+        # without an annotator are skipped).
+        annotator = getattr(self.nlidb, "annotator", None)
+        schema_stats = getattr(annotator, "schema_cache_stats", None)
+        if schema_stats is not None:
+            snapshot["schema_cache"] = schema_stats()
         return snapshot
 
     def clear_cache(self) -> None:

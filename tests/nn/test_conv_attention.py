@@ -137,3 +137,47 @@ class TestAdditiveAttention:
         assert memory.grad is not None
         assert query.grad is not None
         assert att.v.grad is not None
+
+
+class TestBatchedAdditiveAttention:
+    """scores_batch/forward_batch must match per-query calls exactly."""
+
+    def make(self, seed=13):
+        att = AdditiveAttention(6, 4, 5, np.random.default_rng(seed))
+        rng = np.random.default_rng(seed + 1)
+        memory = Tensor(rng.standard_normal((7, 6)))
+        queries = Tensor(rng.standard_normal((3, 4)))
+        return att, memory, queries
+
+    def test_scores_match_per_query(self):
+        att, memory, queries = self.make()
+        batched = att.scores_batch(memory, queries).numpy()
+        assert batched.shape == (3, 7)
+        for b in range(3):
+            single = att.scores(memory,
+                                Tensor(queries.numpy()[b:b + 1])).numpy()
+            np.testing.assert_allclose(batched[b], single.reshape(-1),
+                                       atol=1e-12)
+
+    def test_forward_matches_per_query(self):
+        att, memory, queries = self.make(seed=17)
+        contexts, weights = att.forward_batch(memory, queries)
+        assert contexts.shape == (3, 6)
+        assert weights.shape == (3, 7)
+        np.testing.assert_allclose(weights.numpy().sum(axis=1),
+                                   np.ones(3), atol=1e-12)
+        for b in range(3):
+            context, w = att(memory, Tensor(queries.numpy()[b:b + 1]))
+            np.testing.assert_allclose(contexts.numpy()[b],
+                                       context.numpy().reshape(-1),
+                                       atol=1e-12)
+            np.testing.assert_allclose(weights.numpy()[b],
+                                       w.numpy().reshape(-1), atol=1e-12)
+
+    def test_gradients_flow_through_batch(self):
+        att, memory, queries = self.make(seed=19)
+        queries = Tensor(queries.numpy(), requires_grad=True)
+        contexts, _ = att.forward_batch(memory, queries)
+        contexts.sum().backward()
+        assert queries.grad is not None
+        assert att.v.grad is not None

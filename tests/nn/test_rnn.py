@@ -4,7 +4,16 @@ import numpy as np
 import pytest
 
 from repro.errors import ShapeError
-from repro.nn import LSTM, BiGRU, BiLSTM, GRU, GRUCell, LSTMCell, Tensor
+from repro.nn import (
+    LSTM,
+    BiGRU,
+    BiLSTM,
+    GRU,
+    GRUCell,
+    LSTMCell,
+    Tensor,
+    pack_steps,
+)
 
 RNG = np.random.default_rng(11)
 
@@ -13,6 +22,13 @@ def make_steps(t=4, batch=2, dim=3, seed=0):
     rng = np.random.default_rng(seed)
     return [Tensor(rng.standard_normal((batch, dim)), requires_grad=True)
             for _ in range(t)]
+
+
+def make_sequences(lengths, dim=3, seed=0):
+    """B per-item sequences of (1, dim) step Tensors, varying lengths."""
+    rng = np.random.default_rng(seed)
+    return [[Tensor(rng.standard_normal((1, dim))) for _ in range(n)]
+            for n in lengths]
 
 
 class TestLSTMCell:
@@ -126,3 +142,95 @@ class TestSequenceLayers:
         b = GRU(3, 4, np.random.default_rng(9))
         steps = make_steps(seed=3)
         np.testing.assert_allclose(a(steps)[-1].numpy(), b(steps)[-1].numpy())
+
+
+class TestPackSteps:
+    def test_pads_to_longest(self):
+        steps, lengths = pack_steps(make_sequences([3, 1, 2]))
+        assert len(steps) == 3
+        assert steps[0].shape == (3, 3)
+        np.testing.assert_array_equal(lengths, [3, 1, 2])
+
+    def test_padding_is_zero(self):
+        steps, _ = pack_steps(make_sequences([1, 3]))
+        assert np.abs(steps[2].numpy()[0]).max() == 0.0
+
+    def test_empty_batch_raises(self):
+        with pytest.raises(ShapeError):
+            pack_steps([])
+
+    def test_empty_sequence_raises(self):
+        with pytest.raises(ShapeError):
+            pack_steps([make_sequences([2])[0], []])
+
+
+class TestBatchedSequenceLayers:
+    """forward_batch must match B independent per-item runs exactly."""
+
+    LENGTHS = [5, 2, 4, 1]
+
+    def per_item(self, layer, sequences, reverse=False):
+        """Reference: run each sequence alone (reversed if asked)."""
+        outs = []
+        for seq in sequences:
+            seq = list(reversed(seq)) if reverse else seq
+            out = [o.numpy().reshape(-1) for o in layer(seq)]
+            outs.append(list(reversed(out)) if reverse else out)
+        return outs
+
+    def assert_matches(self, batched, reference, lengths):
+        for b, n in enumerate(lengths):
+            for t in range(n):
+                np.testing.assert_allclose(
+                    batched[t].numpy()[b], reference[b][t], atol=1e-12)
+
+    @pytest.mark.parametrize("cls,layers", [
+        (LSTM, 1), (GRU, 1), (BiLSTM, 1), (BiGRU, 1),
+        (LSTM, 2), (GRU, 2), (BiLSTM, 2), (BiGRU, 2),
+    ])
+    def test_variable_lengths_match_per_item(self, cls, layers):
+        layer = cls(3, 4, np.random.default_rng(7), num_layers=layers)
+        sequences = make_sequences(self.LENGTHS, seed=2)
+        steps, lengths = pack_steps(sequences)
+        batched = layer.forward_batch(steps, lengths)
+        self.assert_matches(batched, self.per_item(layer, sequences), lengths)
+
+    @pytest.mark.parametrize("cls", [LSTM, GRU])
+    def test_reverse_matches_reversed_per_item(self, cls):
+        layer = cls(3, 4, np.random.default_rng(8))
+        sequences = make_sequences(self.LENGTHS, seed=3)
+        steps, lengths = pack_steps(sequences)
+        batched = layer.forward_batch(steps, lengths, reverse=True)
+        self.assert_matches(
+            batched, self.per_item(layer, sequences, reverse=True), lengths)
+
+    def test_uniform_lengths_need_no_mask(self):
+        layer = GRU(3, 4, np.random.default_rng(4))
+        sequences = make_sequences([3, 3], seed=5)
+        steps, lengths = pack_steps(sequences)
+        with_mask = layer.forward_batch(steps, lengths)
+        without = layer.forward_batch(steps)
+        for a, b in zip(with_mask, without):
+            np.testing.assert_allclose(a.numpy(), b.numpy())
+
+    def test_gradients_flow_through_batched_run(self):
+        layer = BiGRU(3, 4, np.random.default_rng(6))
+        steps = make_steps(t=3, batch=2, dim=3, seed=9)
+        lengths = np.array([3, 2])
+        outs = layer.forward_batch(steps, lengths)
+        total = outs[0].sum()
+        for o in outs[1:]:
+            total = total + o.sum()
+        total.backward()
+        for step in steps:
+            assert step.grad is not None
+
+    def test_masked_lane_state_is_held(self):
+        """A finished lane's output never changes after its last step."""
+        layer = LSTM(3, 4, np.random.default_rng(10))
+        sequences = make_sequences([1, 4], seed=11)
+        steps, lengths = pack_steps(sequences)
+        outs = layer.forward_batch(steps, lengths)
+        for t in range(1, 4):
+            np.testing.assert_allclose(outs[t].numpy()[0],
+                                       outs[0].numpy()[0])
