@@ -22,6 +22,7 @@ from repro.core import NLIDB, NLIDBConfig, evaluate
 from repro.core.seq2seq.model import Seq2SeqConfig
 from repro.core.seq2seq.transformer import TransformerConfig, TransformerTranslator
 from repro.data import (
+    generate_heldout,
     generate_overnight,
     generate_paraphrase_bench,
     generate_wikisql_style,
@@ -31,7 +32,8 @@ from repro.text import WordEmbeddings
 __all__ = [
     "scale", "embeddings", "dataset", "full_nlidb", "ablation_nlidb",
     "baseline_model", "predictions", "eval_split", "overnight_data",
-    "paraphrase_data", "print_header", "print_row", "PAPER",
+    "paraphrase_data", "heldout_data", "transfer_model_factory",
+    "print_header", "print_row", "PAPER",
 ]
 
 
@@ -48,17 +50,28 @@ class Scale:
     headline_min_qm: float
     transfer_min_qm: float
     mention_min: float
+    # Robustness / few-shot transfer benchmark (bench_robustness.py).
+    robustness_eval_limit: int
+    transfer_shots: tuple[int, ...]
+    transfer_domains: int
+    heldout_per_domain: int
 
 
 _SCALES = {
     "standard": Scale(train_size=250, dev_size=60, test_size=60,
                       classifier_epochs=3, seq2seq_epochs=8, hidden=48,
                       eval_limit=50, headline_min_qm=0.35,
-                      transfer_min_qm=0.15, mention_min=0.5),
+                      transfer_min_qm=0.15, mention_min=0.5,
+                      robustness_eval_limit=40,
+                      transfer_shots=(0, 5, 10, 25), transfer_domains=2,
+                      heldout_per_domain=45),
     "smoke": Scale(train_size=50, dev_size=16, test_size=16,
                    classifier_epochs=1, seq2seq_epochs=3, hidden=24,
                    eval_limit=16, headline_min_qm=0.02,
-                   transfer_min_qm=0.0, mention_min=0.05),
+                   transfer_min_qm=0.0, mention_min=0.05,
+                   robustness_eval_limit=12,
+                   transfer_shots=(0, 5, 10, 25), transfer_domains=2,
+                   heldout_per_domain=32),
 }
 
 
@@ -216,6 +229,18 @@ def overnight_data():
 @lru_cache(maxsize=1)
 def paraphrase_data():
     return generate_paraphrase_bench(seed=7, n_rows=5)
+
+
+@lru_cache(maxsize=1)
+def heldout_data():
+    """Held-out few-shot transfer domains, capped to the scale's count."""
+    held = generate_heldout(seed=2, per_domain=scale().heldout_per_domain)
+    return dict(sorted(held.items())[:scale().transfer_domains])
+
+
+def transfer_model_factory() -> NLIDB:
+    """A fresh scale-sized NLIDB for one few-shot transfer fit."""
+    return NLIDB(WordEmbeddings(dim=32, seed=0), _base_config())
 
 
 # ----------------------------------------------------------------------

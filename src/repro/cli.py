@@ -11,6 +11,7 @@ for the reproduction::
         --question "which film has director jerzy antczak ?"
     python -m repro.cli repl --model-dir model/ --data dev.jsonl
     python -m repro.cli serve-stats --model-dir model/ --data dev.jsonl
+    python -m repro.cli eval-robustness --out BENCH_robustness.json
 """
 
 from __future__ import annotations
@@ -22,7 +23,12 @@ import sys
 from repro.core import NLIDB, NLIDBConfig, evaluate
 from repro.core.persistence import load_nlidb, save_nlidb
 from repro.core.seq2seq.model import Seq2SeqConfig
-from repro.data import generate_wikisql_style, load_jsonl, save_jsonl
+from repro.data import (
+    generate_heldout,
+    generate_wikisql_style,
+    load_jsonl,
+    save_jsonl,
+)
 from repro.errors import ReproError
 from repro.serving import (
     FaultInjector,
@@ -105,6 +111,28 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="STAGE:KIND[:COUNT][:LATENCY_S]",
                        help="inject seeded faults before a stage")
     serve.add_argument("--fault-seed", type=int, default=0)
+
+    robust = sub.add_parser(
+        "eval-robustness",
+        help="run the adversarial attack suite + few-shot transfer "
+             "benchmark, write a BENCH_robustness.json record")
+    robust.add_argument("--out", default="BENCH_robustness.json")
+    robust.add_argument("--seed", type=int, default=0)
+    robust.add_argument("--train-size", type=int, default=120)
+    robust.add_argument("--eval-size", type=int, default=40,
+                        help="clean evaluation questions attacked per family")
+    robust.add_argument("--hidden", type=int, default=32)
+    robust.add_argument("--classifier-epochs", type=int, default=2)
+    robust.add_argument("--seq2seq-epochs", type=int, default=6)
+    robust.add_argument("--shots", default="5,10,25",
+                        help="comma-separated K values of the transfer curve")
+    robust.add_argument("--transfer-domains", type=int, default=2,
+                        help="number of held-out domains evaluated")
+    robust.add_argument("--per-domain", type=int, default=40,
+                        help="examples generated per held-out domain")
+    robust.add_argument("--skip-transfer", action="store_true",
+                        help="attack suite only (no few-shot fits)")
+    robust.add_argument("--quiet", action="store_true")
     return parser
 
 
@@ -231,6 +259,66 @@ def _cmd_serve_stats(args) -> int:
     return 0
 
 
+def _cmd_eval_robustness(args) -> int:
+    from repro.eval import (
+        ModelRung,
+        admit_suite,
+        build_report,
+        few_shot_curve,
+        generate_suite,
+        standard_attacks,
+    )
+
+    def config() -> NLIDBConfig:
+        return NLIDBConfig(
+            classifier_epochs=args.classifier_epochs,
+            seq2seq_epochs=args.seq2seq_epochs,
+            seq2seq=Seq2SeqConfig(hidden=args.hidden,
+                                  attention_dim=args.hidden),
+            seed=args.seed)
+
+    dataset = generate_wikisql_style(seed=args.seed,
+                                     train_size=args.train_size,
+                                     dev_size=args.eval_size, test_size=0)
+    model = NLIDB(WordEmbeddings(dim=32, seed=args.seed), config())
+    model.fit(dataset.train, verbose=not args.quiet)
+
+    attacks = standard_attacks(model.annotator.column_classifier)
+    suite = generate_suite(dataset.dev, attacks, seed=args.seed)
+    admission = admit_suite(suite)
+    rungs = [
+        ModelRung("full_adversarial", model, mode="full"),
+        ModelRung("matcher_only", model, mode="context_free",
+                  transfer_eligible=False),
+    ]
+    transfer = None
+    if not args.skip_transfer:
+        held = generate_heldout(seed=args.seed + 1,
+                                per_domain=args.per_domain)
+        held = dict(sorted(held.items())[:args.transfer_domains])
+        shots = tuple(int(k) for k in args.shots.split(",") if k.strip())
+
+        def factory() -> NLIDB:
+            return NLIDB(WordEmbeddings(dim=32, seed=args.seed), config())
+
+        transfer = {"full_adversarial": few_shot_curve(
+            factory, dataset.train, held, shots=shots, seed=args.seed)}
+    report = build_report(rungs, dataset.dev, admission, suite,
+                          transfer=transfer, seed=args.seed)
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    if not args.quiet:
+        for name, config_report in report["configs"].items():
+            clean = config_report["clean"]["acc_qm"]
+            print(f"{name}: clean Acc_qm={clean:.1%}")
+            for attack, row in config_report["attacks"].items():
+                print(f"  {attack:<16} Acc_qm={row['acc_qm']:.1%} "
+                      f"delta={row['delta_qm']:+.1%} (n={row['n']})")
+    print(f"wrote {args.out}")
+    return 0
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "train": _cmd_train,
@@ -238,6 +326,7 @@ _COMMANDS = {
     "query": _cmd_query,
     "repl": _cmd_repl,
     "serve-stats": _cmd_serve_stats,
+    "eval-robustness": _cmd_eval_robustness,
 }
 
 

@@ -7,7 +7,12 @@ tables per split, paraphrased/implicit mentions, counterfactual values,
 sketch-compatibility filtering, controlled linguistic variation).
 """
 
-from repro.data.domains import generic_templates, make_template, training_domains
+from repro.data.domains import (
+    generic_templates,
+    held_out_domains,
+    make_template,
+    training_domains,
+)
 from repro.data.overnight import SUBDOMAINS, generate_overnight, overnight_domains
 from repro.data.paraphrase import (
     CATEGORIES,
@@ -18,6 +23,7 @@ from repro.data.records import Example, MentionSpan, load_jsonl, save_jsonl
 from repro.data.template import ColumnSpec, DomainSpec, QuestionTemplate, render
 from repro.data.wikisql import (
     WikiSQLStyleDataset,
+    generate_heldout,
     generate_split,
     generate_wikisql_style,
 )
@@ -25,8 +31,10 @@ from repro.data.wikisql import (
 __all__ = [
     "Example", "MentionSpan", "save_jsonl", "load_jsonl",
     "ColumnSpec", "DomainSpec", "QuestionTemplate", "render",
-    "training_domains", "generic_templates", "make_template",
+    "training_domains", "held_out_domains", "generic_templates",
+    "make_template",
     "WikiSQLStyleDataset", "generate_wikisql_style", "generate_split",
+    "generate_heldout",
     "SUBDOMAINS", "overnight_domains", "generate_overnight",
     "CATEGORIES", "build_patients_table", "generate_paraphrase_bench",
 ]

@@ -17,7 +17,8 @@ from repro.sqlengine.types import DataType
 from repro.data import pools
 from repro.data.template import ColumnSpec, DomainSpec, QuestionTemplate
 
-__all__ = ["training_domains", "generic_templates", "make_template"]
+__all__ = ["training_domains", "held_out_domains", "generic_templates",
+           "make_template"]
 
 EQ, GT, LT = Operator.EQ, Operator.GT, Operator.LT
 TEXT, REAL = DataType.TEXT, DataType.REAL
@@ -403,3 +404,98 @@ def training_domains() -> list[DomainSpec]:
     return [_films(), _geography(), _golf(), _games(), _missions(),
             _music(), _elections(), _racing(), _employees(), _books(),
             _athletics()]
+
+
+# ----------------------------------------------------------------------
+# Held-out domains: the few-shot transfer benchmark (repro.eval).
+# Excluded from training_domains() AND from the OVERNIGHT-style
+# zero-shot domains, so fitting on K examples of one of these is an
+# honest few-shot measurement — the schema, vocabulary, and value pools
+# were never seen at any training stage.
+# ----------------------------------------------------------------------
+
+
+def _hospitals() -> DomainSpec:
+    hospital = pools.compound(
+        pools.enum(["saint", "mercy", "riverside", "lakeview", "northgate",
+                    "hillcrest"]),
+        pools.enum(["hospital", "infirmary", "medical center"]))
+    columns = [
+        ColumnSpec("hospital", TEXT, hospital,
+                   ["hospital", "clinic", "medical facility"]),
+        ColumnSpec("specialty", TEXT,
+                   pools.enum(["cardiology", "oncology", "pediatrics",
+                               "neurology", "orthopedics", "radiology"]),
+                   ["specialty", "medical field", "focus"]),
+        ColumnSpec("beds", REAL, pools.integer(40, 900),
+                   ["beds", "number of beds", "bed count"]),
+        ColumnSpec("founded", REAL, pools.year(1850, 2000),
+                   ["founded", "founding year", "year established"]),
+        ColumnSpec("head physician", TEXT, pools.person_name,
+                   ["head physician", "chief doctor", "lead surgeon"]),
+    ]
+    idiomatic = [
+        _t([("text", "which"), ("selp", "hospital"),
+            ("colp", (0, "specializes in")), ("val", 0), ("text", "?")],
+           operators=[EQ], select="hospital", cond_columns=["specialty"]),
+    ]
+    return DomainSpec("hospitals", "hospital", columns,
+                      generic_templates("hospital", "hospital") + idiomatic)
+
+
+def _ships() -> DomainSpec:
+    ship = pools.compound(
+        pools.enum(["hms", "uss", "rms", "ss"]),
+        pools.enum(["dauntless", "resolute", "meridian", "tempest",
+                    "albatross", "corona", "valiant"]))
+    columns = [
+        ColumnSpec("ship", TEXT, ship, ["ship", "vessel", "boat"]),
+        ColumnSpec("captain", TEXT, pools.person_name,
+                   ["captain", "skipper", "commanding officer"]),
+        ColumnSpec("tonnage", REAL, pools.integer(500, 90000),
+                   ["tonnage", "weight in tons", "displacement"]),
+        ColumnSpec("launched", REAL, pools.year(1900, 2016),
+                   ["launched", "launch year", "year launched"]),
+        ColumnSpec("home port", TEXT, pools.place_name,
+                   ["home port", "port of registry", "harbor of origin"]),
+    ]
+    idiomatic = [
+        _t([("text", "who"), ("colp", (0, "commands")), ("text", "the"),
+            ("val", 0), ("text", "?")], operators=[EQ],
+           select="captain", cond_columns=["ship"]),
+    ]
+    return DomainSpec("ships", "ship", columns,
+                      generic_templates("ship", "ship") + idiomatic)
+
+
+def _observatories() -> DomainSpec:
+    observatory = pools.compound(
+        pools.enum(["mount", "cerro", "pic", "roque"]),
+        pools.enum(["palomar", "tololo", "verde", "austral", "boreal",
+                    "celeste"]))
+    columns = [
+        ColumnSpec("observatory", TEXT, observatory,
+                   ["observatory", "telescope site", "station"]),
+        ColumnSpec("altitude", REAL, pools.integer(800, 5100),
+                   ["altitude", "elevation", "height above sea level"]),
+        ColumnSpec("mirror size", REAL, pools.decimal(1.0, 12.0, 1),
+                   ["mirror size", "aperture", "mirror diameter"]),
+        ColumnSpec("first light", REAL, pools.year(1900, 2020),
+                   ["first light", "commissioning year",
+                    "year of first light"]),
+        ColumnSpec("host nation", TEXT,
+                   pools.enum(["chile", "usa", "spain", "south africa",
+                               "hawaii", "namibia"]),
+                   ["host nation", "country of operation"]),
+    ]
+    return DomainSpec("observatories", "observatory", columns,
+                      generic_templates("observatory", "observatory"))
+
+
+def held_out_domains() -> list[DomainSpec]:
+    """Held-out few-shot transfer domains (fresh specs each call).
+
+    Disjoint from :func:`training_domains` and from the OVERNIGHT-style
+    zero-shot domains; used by :mod:`repro.eval.transfer`.
+    """
+    return [_hospitals(), _ships(), _observatories()]

@@ -16,11 +16,12 @@ import numpy as np
 
 from repro.errors import DataError
 
-from repro.data.domains import training_domains
+from repro.data.domains import held_out_domains, training_domains
 from repro.data.records import Example
 from repro.data.template import DomainSpec, render
 
-__all__ = ["WikiSQLStyleDataset", "generate_wikisql_style", "generate_split"]
+__all__ = ["WikiSQLStyleDataset", "generate_wikisql_style", "generate_split",
+           "generate_heldout"]
 
 _MAX_RENDER_ATTEMPTS = 12
 
@@ -98,3 +99,23 @@ def generate_wikisql_style(seed: int = 0, train_size: int = 600,
                             rows_per_table, tables_per_domain,
                             counterfactual_rate),
     )
+
+
+def generate_heldout(seed: int = 2, per_domain: int = 40,
+                     rows_per_table: int = 10, tables_per_domain: int = 1,
+                     counterfactual_rate: float = 0.1,
+                     ) -> dict[str, list[Example]]:
+    """Per-domain example lists for the held-out transfer domains.
+
+    Backs the few-shot transfer benchmark (:mod:`repro.eval.transfer`):
+    each domain from :func:`repro.data.domains.held_out_domains` gets
+    fresh tables and ``per_domain`` rendered examples, keyed by domain
+    name.
+    """
+    rng = np.random.default_rng(seed)
+    return {
+        domain.name: generate_split([domain], per_domain, "heldout", rng,
+                                    rows_per_table, tables_per_domain,
+                                    counterfactual_rate)
+        for domain in held_out_domains()
+    }

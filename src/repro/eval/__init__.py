@@ -1,0 +1,50 @@
+"""Adversarial robustness and transfer-evaluation harness.
+
+The paper's headline claim is that FGM-based adversarial question
+understanding makes the NLIDB robust and transfer-learnable; this
+package is the evaluation rung that measures both:
+
+* :mod:`repro.eval.attacks` — typed, seeded generators producing
+  adversarial variants of evaluation questions (lexicon paraphrases,
+  counterfactual value swaps, distractor-column phrasings, and
+  influence-guided perturbations reusing the Section IV-C
+  ``compute_influence`` machinery);
+* :mod:`repro.eval.validity` — the executor-backed admission gate: a
+  variant only enters the suite if its gold query still executes to
+  the gold denotation (invalid variants are counted and logged, never
+  silently dropped);
+* :mod:`repro.eval.transfer` — the few-shot transfer benchmark: fit on
+  K examples + metadata for held-out :mod:`repro.data.domains` schemas
+  and report per-domain accuracy curves;
+* :mod:`repro.eval.report` — clean-vs-attacked scoring per model rung
+  and assembly of the ``BENCH_robustness.json`` tracked-metric record.
+"""
+
+from repro.eval.attacks import (
+    Attack,
+    AttackSuite,
+    AttackVariant,
+    DistractorColumnAttack,
+    InfluenceAttack,
+    ParaphraseAttack,
+    ValueSwapAttack,
+    generate_suite,
+    standard_attacks,
+)
+from repro.eval.report import ModelRung, build_report, score_suite
+from repro.eval.transfer import TransferPoint, curves_to_dict, few_shot_curve
+from repro.eval.validity import (
+    AdmissionReport,
+    AdmittedVariant,
+    admit_suite,
+    check_variant,
+)
+
+__all__ = [
+    "Attack", "AttackVariant", "AttackSuite",
+    "ParaphraseAttack", "ValueSwapAttack", "DistractorColumnAttack",
+    "InfluenceAttack", "standard_attacks", "generate_suite",
+    "AdmittedVariant", "AdmissionReport", "admit_suite", "check_variant",
+    "TransferPoint", "few_shot_curve", "curves_to_dict",
+    "ModelRung", "score_suite", "build_report",
+]

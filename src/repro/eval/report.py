@@ -1,0 +1,135 @@
+"""Clean-vs-attacked scoring per model rung; report assembly.
+
+A :class:`ModelRung` names one configuration of the degradation ladder
+— the full adversarial pipeline (``mode="full"``) or the matcher-only
+context-free rung (``mode="context_free"``) — over one trained model.
+:func:`build_report` runs every rung through the clean corpus and the
+admitted attack suite and assembles the ``BENCH_robustness.json``
+record: per-attack accuracies and robustness deltas per rung, suite
+admission counts, and the few-shot transfer curves.
+
+Robustness deltas are **tracked metrics**, not pass/fail gates (the
+DBPal paraphrase-robustness bench convention): CI uploads the record
+as an artifact so regressions show as metric drift, and only structural
+properties (attack families present, configs present) are asserted.
+
+Degraded rungs are *scored* under attack — the ladder's availability
+story needs their numbers — but are **excluded from transfer curves**:
+a matcher-only rung has no trained understanding to transfer, so a
+curve for it would be noise presented as signal.  ``build_report``
+enforces the exclusion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.data.records import Example
+
+from repro.core.metrics import EvalResult, evaluate
+from repro.eval.attacks import AttackSuite
+from repro.eval.transfer import TransferPoint, curves_to_dict
+from repro.eval.validity import AdmissionReport, AdmittedVariant
+
+__all__ = ["ModelRung", "score_examples", "score_suite", "build_report"]
+
+
+@dataclass(frozen=True)
+class ModelRung:
+    """One (model, annotation-mode) configuration under evaluation."""
+
+    name: str
+    model: object  # duck-typed: translate(tokens, table, mode=...) -> .query
+    mode: str = "full"
+    #: Degraded rungs are scored but never contribute transfer curves.
+    transfer_eligible: bool = True
+    beam_width: int | None = field(default=None, compare=False)
+
+    def predict(self, tokens, table):
+        kwargs = {"mode": self.mode}
+        if self.beam_width is not None:
+            kwargs["beam_width"] = self.beam_width
+        return self.model.translate(list(tokens), table, **kwargs).query
+
+
+def _variant_example(admitted: AdmittedVariant) -> Example:
+    variant = admitted.variant
+    return Example(question=variant.question, table=variant.table,
+                   query=variant.query)
+
+
+def score_examples(rung: ModelRung, examples: list[Example]) -> EvalResult:
+    """Clean accuracy of one rung over the evaluation corpus."""
+    predictions = [rung.predict(e.question_tokens, e.table)
+                   for e in examples]
+    return evaluate(predictions, examples)
+
+
+def score_suite(rung: ModelRung,
+                admission: AdmissionReport) -> dict[str, EvalResult]:
+    """Per-attack accuracy of one rung over the admitted variants."""
+    results: dict[str, EvalResult] = {}
+    for attack, entries in sorted(admission.admitted_by_attack().items()):
+        examples = [_variant_example(entry) for entry in entries]
+        predictions = [rung.predict(e.question_tokens, e.table)
+                       for e in examples]
+        results[attack] = evaluate(predictions, examples)
+    return results
+
+
+def _result_dict(result: EvalResult) -> dict:
+    return {"acc_qm": result.acc_qm, "acc_ex": result.acc_ex, "n": result.n}
+
+
+def build_report(rungs: list[ModelRung], examples: list[Example],
+                 admission: AdmissionReport, suite: AttackSuite,
+                 transfer: Mapping[str, Mapping[str, list[TransferPoint]]]
+                 | None = None,
+                 seed: int | None = None) -> dict:
+    """Assemble the full JSON-able robustness record.
+
+    ``transfer`` maps rung name → per-domain curves; every key must
+    name a ``transfer_eligible`` rung (degraded rungs are rejected with
+    ``ValueError`` — the satellite contract that degraded results are
+    scored but excluded from transfer).
+    """
+    eligible = {rung.name for rung in rungs if rung.transfer_eligible}
+    transfer = dict(transfer or {})
+    for name in transfer:
+        if name not in eligible:
+            raise ValueError(
+                f"transfer curves supplied for rung {name!r}, which is not "
+                "transfer-eligible (degraded rungs are scored under attack "
+                "but excluded from transfer curves)")
+
+    counts = admission.counts()
+    report: dict = {
+        "seed": suite.seed if seed is None else seed,
+        "suite": {
+            "corpus_size": suite.corpus_size,
+            "generated": len(suite.variants),
+            "admitted": len(admission.admitted),
+            "rejected": len(admission.rejected),
+            "skipped": dict(sorted(suite.skipped.items())),
+            "per_attack": {name: counts[name] for name in sorted(counts)},
+        },
+        "configs": {},
+        "transfer": {name: curves_to_dict(curves)
+                     for name, curves in sorted(transfer.items())},
+    }
+    for rung in rungs:
+        clean = score_examples(rung, examples)
+        attacked = score_suite(rung, admission)
+        report["configs"][rung.name] = {
+            "mode": rung.mode,
+            "transfer_eligible": rung.transfer_eligible,
+            "clean": _result_dict(clean),
+            "attacks": {
+                attack: {**_result_dict(result),
+                         "delta_qm": clean.acc_qm - result.acc_qm,
+                         "delta_ex": clean.acc_ex - result.acc_ex}
+                for attack, result in attacked.items()
+            },
+        }
+    return report

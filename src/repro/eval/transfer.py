@@ -1,0 +1,95 @@
+"""Few-shot transfer benchmark over held-out domains (Section VII-B).
+
+The paper's zero-shot claim is that the model separates latent
+semantic structure from data-specific components; the few-shot curve
+asks the follow-up production question: *how fast does accuracy climb
+when K examples of an unseen schema become available?*  For each
+held-out domain the benchmark fits a fresh model on the base training
+corpus plus the first K domain examples (K ∈ {5, 10, 25} by default)
+and scores it on a fixed evaluation slice disjoint from every support
+set, so points along one curve are comparable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Mapping
+
+import numpy as np
+
+from repro.data.records import Example
+from repro.errors import DataError
+
+from repro.core.metrics import evaluate
+
+__all__ = ["TransferPoint", "few_shot_curve", "curves_to_dict"]
+
+
+@dataclass(frozen=True)
+class TransferPoint:
+    """One point of a per-domain transfer curve."""
+
+    shots: int
+    acc_qm: float
+    acc_ex: float
+    n_eval: int
+
+    def to_dict(self) -> dict:
+        return {"shots": self.shots, "acc_qm": self.acc_qm,
+                "acc_ex": self.acc_ex, "n_eval": self.n_eval}
+
+
+def few_shot_curve(model_factory: Callable[[], object],
+                   base_train: list[Example],
+                   held_out: Mapping[str, list[Example]],
+                   shots: Iterable[int] = (5, 10, 25),
+                   seed: int = 0,
+                   eval_limit: int | None = None,
+                   ) -> dict[str, list[TransferPoint]]:
+    """Fit-on-K curves for every held-out domain.
+
+    ``model_factory`` must return a fresh unfitted model exposing
+    ``fit(examples)`` and ``translate(tokens, table)`` (the
+    :class:`~repro.core.nlidb.NLIDB` surface); a new model is built per
+    (domain, K) point so no point leaks training from another.  Each
+    domain's examples are permuted once with a seed derived from
+    ``[seed, domain_index]`` (domains iterated in sorted-name order, so
+    the split is independent of dict ordering); the first ``max(shots)``
+    form the support pool, the rest the fixed evaluation slice.
+    """
+    shot_list = sorted({int(k) for k in shots})
+    if not shot_list:
+        raise DataError("shots must name at least one K")
+    if shot_list[0] < 0:
+        raise DataError("shots must be non-negative")
+    max_k = shot_list[-1]
+    curves: dict[str, list[TransferPoint]] = {}
+    for di, name in enumerate(sorted(held_out)):
+        examples = held_out[name]
+        if len(examples) <= max_k:
+            raise DataError(
+                f"held-out domain {name!r} has {len(examples)} examples; "
+                f"need more than max(shots)={max_k} to keep an eval slice")
+        rng = np.random.default_rng([seed, di])
+        order = rng.permutation(len(examples))
+        pool = [examples[int(i)] for i in order]
+        support_pool, eval_slice = pool[:max_k], pool[max_k:]
+        if eval_limit is not None:
+            eval_slice = eval_slice[:eval_limit]
+        points = []
+        for k in shot_list:
+            model = model_factory()
+            model.fit(list(base_train) + support_pool[:k])
+            predictions = [model.translate(e.question_tokens, e.table).query
+                           for e in eval_slice]
+            result = evaluate(predictions, eval_slice)
+            points.append(TransferPoint(shots=k, acc_qm=result.acc_qm,
+                                        acc_ex=result.acc_ex, n_eval=result.n))
+        curves[name] = points
+    return curves
+
+
+def curves_to_dict(curves: Mapping[str, list[TransferPoint]]) -> dict:
+    """JSON-able view of :func:`few_shot_curve` output."""
+    return {name: [point.to_dict() for point in points]
+            for name, points in curves.items()}

@@ -1,0 +1,125 @@
+"""Executor-backed admission gate for adversarial variants.
+
+A perturbed question is only a fair evaluation item if the gold query
+it carries still means something on its table.  Before any variant
+enters the scored suite, :func:`admit_suite` re-executes its gold query
+on the :mod:`repro.sqlengine` executor and requires:
+
+* the query executes without error;
+* for meaning-preserving attacks, the denotation equals the original
+  gold query's denotation (the perturbation changed words, not truth);
+* for query-updating attacks (value swaps), the new denotation is
+  non-empty — the swap targeted a real cell, not a phantom;
+* the perturbed question actually differs from the original.
+
+Invalid variants are **counted and logged** (logger
+``repro.eval.validity``), never silently dropped — the per-attack
+admission counts ship in ``BENCH_robustness.json`` so a generator
+regression shows up as a tracked metric, not a quiet shrink of the
+suite.
+"""
+
+from __future__ import annotations
+
+import logging
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+from repro.sqlengine import execute, results_equal
+
+from repro.eval.attacks import AttackSuite, AttackVariant
+
+__all__ = ["AdmittedVariant", "AdmissionReport", "check_variant",
+           "admit_suite"]
+
+logger = logging.getLogger("repro.eval.validity")
+
+
+@dataclass(frozen=True)
+class AdmittedVariant:
+    """A variant that passed the gate, with its gold denotation."""
+
+    variant: AttackVariant
+    denotation: object
+
+
+@dataclass
+class AdmissionReport:
+    """Outcome of gating one suite: who got in, who didn't, and why."""
+
+    admitted: list[AdmittedVariant]
+    rejected: list[tuple[AttackVariant, str]]
+
+    def counts(self) -> dict[str, dict[str, int]]:
+        """Per-attack ``{generated, admitted, rejected}`` counts."""
+        out: dict[str, dict[str, int]] = {}
+        for entry in self.admitted:
+            row = out.setdefault(entry.variant.attack,
+                                 {"generated": 0, "admitted": 0,
+                                  "rejected": 0})
+            row["generated"] += 1
+            row["admitted"] += 1
+        for variant, _reason in self.rejected:
+            row = out.setdefault(variant.attack,
+                                 {"generated": 0, "admitted": 0,
+                                  "rejected": 0})
+            row["generated"] += 1
+            row["rejected"] += 1
+        return out
+
+    def admitted_by_attack(self) -> dict[str, list[AdmittedVariant]]:
+        grouped: dict[str, list[AdmittedVariant]] = {}
+        for entry in self.admitted:
+            grouped.setdefault(entry.variant.attack, []).append(entry)
+        return grouped
+
+
+def _is_empty(denotation) -> bool:
+    if denotation is None:
+        return True
+    if isinstance(denotation, list):
+        return not denotation
+    if isinstance(denotation, (int, float)):
+        return denotation == 0
+    return False
+
+
+def check_variant(variant: AttackVariant) -> tuple[object, str | None]:
+    """Gate one variant.
+
+    Returns ``(denotation, None)`` when valid, ``(None, reason)`` when
+    not.  The denotation is the executor's result for the variant's
+    gold query — the reference the differential tests re-execute
+    against.
+    """
+    if variant.tokens == variant.origin_tokens:
+        return None, "no-op perturbation (question unchanged)"
+    try:
+        denotation = execute(variant.query, variant.table)
+    except ReproError as exc:
+        return None, f"gold query failed to execute: {exc}"
+    if variant.preserves_query:
+        try:
+            origin = execute(variant.origin_query, variant.table)
+        except ReproError as exc:
+            return None, f"original gold query failed to execute: {exc}"
+        if not results_equal(origin, denotation):
+            return None, "denotation drifted from the original gold query"
+    elif _is_empty(denotation):
+        return None, "swapped gold query has an empty denotation"
+    return denotation, None
+
+
+def admit_suite(suite: AttackSuite) -> AdmissionReport:
+    """Gate every variant of a suite; log each rejection."""
+    admitted: list[AdmittedVariant] = []
+    rejected: list[tuple[AttackVariant, str]] = []
+    for variant in suite.variants:
+        denotation, reason = check_variant(variant)
+        if reason is None:
+            admitted.append(AdmittedVariant(variant, denotation))
+        else:
+            rejected.append((variant, reason))
+            logger.info("rejected %s variant %r: %s",
+                        variant.attack, variant.question, reason)
+    return AdmissionReport(admitted=admitted, rejected=rejected)

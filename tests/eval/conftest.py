@@ -1,0 +1,23 @@
+"""Shared attack-suite fixtures for the robustness-harness tests.
+
+The full four-family suite over the 54-pair serving corpus is built
+once per session (the influence family runs one backward pass per
+example) and shared by the determinism, validity, and harness suites.
+"""
+
+import pytest
+
+from repro.eval import admit_suite, generate_suite, standard_attacks
+
+SUITE_SEED = 5
+
+
+@pytest.fixture(scope="session")
+def attack_suite(nlidb, corpus):
+    attacks = standard_attacks(nlidb.annotator.column_classifier)
+    return generate_suite(corpus, attacks, seed=SUITE_SEED)
+
+
+@pytest.fixture(scope="session")
+def admission(attack_suite):
+    return admit_suite(attack_suite)

@@ -1,0 +1,125 @@
+"""Attack-generator behavior and the seeded determinism contract.
+
+Satellite 2: same seed over the same corpus must produce a
+byte-identical variant set — across runs and across fresh attack
+instances — mirroring the ``FaultInjector`` seeding contract.  The
+per-family tests pin what each generator is allowed to change.
+"""
+
+from __future__ import annotations
+
+from repro.eval import generate_suite, standard_attacks
+from repro.eval.attacks import OPERATOR_CUES
+from repro.text.lexicon import synonym_group_of
+from repro.text.tokenizer import tokenize
+
+from .conftest import SUITE_SEED
+
+
+def _fresh_attacks(nlidb):
+    return standard_attacks(nlidb.annotator.column_classifier)
+
+
+def _variants(attack_suite, name):
+    grouped = attack_suite.by_attack()
+    assert grouped.get(name), f"suite generated no {name!r} variants"
+    return grouped[name]
+
+
+# ----------------------------------------------------------------------
+# Determinism contract
+# ----------------------------------------------------------------------
+
+
+def test_same_seed_is_byte_identical(nlidb, corpus, attack_suite):
+    again = generate_suite(corpus, _fresh_attacks(nlidb), seed=SUITE_SEED)
+    assert again.signature() == attack_suite.signature()
+    assert again.skipped == attack_suite.skipped
+    assert again.corpus_size == attack_suite.corpus_size
+
+
+def test_different_seed_differs(nlidb, corpus, attack_suite):
+    other = generate_suite(corpus, _fresh_attacks(nlidb),
+                           seed=SUITE_SEED + 1)
+    assert other.signature() != attack_suite.signature()
+
+
+def test_prefix_corpus_reproduces_prefix_variants(nlidb, corpus,
+                                                  attack_suite):
+    """Per-(attack, example) RNGs: a corpus prefix yields a variant
+    subset of the full run, untouched by how many pairs follow."""
+    small = generate_suite(corpus[:10], _fresh_attacks(nlidb),
+                           seed=SUITE_SEED)
+    full_signatures = {v.signature() for v in attack_suite.variants}
+    assert small.variants
+    assert all(v.signature() in full_signatures for v in small.variants)
+
+
+# ----------------------------------------------------------------------
+# Accounting
+# ----------------------------------------------------------------------
+
+
+def test_every_pair_is_variant_or_skip(attack_suite, corpus):
+    assert len(attack_suite.skipped) == 4  # all four families ran
+    total = len(attack_suite.variants) + sum(attack_suite.skipped.values())
+    assert total == len(attack_suite.skipped) * len(corpus)
+    assert attack_suite.corpus_size == len(corpus)
+
+
+# ----------------------------------------------------------------------
+# Per-family behavior
+# ----------------------------------------------------------------------
+
+
+def test_paraphrase_substitutes_one_synonym(attack_suite):
+    for v in _variants(attack_suite, "paraphrase"):
+        assert v.preserves_query
+        assert len(v.tokens) == len(v.origin_tokens)
+        diff = [i for i, (new, old)
+                in enumerate(zip(v.tokens, v.origin_tokens)) if new != old]
+        assert len(diff) == 1, "exactly one token substituted"
+        i = diff[0]
+        assert synonym_group_of(v.tokens[i]) == \
+            synonym_group_of(v.origin_tokens[i])
+        assert v.origin_tokens[i] not in OPERATOR_CUES
+
+
+def test_value_swap_updates_one_condition_from_table(attack_suite):
+    for v in _variants(attack_suite, "value_swap"):
+        assert not v.preserves_query
+        assert v.tokens != v.origin_tokens
+        assert v.query.select_column == v.origin_query.select_column
+        assert v.query.aggregate == v.origin_query.aggregate
+        changed = [(new, old) for new, old
+                   in zip(v.query.conditions, v.origin_query.conditions)
+                   if new != old]
+        assert len(changed) == 1, "exactly one condition rewritten"
+        new, old = changed[0]
+        assert new.column == old.column
+        assert new.operator is old.operator
+        assert new.value != old.value
+        column_index = v.table.column_index(new.column)
+        assert new.value in [row[column_index] for row in v.table.rows], \
+            "replacement value must be a real cell of the same column"
+
+
+def test_distractor_names_unused_column(attack_suite):
+    for v in _variants(attack_suite, "distractor"):
+        assert v.preserves_query
+        assert len(v.tokens) > len(v.origin_tokens)
+        column = v.note.split("'")[1]
+        assert column in v.table.column_names
+        used = {v.query.select_column.lower()}
+        used.update(c.column.lower() for c in v.query.conditions)
+        assert column.lower() not in used
+        assert " ".join(tokenize(column)) in v.question
+
+
+def test_influence_drop_removes_one_unprotected_token(attack_suite):
+    for v in _variants(attack_suite, "influence_drop"):
+        assert v.preserves_query
+        assert len(v.tokens) == len(v.origin_tokens) - 1
+        dropped = v.note.split("'")[1]
+        assert dropped in v.origin_tokens
+        assert dropped not in OPERATOR_CUES

@@ -1,0 +1,44 @@
+"""End-to-end `repro eval-robustness` CLI test at a tiny budget."""
+
+from __future__ import annotations
+
+import json
+
+from repro.cli import build_parser, main
+
+
+def test_parser_accepts_eval_robustness():
+    args = build_parser().parse_args(
+        ["eval-robustness", "--out", "x.json", "--skip-transfer",
+         "--shots", "1,2"])
+    assert args.command == "eval-robustness"
+    assert args.out == "x.json"
+    assert args.skip_transfer is True
+    assert args.shots == "1,2"
+
+
+def test_eval_robustness_writes_record(tmp_path, capsys):
+    out = tmp_path / "robustness.json"
+    code = main([
+        "eval-robustness", "--out", str(out), "--seed", "1",
+        "--train-size", "24", "--eval-size", "6", "--hidden", "16",
+        "--classifier-epochs", "1", "--seq2seq-epochs", "2",
+        "--skip-transfer", "--quiet",
+    ])
+    assert code == 0
+    assert f"wrote {out}" in capsys.readouterr().out
+
+    payload = json.loads(out.read_text())
+    assert payload["seed"] == 1
+    assert set(payload["configs"]) == {"full_adversarial", "matcher_only"}
+    assert payload["configs"]["matcher_only"]["transfer_eligible"] is False
+    assert payload["transfer"] == {}
+    suite = payload["suite"]
+    assert suite["corpus_size"] == 6
+    assert suite["generated"] == suite["admitted"] + suite["rejected"]
+    for config in payload["configs"].values():
+        assert config["clean"]["n"] == 6
+        assert len(config["attacks"]) >= 3
+        for row in config["attacks"].values():
+            assert row["n"] >= 1
+            assert "delta_qm" in row and "delta_ex" in row

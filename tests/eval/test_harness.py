@@ -1,0 +1,98 @@
+"""Report assembly over real model rungs (satellite 4).
+
+Runs the full harness — suite, gate, two ladder rungs — over a small
+corpus slice with the session-trained model, and pins the degraded-rung
+contract: ``mode="context_free"`` is scored under attack like any other
+config but can never contribute transfer curves.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.eval import (
+    ModelRung,
+    TransferPoint,
+    admit_suite,
+    build_report,
+    generate_suite,
+    score_suite,
+    standard_attacks,
+)
+
+SLICE = 8
+
+
+@pytest.fixture(scope="module")
+def harness(nlidb, corpus):
+    examples = corpus[:SLICE]
+    attacks = standard_attacks(nlidb.annotator.column_classifier)
+    suite = generate_suite(examples, attacks, seed=3)
+    admission = admit_suite(suite)
+    rungs = [
+        ModelRung("full_adversarial", nlidb, mode="full"),
+        ModelRung("matcher_only", nlidb, mode="context_free",
+                  transfer_eligible=False),
+    ]
+    report = build_report(rungs, examples, admission, suite, seed=3)
+    return rungs, suite, admission, report
+
+
+def test_report_covers_both_rungs(harness):
+    _, _, _, report = harness
+    assert set(report["configs"]) == {"full_adversarial", "matcher_only"}
+    assert report["configs"]["full_adversarial"]["mode"] == "full"
+    degraded = report["configs"]["matcher_only"]
+    assert degraded["mode"] == "context_free"
+    assert degraded["transfer_eligible"] is False
+    assert report["seed"] == 3
+    assert report["transfer"] == {}
+
+
+def test_clean_and_attack_sections_consistent(harness):
+    _, suite, admission, report = harness
+    assert report["suite"]["corpus_size"] == SLICE
+    assert report["suite"]["generated"] == len(suite.variants)
+    assert report["suite"]["generated"] == \
+        report["suite"]["admitted"] + report["suite"]["rejected"]
+    for config in report["configs"].values():
+        clean = config["clean"]
+        assert clean["n"] == SLICE
+        for attack, row in config["attacks"].items():
+            assert row["n"] >= 1
+            assert row["delta_qm"] == pytest.approx(
+                clean["acc_qm"] - row["acc_qm"])
+            assert row["delta_ex"] == pytest.approx(
+                clean["acc_ex"] - row["acc_ex"])
+            assert attack in report["suite"]["per_attack"]
+
+
+def test_degraded_rung_is_scored_under_attack(harness):
+    """The ladder's availability story needs the degraded numbers."""
+    rungs, _, admission, report = harness
+    degraded_rung = rungs[1]
+    scored = score_suite(degraded_rung, admission)
+    assert scored, "degraded rung produced no attack scores"
+    assert set(report["configs"]["matcher_only"]["attacks"]) == set(scored)
+
+
+def test_degraded_rung_excluded_from_transfer(harness):
+    rungs, suite, admission, _ = harness
+    curves = {"ships": [TransferPoint(shots=5, acc_qm=0.5, acc_ex=0.5,
+                                      n_eval=4)]}
+    with pytest.raises(ValueError, match="not transfer-eligible"):
+        build_report(rungs, [], admission, suite,
+                     transfer={"matcher_only": curves})
+    report = build_report(rungs, [], admission, suite,
+                          transfer={"full_adversarial": curves})
+    assert report["transfer"] == {
+        "full_adversarial": {"ships": [
+            {"shots": 5, "acc_qm": 0.5, "acc_ex": 0.5, "n_eval": 4}]}}
+
+
+def test_report_is_json_serializable(harness):
+    _, _, _, report = harness
+    payload = json.loads(json.dumps(report, sort_keys=True))
+    assert payload["configs"].keys() == report["configs"].keys()

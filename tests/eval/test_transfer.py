@@ -1,0 +1,123 @@
+"""Few-shot transfer curve mechanics, tested with a stub model.
+
+The stub answers the gold query for a table if and only if its fit set
+contained at least ``THRESHOLD`` examples of that table, so curve
+correctness is keyed entirely to what ``few_shot_curve`` put in each
+support set — the property under test.  (Real-model curves run in
+``benchmarks/bench_robustness.py``.)
+"""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.data import generate_heldout, held_out_domains
+from repro.errors import DataError
+from repro.eval import TransferPoint, curves_to_dict, few_shot_curve
+
+THRESHOLD = 10
+PER_DOMAIN = 30
+
+
+class _CurveModel:
+    """Answers gold iff fit saw >= THRESHOLD examples of the table."""
+
+    def __init__(self, gold):
+        self.gold = gold
+        self.seen = []
+
+    def fit(self, examples):
+        self.seen = list(examples)
+        return self
+
+    def translate(self, tokens, table, **_kwargs):
+        support = sum(1 for e in self.seen if e.table.name == table.name)
+        query = None
+        if support >= THRESHOLD:
+            query = self.gold.get((" ".join(tokens), table.name))
+        return SimpleNamespace(query=query)
+
+
+@pytest.fixture(scope="module")
+def held():
+    held = generate_heldout(seed=9, per_domain=PER_DOMAIN)
+    assert len(held) == len(held_out_domains())
+    assert len(held) >= 2
+    return held
+
+
+def _factory_for(held):
+    gold = {(" ".join(e.question_tokens), e.table.name): e.query
+            for examples in held.values() for e in examples}
+    calls = []
+
+    def factory():
+        calls.append(1)
+        return _CurveModel(gold)
+
+    return factory, calls
+
+
+def test_curves_step_exactly_at_support_threshold(held):
+    factory, calls = _factory_for(held)
+    curves = few_shot_curve(factory, [], held, shots=(0, 5, 10, 25), seed=3)
+
+    assert sorted(curves) == sorted(held)
+    # A fresh model per (domain, K) point — no training leaks across points.
+    assert len(calls) == len(held) * 4
+    for points in curves.values():
+        assert [p.shots for p in points] == [0, 5, 10, 25]
+        # One fixed eval slice per domain, disjoint from every support set.
+        assert {p.n_eval for p in points} == {PER_DOMAIN - 25}
+        by_k = {p.shots: p for p in points}
+        assert by_k[0].acc_qm == 0.0
+        assert by_k[5].acc_qm == 0.0
+        assert by_k[10].acc_qm == 1.0
+        assert by_k[25].acc_qm == 1.0
+        assert by_k[10].acc_ex == 1.0
+
+
+def test_curves_are_deterministic(held):
+    first, _ = _factory_for(held)
+    second, _ = _factory_for(held)
+    a = few_shot_curve(first, [], held, shots=(5, 10), seed=7)
+    b = few_shot_curve(second, [], held, shots=(5, 10), seed=7)
+    assert a == b
+
+
+def test_eval_limit_caps_slice(held):
+    factory, _ = _factory_for(held)
+    curves = few_shot_curve(factory, [], held, shots=(5,), seed=1,
+                            eval_limit=3)
+    assert all(p.n_eval == 3 for points in curves.values() for p in points)
+
+
+def test_unsorted_duplicate_shots_are_normalized(held):
+    factory, _ = _factory_for(held)
+    curves = few_shot_curve(factory, [], held, shots=(10, 5, 10), seed=2)
+    for points in curves.values():
+        assert [p.shots for p in points] == [5, 10]
+
+
+def test_domain_too_small_for_shots_raises(held):
+    factory, _ = _factory_for(held)
+    name = sorted(held)[0]
+    with pytest.raises(DataError):
+        few_shot_curve(factory, [], {name: held[name][:10]}, shots=(10,))
+
+
+def test_degenerate_shot_lists_raise(held):
+    factory, _ = _factory_for(held)
+    with pytest.raises(DataError):
+        few_shot_curve(factory, [], held, shots=())
+    with pytest.raises(DataError):
+        few_shot_curve(factory, [], held, shots=(-1, 5))
+
+
+def test_curves_to_dict_shape():
+    curves = {"ships": [TransferPoint(shots=5, acc_qm=0.5, acc_ex=0.25,
+                                      n_eval=4)]}
+    assert curves_to_dict(curves) == {
+        "ships": [{"shots": 5, "acc_qm": 0.5, "acc_ex": 0.25, "n_eval": 4}]}

@@ -1,0 +1,97 @@
+"""Differential tests for the executor-backed admission gate.
+
+Satellite 3: every admitted variant re-executes to its recorded gold
+denotation; invalid variants are counted and logged through the
+``repro.eval.validity`` logger, never silently dropped.
+"""
+
+from __future__ import annotations
+
+import logging
+
+from repro.eval import AttackSuite, AttackVariant, admit_suite, check_variant
+from repro.sqlengine import (
+    Aggregate,
+    Condition,
+    Operator,
+    Query,
+    execute,
+    results_equal,
+)
+
+
+def test_admitted_variants_reexecute_to_gold_denotation(admission):
+    assert admission.admitted, "gate admitted nothing — suite is broken"
+    for entry in admission.admitted:
+        variant = entry.variant
+        denotation = execute(variant.query, variant.table)
+        assert results_equal(denotation, entry.denotation)
+        if variant.preserves_query:
+            origin = execute(variant.origin_query, variant.table)
+            assert results_equal(origin, denotation), \
+                "meaning-preserving variant drifted from gold denotation"
+
+
+def test_rejections_are_counted_never_dropped(attack_suite, admission):
+    counts = admission.counts()
+    for row in counts.values():
+        assert row["generated"] == row["admitted"] + row["rejected"]
+    assert sum(r["generated"] for r in counts.values()) \
+        == len(attack_suite.variants)
+    assert len(admission.admitted) + len(admission.rejected) \
+        == len(attack_suite.variants)
+
+
+def _bogus_variant(example, query, tokens=None):
+    return AttackVariant(
+        attack="bogus",
+        tokens=tuple(tokens) if tokens is not None
+        else tuple(example.question_tokens) + ("really",),
+        query=query, table=example.table,
+        origin_tokens=tuple(example.question_tokens),
+        origin_query=example.query)
+
+
+def test_inexecutable_variant_rejected_and_logged(corpus, caplog):
+    example = corpus[0]
+    broken = Query(select_column="no such column",
+                   aggregate=example.query.aggregate, conditions=[])
+    suite = AttackSuite(seed=0, variants=[_bogus_variant(example, broken)],
+                        skipped={"bogus": 0}, corpus_size=1)
+    with caplog.at_level(logging.INFO, logger="repro.eval.validity"):
+        report = admit_suite(suite)
+    assert not report.admitted
+    assert len(report.rejected) == 1
+    _, reason = report.rejected[0]
+    assert "failed to execute" in reason
+    assert report.counts()["bogus"] == {"generated": 1, "admitted": 0,
+                                        "rejected": 1}
+    logged = [r for r in caplog.records if r.name == "repro.eval.validity"]
+    assert logged and "rejected" in logged[0].getMessage()
+
+
+def test_noop_perturbation_rejected(corpus):
+    example = corpus[0]
+    variant = _bogus_variant(example, example.query,
+                             tokens=example.question_tokens)
+    denotation, reason = check_variant(variant)
+    assert denotation is None
+    assert "no-op" in reason
+
+
+def test_empty_denotation_swap_rejected(corpus):
+    example = next(
+        e for e in corpus
+        if e.query.aggregate is Aggregate.NONE
+        and any(c.operator is Operator.EQ and isinstance(c.value, str)
+                for c in e.query.conditions))
+    conditions = [
+        Condition(c.column, c.operator, "zzz nonexistent cell")
+        if c.operator is Operator.EQ and isinstance(c.value, str) else c
+        for c in example.query.conditions]
+    phantom = Query(select_column=example.query.select_column,
+                    aggregate=example.query.aggregate,
+                    conditions=conditions)
+    denotation, reason = check_variant(_bogus_variant(example, phantom))
+    assert denotation is None
+    assert "empty denotation" in reason
