@@ -6,7 +6,7 @@ PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: check test test-faults test-pipeline test-eval lint bench-serving \
-	bench-inference bench-robustness bench-smoke bench
+	bench-inference bench-scheduler bench-robustness bench-smoke bench
 
 # Tier-1: the full unit/integration/property suite.
 test:
@@ -49,6 +49,13 @@ bench-serving:
 bench-inference:
 	REPRO_BENCH_SCALE=smoke $(PYTHON) -m pytest benchmarks/bench_inference.py -q
 
+# Micro-batching scheduler benchmark: coalesced vs single-request
+# dispatch at concurrency 1/8/32, with every request differentially
+# checked against the sequential path.  Writes BENCH_scheduler.json
+# (QPS + p50/p95 per cell) at the repo root.
+bench-scheduler:
+	REPRO_BENCH_SCALE=smoke $(PYTHON) -m pytest benchmarks/bench_scheduler.py -q
+
 # Adversarial robustness + few-shot transfer benchmark: clean vs
 # attacked accuracy per ladder rung and K-shot curves on held-out
 # domains.  Writes the BENCH_robustness.json tracked-metric record at
@@ -62,7 +69,7 @@ bench-robustness:
 # CI-friendly alias: the smoke benchmarks — the fastest end-to-end
 # exercise of the serving path, the inference fast path, and the
 # robustness harness.
-bench-smoke: bench-serving bench-inference bench-robustness
+bench-smoke: bench-serving bench-inference bench-scheduler bench-robustness
 
 # Full paper-table benchmark suite (slow; standard scale by default).
 bench:

@@ -248,6 +248,7 @@ def _cmd_serve_stats(args) -> int:
                        for e in examples]
         for result in results:
             outcomes[result.status] += 1
+    service.close()
     report = service.stats()
     report["outcomes"] = outcomes
     # One per-stage trace, as a worked example of the pipeline records

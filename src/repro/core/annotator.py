@@ -312,6 +312,23 @@ class Annotator:
         pipeline.run(ctx)
         return ctx.artifacts["annotation"]
 
+    def resolve_assignments(self, tokens: list[str],
+                            column_spans: dict[str, tuple[int, int]],
+                            value_spans: list[ValueCandidate],
+                            ) -> tuple[dict[tuple[int, int], str], str]:
+        """Pair value spans with columns; returns ``(assignments, strategy)``.
+
+        The strategy is ``"dependency"`` (tree-based, the paper's
+        resolution) or ``"linear"`` (token-distance fallback) — recorded
+        in the stage trace.
+        """
+        if self.config.use_dependency_resolution:
+            strategy, tree = "dependency", parse_dependency(tokens)
+        else:
+            strategy, tree = "linear", _LinearTree(tokens)
+        return self._pair_mentions(tokens, column_spans, value_spans,
+                                   tree), strategy
+
     def _pair_mentions(self, tokens: list[str],
                        column_spans: dict[str, tuple[int, int]],
                        value_spans: list[ValueCandidate],
@@ -417,21 +434,22 @@ class Annotator:
         chosen.sort(key=lambda c: c.start)
         return chosen
 
-    def _detect_columns(self, tokens: list[str], table: Table,
-                        blocked: set[int],
-                        use_classifier: bool = True,
-                        schema: SchemaEncoding | None = None,
-                        info: dict | None = None,
-                        ) -> dict[str, tuple[int, int]]:
-        # ``use_classifier=False`` (context-free mode) keeps only the
-        # matcher's string/edit/semantic/knowledge candidates.  Pass a
-        # ``SchemaEncoding`` to reuse cached column-RNN states; ``info``
-        # (when given) reports the classifier batch size.
+    def column_scoring_plan(self, tokens: list[str], table: Table,
+                            blocked: set[int],
+                            use_classifier: bool = True,
+                            ) -> tuple[dict[str, tuple[tuple[int, int], float]],
+                                       list[str]]:
+        """Phase one of column detection: matcher pass + classifier plan.
+
+        Returns ``(scored, needed)``: spans the context-free matcher
+        decided outright (span + confidence; matcher hits outrank
+        classifier hits by the +2 offset) and the columns that still
+        need a classifier score.  ``needed`` is what a cross-request
+        scheduler coalesces into one ``score_columns`` pass before
+        handing each request back to :meth:`columns_from_scores`.
+        """
         cfg = self.config
-        # span + confidence; matcher hits outrank classifier hits (+2).
         scored: dict[str, tuple[tuple[int, int], float]] = {}
-        profiles = {}
-        confidences = {}
         needed: list[str] = []
         for column in table.column_names:
             candidate = self.matcher.best(tokens, column)
@@ -444,27 +462,32 @@ class Annotator:
                     and self.column_classifier._trained):
                 continue
             needed.append(column)
+        return scored, needed
 
-        if info is not None:
-            info["batch"] = len(needed)
-        if needed:
-            # One lockstep classifier pass over every undecided column —
-            # the question side is computed once and broadcast.
-            encoded = schema.encoded_subset(needed) if schema is not None \
-                else None
-            probs = self.column_classifier.score_columns(
-                tokens, [tokenize(column) for column in needed],
-                encoded=encoded)
-            for column, prob in zip(needed, probs):
-                if prob <= cfg.column_threshold:
-                    continue
-                # Adversarial localization needs per-column gradients
-                # (Section IV-C) and stays per-item by construction.
-                confidences[column] = float(prob)
-                profiles[column] = compute_influence(
-                    self.column_classifier, tokens, tokenize(column),
-                    alpha=cfg.influence_alpha, beta=cfg.influence_beta,
-                    norm=cfg.influence_norm)
+    def columns_from_scores(self, tokens: list[str], blocked: set[int],
+                            scored: dict[str, tuple[tuple[int, int], float]],
+                            needed: list[str], probs,
+                            ) -> dict[str, tuple[int, int]]:
+        """Phase two: threshold, adversarially localize, dedup spans.
+
+        ``probs`` are the classifier probabilities for ``needed`` (from
+        :meth:`ColumnMentionClassifier.score_columns` — single request —
+        or one lane of ``score_columns_multi``).  Adversarial
+        localization (Section IV-C) needs per-column gradients and stays
+        per-item by construction.
+        """
+        cfg = self.config
+        scored = dict(scored)
+        profiles = {}
+        confidences = {}
+        for column, prob in zip(needed, probs):
+            if prob <= cfg.column_threshold:
+                continue
+            confidences[column] = float(prob)
+            profiles[column] = compute_influence(
+                self.column_classifier, tokens, tokenize(column),
+                alpha=cfg.influence_alpha, beta=cfg.influence_beta,
+                norm=cfg.influence_norm)
         if cfg.use_contrastive_influence and profiles:
             profiles = {
                 col: contrastive_profile(
@@ -487,6 +510,32 @@ class Annotator:
                 best_for_span[span] = (confidence, column)
         return {column: span
                 for span, (_conf, column) in best_for_span.items()}
+
+    def _detect_columns(self, tokens: list[str], table: Table,
+                        blocked: set[int],
+                        use_classifier: bool = True,
+                        schema: SchemaEncoding | None = None,
+                        info: dict | None = None,
+                        ) -> dict[str, tuple[int, int]]:
+        # ``use_classifier=False`` (context-free mode) keeps only the
+        # matcher's string/edit/semantic/knowledge candidates.  Pass a
+        # ``SchemaEncoding`` to reuse cached column-RNN states; ``info``
+        # (when given) reports the classifier batch size.
+        scored, needed = self.column_scoring_plan(
+            tokens, table, blocked, use_classifier=use_classifier)
+        if info is not None:
+            info["batch"] = len(needed)
+        probs = ()
+        if needed:
+            # One lockstep classifier pass over every undecided column —
+            # the question side is computed once and broadcast.
+            encoded = schema.encoded_subset(needed) if schema is not None \
+                else None
+            probs = self.column_classifier.score_columns(
+                tokens, [tokenize(column) for column in needed],
+                encoded=encoded)
+        return self.columns_from_scores(tokens, blocked, scored, needed,
+                                        probs)
 
     # -- symbol allocation ------------------------------------------------
 
@@ -588,15 +637,9 @@ class _MentionResolutionStage(_AnnotatorStage):
     provides = ("assignments",)
 
     def run(self, ctx) -> None:
-        annotator = self.annotator
-        tokens = ctx.question_tokens
-        if annotator.config.use_dependency_resolution:
-            strategy, tree = "dependency", parse_dependency(tokens)
-        else:
-            strategy, tree = "linear", _LinearTree(tokens)
-        assignments = annotator._pair_mentions(
-            tokens, ctx.artifacts["column_spans"],
-            ctx.artifacts["value_spans"], tree)
+        assignments, strategy = self.annotator.resolve_assignments(
+            ctx.question_tokens, ctx.artifacts["column_spans"],
+            ctx.artifacts["value_spans"])
         ctx.artifacts["assignments"] = assignments
         ctx.note(strategy=strategy, pairs=len(assignments))
 

@@ -40,6 +40,7 @@ from repro.nn import (
     binary_cross_entropy_with_logits,
     clip_grad_norm,
     concat,
+    merge_steps,
     no_grad,
     pack_steps,
 )
@@ -405,6 +406,100 @@ class ColumnMentionClassifier(Module):
                 features[valid, t * width:(t + 1) * width] = block[valid]
             logits = self.head(Tensor(features)).numpy().reshape(batch)
         return 1.0 / (1.0 + np.exp(-logits))
+
+    def score_columns_multi(
+            self, items: list[tuple[list[str], EncodedColumns]],
+            ) -> list[np.ndarray]:
+        """Score several requests' columns in ONE attentive-BiLSTM pass.
+
+        The cross-request form of :meth:`score_columns`: ``items`` pairs
+        each question with the encoded columns it should score — usually
+        different schemas with ragged column counts and word lengths.
+        The column-side packings are fused with
+        :func:`repro.nn.merge_steps`, the attentive-BiLSTM cells and the
+        MLP head advance the union batch, and attention runs grouped so
+        every request attends over its *own* question memory
+        (:meth:`AdditiveAttention.forward_grouped`).
+
+        Everything whose reduction shape depends on the request — the
+        question side, attention softmax/context, similarity features —
+        is computed per request with exactly the shapes
+        :meth:`score_columns` would use, so item ``i``'s probabilities
+        match a stand-alone call up to BLAS batch-size differences in
+        the shared matmuls (empirically bit-equal on this substrate;
+        pinned by the kernel differential tests).
+        """
+        if not items:
+            return []
+        cfg = self.config
+        with no_grad():
+            sizes = [len(encoded) for _question, encoded in items]
+            merged, lengths, offsets = merge_steps(
+                [(encoded.states, encoded.lengths)
+                 for _question, encoded in items])
+            slices = [slice(int(off), int(off) + size)
+                      for off, size in zip(offsets, sizes)]
+            batch = int(sum(sizes))
+            total = len(merged)
+
+            memories: list[Tensor] = []
+            q_units: list[np.ndarray] = []
+            for question, _encoded in items:
+                if not question:
+                    raise ModelError("question and column must be non-empty")
+                _, memory, q_unit = self._question_side(question)
+                memories.append(memory)
+                q_units.append(q_unit.numpy())
+
+            needs_mask = int(lengths.min()) < total
+            masks = [(lengths > t).astype(np.float64).reshape(-1, 1)
+                     for t in range(total)] if needs_mask else None
+
+            def run_direction(cell, reverse):
+                h, c = cell.initial_state(batch)
+                outputs: list[Tensor | None] = [None] * total
+                order = range(total - 1, -1, -1) if reverse \
+                    else range(total)
+                for t in order:
+                    s_t = Tensor(merged[t])
+                    query = concat([s_t, h], axis=-1)
+                    contexts, _ = self.attention.forward_grouped(
+                        memories, query, slices)
+                    z_t = concat([s_t, contexts], axis=-1)
+                    h_new, c_new = cell(z_t, h, c)
+                    if masks is not None:
+                        m = Tensor(masks[t])
+                        h = h_new * m + h * (1.0 - m)
+                        c = c_new * m + c * (1.0 - m)
+                    else:
+                        h, c = h_new, c_new
+                    outputs[t] = h
+                return outputs
+
+            fwd = run_direction(self.fwd_cell, reverse=False)
+            bwd = run_direction(self.bwd_cell, reverse=True)
+
+            # Per-request similarity features and feature assembly: the
+            # reductions run over each request's own question words, so
+            # the blocks equal the single-request path's exactly.
+            width = 2 * cfg.hidden + 2
+            features = np.zeros((batch, width * cfg.max_column_words))
+            for rows, (_question, encoded), q_unit in zip(
+                    slices, items, q_units):
+                sims = encoded.units @ q_unit.T
+                sim_max = sims.max(axis=2)
+                sim_mean = sims.mean(axis=2)
+                block_rows = features[rows.start:rows.stop]
+                for t in range(len(encoded.states)):
+                    block = np.concatenate(
+                        [fwd[t].numpy()[rows.start:rows.stop],
+                         bwd[t].numpy()[rows.start:rows.stop],
+                         sim_max[:, t:t + 1], sim_mean[:, t:t + 1]], axis=1)
+                    valid = encoded.lengths > t
+                    block_rows[valid, t * width:(t + 1) * width] = block[valid]
+            logits = self.head(Tensor(features)).numpy().reshape(batch)
+            probs = 1.0 / (1.0 + np.exp(-logits))
+        return [probs[rows.start:rows.stop] for rows in slices]
 
     def predict(self, question: list[str], column: list[str],
                 threshold: float = 0.5) -> bool:

@@ -10,12 +10,14 @@ domains never seen in training (the transfer-learnability claim).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Callable, Sequence
 
 from repro.data.records import Example
 from repro.errors import AnnotationError, ModelError, ReproError
 from repro.pipeline import (
     OUTCOME_OK,
+    WIRE_SCHEMA_VERSION,
     Deadline,
     Middleware,
     Pipeline,
@@ -96,6 +98,21 @@ class Translation:
     def result_equal(self, other: "Translation") -> bool:
         """Stable outcome equality (see :meth:`signature`)."""
         return self.signature() == other.signature()
+
+    def to_dict(self) -> dict:
+        """JSON-ready view of the translation (versioned wire schema).
+
+        The envelope shape is documented in DESIGN.md ("Wire schema");
+        ``schema_version`` is :data:`~repro.pipeline.WIRE_SCHEMA_VERSION`.
+        """
+        return {
+            "schema_version": WIRE_SCHEMA_VERSION,
+            "sql": self.query.to_sql() if self.query is not None else None,
+            "annotated_tokens": list(self.annotated_tokens),
+            "predicted_annotated_sql": list(self.predicted_annotated_sql),
+            "error": self.error,
+            "trace": [record.to_dict() for record in self.trace],
+        }
 
 
 class NLIDB:
@@ -336,6 +353,147 @@ class NLIDB:
         for record in records:
             if record.outcome == OUTCOME_OK and "." not in record.stage:
                 self.stage_timer(record.stage, record.wall_s)
+
+    # ------------------------------------------------------------------
+    # Cross-request coalescing (the serving scheduler's kernel surface)
+    # ------------------------------------------------------------------
+
+    @property
+    def coalescible(self) -> bool:
+        """Whether this model supports cross-request stage coalescing.
+
+        Requires a fitted model whose translator exposes the lockstep
+        ``translate_many`` batch decoder.  Wrappers that must see every
+        stage individually (e.g. fault injection) override this to
+        ``False``.
+        """
+        return (self._fitted
+                and callable(getattr(self.translator, "translate_many", None))
+                and getattr(getattr(self.translator, "config", None),
+                            "lockstep_beam", False))
+
+    def cohort_artifacts(self, requests: list[tuple[list[str], "Table",
+                                                    int | None]],
+                         ) -> tuple[list[dict | None], dict]:
+        """Run the coalescible stages of several full-mode requests.
+
+        ``requests`` is a list of ``(question_tokens, table,
+        beam_width)`` triples.  The per-request phases (value detection,
+        the column matcher plan, adversarial localization, mention
+        resolution, symbol allocation) run per lane exactly as the
+        sequential pipeline would; the two model-bound hot stages are
+        coalesced across lanes — one
+        :meth:`~repro.core.mention.ColumnMentionClassifier.
+        score_columns_multi` pass over every lane's undecided columns
+        and one :meth:`~repro.core.seq2seq.AnnotatedSeq2Seq.
+        translate_many` lockstep decode over every lane's beams.
+
+        Returns ``(lanes, stats)``: per lane either a pre-seeded
+        artifacts dict (``value_spans`` … ``source``/``predicted``) the
+        stage pipeline will consume via its artifact cache, or ``None``
+        when that lane failed and must be recomputed sequentially so the
+        ordinary error/ladder accounting applies.  ``stats`` reports the
+        batch shape and the shared-kernel wall times.
+        """
+        annotator = self.annotator
+        cfg = annotator.config
+        n = len(requests)
+        lanes: list[dict | None] = [None] * n
+        plans: list[tuple | None] = [None] * n
+        stats = {"lanes": n, "score_batch": 0}
+
+        start = perf_counter()
+        # Phase A (per lane): values, matcher plan, schema encoding.
+        for i, (tokens, table, _width) in enumerate(requests):
+            try:
+                if not tokens:
+                    raise ModelError("cannot annotate an empty question")
+                value_spans = annotator._detect_values(tokens, table,
+                                                       use_classifier=True)
+                blocked = {j for cand in value_spans
+                           for j in range(cand.start, cand.end)}
+                schema = None
+                if (cfg.use_column_classifier
+                        and annotator.column_classifier._trained):
+                    schema, _status = annotator.schema_encoding(table)
+                scored, needed = annotator.column_scoring_plan(
+                    tokens, table, blocked, use_classifier=True)
+                plans[i] = (value_spans, blocked, schema, scored, needed)
+            except ReproError:
+                plans[i] = None
+
+        # Phase B (coalesced): one classifier pass over every lane's
+        # undecided columns, each lane attending over its own question.
+        scoring = [(i, plans[i][4]) for i in range(n)
+                   if plans[i] is not None and plans[i][4]]
+        probs_by_lane: dict[int, object] = {}
+        if scoring:
+            stats["score_batch"] = sum(len(needed) for _i, needed in scoring)
+            items = [(requests[i][0], plans[i][2].encoded_subset(needed))
+                     for i, needed in scoring]
+            try:
+                batched = annotator.column_classifier.score_columns_multi(
+                    items)
+                probs_by_lane = {i: probs for (i, _needed), probs
+                                 in zip(scoring, batched)}
+            except ReproError:
+                for i, _needed in scoring:
+                    plans[i] = None
+
+        # Phase C (per lane): localization, resolution, symbols, source.
+        decode_requests = []
+        decode_lanes = []
+        for i, (tokens, table, width) in enumerate(requests):
+            if plans[i] is None:
+                continue
+            value_spans, blocked, schema, scored, needed = plans[i]
+            try:
+                column_spans = annotator.columns_from_scores(
+                    tokens, blocked, scored, needed,
+                    probs_by_lane.get(i, ()))
+                assignments, _strategy = annotator.resolve_assignments(
+                    tokens, column_spans, value_spans)
+                annotation = annotator._allocate_symbols(
+                    tokens, table, column_spans, assignments)
+                source = annotation.annotated_tokens(
+                    append=self.config.column_name_appending,
+                    header_encoding=self.config.header_encoding)
+                header_tokens = (schema.header_tokens if schema is not None
+                                 else self.header_tokens(table))
+                token_vectors = None
+                if schema is not None and getattr(
+                        self.translator, "accepts_token_vectors", False):
+                    token_vectors = schema.token_vectors
+                lanes[i] = {
+                    "value_spans": value_spans,
+                    "column_spans": column_spans,
+                    "assignments": assignments,
+                    "annotation": annotation,
+                    "source": source,
+                }
+                decode_requests.append({
+                    "source": source, "header_tokens": header_tokens,
+                    "extra_symbols": self._symbols(annotation),
+                    "beam_width": width, "token_vectors": token_vectors,
+                })
+                decode_lanes.append(i)
+            except ReproError:
+                lanes[i] = None
+        stats["annotate_s"] = perf_counter() - start
+
+        # Phase D (coalesced): one lockstep decode over every live lane.
+        start = perf_counter()
+        if decode_requests:
+            try:
+                predictions = self.translator.translate_many(decode_requests)
+                for i, predicted in zip(decode_lanes, predictions):
+                    lanes[i]["predicted"] = predicted
+            except ReproError:
+                for i in decode_lanes:
+                    lanes[i] = None
+        stats["decode_s"] = perf_counter() - start
+        stats["failed"] = sum(1 for lane in lanes if lane is None)
+        return lanes, stats
 
     def to_sql(self, question: str | list[str], table: Table) -> str:
         """Convenience: question text in, SQL text out.

@@ -87,6 +87,27 @@ class TrainingPair:
     extra_symbols: tuple[str, ...] = ()
 
 
+@dataclass
+class _DecodeLane:
+    """Per-request beam-search state inside :meth:`translate_many`."""
+
+    candidates: list[str]
+    memory: Tensor
+    memory_proj: Tensor
+    cand_rows: np.ndarray
+    copy_map: np.ndarray
+    d_mat: np.ndarray
+    ctx_mat: np.ndarray
+    width: int
+    steps: int = 0
+    done: bool = False
+
+    def __post_init__(self):
+        # (nll, tokens, prev token) per live beam; finished (nll, tokens).
+        self.meta: list[tuple[float, list[str], str | None]] = [(0.0, [], None)]
+        self.finished: list[tuple[float, list[str]]] = []
+
+
 class AnnotatedSeq2Seq(Module):
     """Sequence-to-sequence translation of ``qᵃ`` into ``sᵃ``."""
 
@@ -297,17 +318,22 @@ class AnnotatedSeq2Seq(Module):
         return idx[np.argsort(-probs[idx], kind="stable")]
 
     def _attend_batch(self, memory: Tensor, memory_proj: Tensor,
-                      d_batch: Tensor) -> tuple[np.ndarray, np.ndarray]:
+                      d_batch: Tensor, query_proj: Tensor | None = None,
+                      ) -> tuple[np.ndarray, np.ndarray]:
         """Batched :meth:`_attend`: B decoder states against one memory.
 
         Returns numpy ``(scores (B, T), contexts (B, enc_dim))`` — the
         lockstep decoder is inference-only, so no graph is needed.
+        ``query_proj`` optionally supplies ``att_query(d_batch)`` rows
+        computed as part of a larger (cross-request) projection.
         """
         t = memory.shape[0]
         b = d_batch.shape[0]
         attn = self.config.attention_dim
+        if query_proj is None:
+            query_proj = self.att_query(d_batch)
         hidden = (memory_proj.reshape(1, t, attn)
-                  + self.att_query(d_batch).reshape(b, 1, attn)).tanh()
+                  + query_proj.reshape(b, 1, attn)).tanh()
         scores = self.att_v(hidden.reshape(b * t, attn)).numpy().reshape(b, t)
         weights = np.exp(scores - scores.max(axis=1, keepdims=True))
         weights /= weights.sum(axis=1, keepdims=True)
@@ -317,15 +343,20 @@ class AnnotatedSeq2Seq(Module):
                                  contexts: np.ndarray,
                                  attention_scores: np.ndarray,
                                  copy_map: np.ndarray,
-                                 candidate_matrix: np.ndarray) -> np.ndarray:
+                                 candidate_matrix: np.ndarray,
+                                 projected: np.ndarray | None = None,
+                                 ) -> np.ndarray:
         """Batched :meth:`_step_distribution`: ``(B, C)`` probabilities.
 
         Row ``b`` applies the paper's ``∝ exp(U[d,β]) + M_i`` rule with
         the same shared shift (max over that row's generation logits and
-        attention scores) the per-beam path uses.
+        attention scores) the per-beam path uses.  ``projected``
+        optionally supplies ``out_proj([d, β])`` rows computed as part
+        of a larger (cross-request) projection.
         """
-        projected = self.out_proj(
-            Tensor(np.concatenate([d_batch, contexts], axis=1))).numpy()
+        if projected is None:
+            projected = self.out_proj(
+                Tensor(np.concatenate([d_batch, contexts], axis=1))).numpy()
         gen_logits = projected @ candidate_matrix.T
         if self.config.use_copy:
             shift = np.maximum(gen_logits.max(axis=1),
@@ -400,6 +431,158 @@ class AnnotatedSeq2Seq(Module):
             "candidates": len(candidates),
         }
         return finished[0][1]
+
+    def translate_many(self, requests: list[dict]) -> list[list[str]]:
+        """Decode several sources in ONE cross-request lockstep batch.
+
+        Each request is a dict with ``source`` and ``header_tokens``
+        plus optional ``extra_symbols`` / ``beam_width`` /
+        ``token_vectors`` — the :meth:`translate` signature in mapping
+        form.  Encoding, the candidate/copy machinery, and everything
+        whose reduction shape is per-request (attention softmax +
+        context, generation/copy mass, top-k pruning) run per lane
+        exactly as :meth:`translate` would; only the row-sliced shared
+        projections (decoder cell, attention query, output projection)
+        advance the union of all lanes' live beams per step.  Lane ``i``
+        therefore returns the same SQL tokens as a stand-alone
+        :meth:`translate` call (pinned by the differential tests).
+
+        Falls back to sequential :meth:`translate` calls when the
+        lockstep path is disabled or only one request is given.
+        """
+        if not requests:
+            return []
+        if not self.config.lockstep_beam or len(requests) == 1:
+            return [self.translate(req["source"], req["header_tokens"],
+                                   req.get("extra_symbols", ()),
+                                   beam_width=req.get("beam_width"),
+                                   token_vectors=req.get("token_vectors"))
+                    for req in requests]
+        lanes = []
+        with no_grad():
+            start = perf_counter()
+            for req in requests:
+                source = req["source"]
+                candidates = build_candidates(source, req["header_tokens"],
+                                              req.get("extra_symbols", ()))
+                states = self.encode(source)
+                memory = concat(states, axis=0)
+                memory_proj = self.att_memory(memory)
+                candidate_matrix = self._inference_candidate_matrix(
+                    candidates, req.get("token_vectors"))
+                copy_map = self._copy_map(candidates, source)
+                d0 = self._initial_state(states)
+                _, context0 = self._attend(memory, memory_proj, d0)
+                lanes.append(_DecodeLane(
+                    candidates=candidates, memory=memory,
+                    memory_proj=memory_proj,
+                    cand_rows=candidate_matrix.numpy(), copy_map=copy_map,
+                    d_mat=d0.numpy(), ctx_mat=context0.numpy().reshape(1, -1),
+                    width=req.get("beam_width") or self.config.beam_width))
+            if self.timing_hook is not None:
+                self.timing_hook("encode", perf_counter() - start)
+
+            start = perf_counter()
+            outputs, steps = self._decode_lockstep_many(lanes)
+            if self.timing_hook is not None:
+                self.timing_hook("beam_search", perf_counter() - start)
+        self.last_decode = {
+            "path": "lockstep_many", "lanes": len(requests), "steps": steps,
+            "beam_width": [lane.width for lane in lanes],
+            "candidates": [len(lane.candidates) for lane in lanes],
+        }
+        return outputs
+
+    def _decode_lockstep_many(self, lanes: list["_DecodeLane"],
+                              ) -> tuple[list[list[str]], list[int]]:
+        """Advance every lane's live beams as one batch per step.
+
+        The cross-request extension of :meth:`_decode_lockstep`: the
+        union of all live beam rows goes through one decoder-cell /
+        attention-query / output-projection call per step, then each
+        lane scores, expands, and prunes its own rows with the exact
+        single-request code.  Lanes finish independently (EOS everywhere
+        or ``max_decode_len``) and simply drop out of the union.
+        """
+        embed_cache: dict[str, np.ndarray] = {}
+        for _ in range(self.config.max_decode_len):
+            live = [lane for lane in lanes if not lane.done]
+            if not live:
+                break
+            inputs, d_rows, slices = [], [], []
+            offset = 0
+            for lane in live:
+                lane.steps += 1
+                prev_embs = np.zeros((len(lane.meta), self.embedder.dim))
+                for b, (_, _, prev) in enumerate(lane.meta):
+                    if prev is not None:
+                        vec = embed_cache.get(prev)
+                        if vec is None:
+                            vec = self.embedder.embed(prev).numpy().reshape(-1)
+                            embed_cache[prev] = vec
+                        prev_embs[b] = vec
+                inputs.append(np.concatenate([prev_embs, lane.ctx_mat],
+                                             axis=1))
+                d_rows.append(lane.d_mat)
+                slices.append(slice(offset, offset + len(lane.meta)))
+                offset += len(lane.meta)
+
+            d_next = self.decoder_cell(
+                Tensor(np.concatenate(inputs, axis=0)),
+                Tensor(np.concatenate(d_rows, axis=0)))
+            query_proj = self.att_query(d_next)
+            d_np = d_next.numpy()
+
+            ctx_union = np.empty((offset, d_np.shape[1]))
+            att_by_lane = []
+            for lane, rows in zip(live, slices):
+                att_scores, ctx = self._attend_batch(
+                    lane.memory, lane.memory_proj,
+                    d_next[rows.start:rows.stop, :],
+                    query_proj=query_proj[rows.start:rows.stop, :])
+                att_by_lane.append(att_scores)
+                ctx_union[rows.start:rows.stop] = ctx
+            projected_union = self.out_proj(
+                Tensor(np.concatenate([d_np, ctx_union], axis=1))).numpy()
+
+            for lane, rows, att_scores in zip(live, slices, att_by_lane):
+                probs = self._step_distribution_batch(
+                    d_np[rows.start:rows.stop],
+                    ctx_union[rows.start:rows.stop],
+                    att_scores, lane.copy_map, lane.cand_rows,
+                    projected=projected_union[rows.start:rows.stop])
+                expansions = []  # (nll, tokens, beam row, token)
+                for b, (nll, tokens, _) in enumerate(lane.meta):
+                    for ci in self._top_k(probs[b], lane.width):
+                        token = lane.candidates[int(ci)]
+                        new_nll = nll - float(np.log(probs[b, ci] + 1e-12))
+                        if token == EOS:
+                            lane.finished.append(
+                                (new_nll / (len(tokens) + 1), tokens))
+                        else:
+                            expansions.append((new_nll, tokens + [token],
+                                               b, token))
+                if not expansions:
+                    lane.done = True
+                    continue
+                expansions.sort(key=lambda e: e[0])
+                kept = expansions[:lane.width]
+                keep_rows = [row for _, _, row, _ in kept]
+                lane.d_mat = d_np[rows.start:rows.stop][keep_rows]
+                lane.ctx_mat = ctx_union[rows.start:rows.stop][keep_rows]
+                lane.meta = [(nll, tokens, token)
+                             for nll, tokens, _, token in kept]
+
+        outputs, steps = [], []
+        for lane in lanes:
+            finished = lane.finished
+            if not finished:
+                finished = [(nll / max(len(tokens), 1), tokens)
+                            for nll, tokens, _ in lane.meta]
+            finished.sort(key=lambda b: b[0])
+            outputs.append(finished[0][1])
+            steps.append(lane.steps)
+        return outputs, steps
 
     def _decode_per_beam(self, candidates, memory, memory_proj,
                          candidate_matrix, copy_map, d0, context0,

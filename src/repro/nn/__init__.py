@@ -20,7 +20,16 @@ from repro.nn.functional import (
 from repro.nn.layers import MLP, Dropout, Embedding, LayerNorm, Linear
 from repro.nn.module import Module, Parameter
 from repro.nn.optim import SGD, Adam, clip_grad_norm
-from repro.nn.rnn import LSTM, BiGRU, BiLSTM, GRU, GRUCell, LSTMCell, pack_steps
+from repro.nn.rnn import (
+    LSTM,
+    BiGRU,
+    BiLSTM,
+    GRU,
+    GRUCell,
+    LSTMCell,
+    merge_steps,
+    pack_steps,
+)
 from repro.nn.serialization import load_module, save_module
 from repro.nn.tensor import Tensor, concat, no_grad, stack
 
@@ -29,6 +38,7 @@ __all__ = [
     "Module", "Parameter",
     "Linear", "Embedding", "MLP", "Dropout", "LayerNorm",
     "LSTMCell", "GRUCell", "LSTM", "BiLSTM", "GRU", "BiGRU", "pack_steps",
+    "merge_steps",
     "Conv1d", "CharConvEncoder",
     "AdditiveAttention",
     "softmax", "log_softmax", "masked_softmax",

@@ -15,6 +15,7 @@ from it; ``repro.serving`` adds caching, retries, degradation ladders,
 and breakers *around* it.
 """
 
+from repro.pipeline.batching import BatchInfo, BatchTraceMiddleware
 from repro.pipeline.context import PipelineContext
 from repro.pipeline.deadline import Deadline
 from repro.pipeline.executor import Middleware, Pipeline, Stage
@@ -28,13 +29,15 @@ from repro.pipeline.trace import (
     OUTCOME_ERROR,
     OUTCOME_OK,
     OUTCOME_SKIPPED,
+    WIRE_SCHEMA_VERSION,
     StageRecord,
     StageTrace,
 )
 
 __all__ = [
     "Pipeline", "Stage", "Middleware", "PipelineContext",
-    "StageRecord", "StageTrace", "Deadline",
+    "StageRecord", "StageTrace", "Deadline", "WIRE_SCHEMA_VERSION",
     "OUTCOME_OK", "OUTCOME_ERROR", "OUTCOME_CACHED", "OUTCOME_SKIPPED",
     "deadline_middleware", "FaultMiddleware", "artifact_cache_middleware",
+    "BatchInfo", "BatchTraceMiddleware",
 ]

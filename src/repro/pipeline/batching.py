@@ -1,0 +1,73 @@
+"""Batch identity for cross-request (coalesced) pipeline runs.
+
+When the serving scheduler fuses several requests' stages into one
+kernel call, each request still gets its own pipeline run and stage
+trace — but those records must say *which* micro-batch computed them
+and how big it was, or the trace stops explaining latency ("why did
+this 3 ms question take 40 ms?" — because it rode a batch of 9).
+
+:class:`BatchInfo` names one micro-batch (a monotonically increasing
+batch id, its size, this request's lane index, and the per-stage kernel
+wall times), and :class:`BatchTraceMiddleware` stamps that identity
+into the ``detail`` of every stage record appended during the run it
+wraps.  Stages whose artifacts were pre-seeded by the coalesced kernels
+additionally get ``coalesced: True`` plus the kernel's wall time, so
+the cached-outcome records still account for the shared work.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.pipeline.context import PipelineContext
+
+__all__ = ["BatchInfo", "BatchTraceMiddleware"]
+
+
+class BatchInfo:
+    """Identity of one scheduler micro-batch, shared by its lanes.
+
+    ``kernel_walls`` maps a coalesced stage name (e.g. ``"annotate.
+    columns"``, ``"translate"``) to the wall-clock seconds the shared
+    kernel spent on the *whole* batch — per-lane records carry the full
+    number rather than an arbitrary per-lane split.
+    """
+
+    __slots__ = ("batch_id", "size", "lane", "kernel_walls")
+
+    def __init__(self, batch_id: int, size: int, lane: int,
+                 kernel_walls: dict[str, float] | None = None):
+        self.batch_id = batch_id
+        self.size = size
+        self.lane = lane
+        self.kernel_walls = kernel_walls or {}
+
+    def for_lane(self, lane: int) -> "BatchInfo":
+        """This batch's identity from another lane's point of view."""
+        return BatchInfo(self.batch_id, self.size, lane, self.kernel_walls)
+
+    def to_detail(self, stage_name: str) -> dict:
+        """The ``detail`` entries stamped onto one stage's record."""
+        detail = {"batch_id": self.batch_id, "batch_size": self.size,
+                  "batch_lane": self.lane}
+        wall = self.kernel_walls.get(stage_name)
+        if wall is not None:
+            detail["coalesced"] = True
+            detail["batch_kernel_s"] = wall
+        return detail
+
+
+class BatchTraceMiddleware:
+    """Stamp a batch's identity into every record of a pipeline run."""
+
+    __slots__ = ("info",)
+
+    def __init__(self, info: BatchInfo):
+        self.info = info
+
+    def __call__(self, stage, ctx: PipelineContext,
+                 call_next: Callable[[], None]) -> None:
+        record = ctx.current_record
+        if record is not None:
+            record.detail.update(self.info.to_detail(stage.name))
+        call_next()

@@ -12,9 +12,18 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-__all__ = ["StageRecord", "StageTrace",
+__all__ = ["StageRecord", "StageTrace", "WIRE_SCHEMA_VERSION",
            "OUTCOME_OK", "OUTCOME_ERROR", "OUTCOME_CACHED",
            "OUTCOME_SKIPPED"]
+
+#: Version of every JSON envelope this system emits (stage-record
+#: dicts, ``Translation.to_dict``, ``TranslationResult.to_dict``, the
+#: ``serve-stats`` report).  Version 1 retroactively names the
+#: unversioned envelope shipped through PR 6; version 2 adds the
+#: explicit ``schema_version`` field, the ``Translation.to_dict`` view,
+#: and batch-identity labels in stage-trace details.  The full envelope
+#: shape is documented in DESIGN.md ("Wire schema").
+WIRE_SCHEMA_VERSION = 2
 
 #: The stage ran to completion.
 OUTCOME_OK = "ok"
@@ -68,6 +77,7 @@ class StageRecord:
     def to_dict(self) -> dict:
         """JSON-ready view (printed by ``serve-stats`` trace samples)."""
         payload = {
+            "schema_version": WIRE_SCHEMA_VERSION,
             "stage": self.stage,
             "outcome": self.outcome,
             "wall_s": self.wall_s,

@@ -2,13 +2,17 @@
 
 The paper's pipeline is a per-question function; this package turns a
 trained :class:`~repro.core.nlidb.NLIDB` into a *service* — the form
-factor the NLIDB literature (NaLIR, DBPal) deploys — with a bounded
-LRU translation cache keyed on table content, same-table request
-batching, a metrics registry, and a resilience stack (per-request
-deadlines, bounded retries, a context-free degradation ladder, and a
-circuit breaker).  The public response shape is the
-:class:`~repro.serving.results.TranslationResult` envelope; see
-:class:`~repro.serving.service.TranslationService`.
+factor the NLIDB literature (NaLIR, DBPal) deploys — with a
+cross-request micro-batching scheduler behind one asynchronous
+``submit()`` entry point (concurrent requests coalesce into stage-
+level lockstep kernel batches), a bounded LRU translation cache keyed
+on table content, within-batch deduplication, a metrics registry, and
+a resilience stack (per-request deadlines, bounded retries, a
+context-free degradation ladder, and a circuit breaker).  The public
+response shape is the :class:`~repro.serving.results.
+TranslationResult` envelope; see
+:class:`~repro.serving.service.TranslationService` and
+:class:`~repro.serving.scheduler.MicroBatchScheduler`.
 
 :mod:`repro.serving.faults` provides a deterministic fault-injection
 harness (:class:`FaultyNLIDB`) so every policy is testable without a
@@ -43,9 +47,16 @@ from repro.serving.results import (
     TranslationResult,
     describe_error,
 )
+from repro.serving.scheduler import (
+    MicroBatchScheduler,
+    QueueClosed,
+    SchedulerPolicy,
+)
 from repro.serving.service import DEFAULT_CACHE_SIZE, TranslationService
 
-# Re-exported for convenience: the cache key's table component.
+# Re-exported for convenience: the cache key's table component and the
+# wire-envelope version every to_dict() stamps.
+from repro.pipeline import WIRE_SCHEMA_VERSION
 from repro.sqlengine import table_fingerprint
 
 __all__ = [
@@ -57,5 +68,6 @@ __all__ = [
     "BREAKER_CLOSED", "BREAKER_OPEN", "BREAKER_HALF_OPEN",
     "FaultSpec", "FaultInjector", "FaultyNLIDB", "InjectedFault",
     "parse_fault_spec",
-    "MetricsRegistry", "table_fingerprint",
+    "SchedulerPolicy", "MicroBatchScheduler", "QueueClosed",
+    "MetricsRegistry", "table_fingerprint", "WIRE_SCHEMA_VERSION",
 ]

@@ -188,6 +188,12 @@ class FaultyNLIDB:
     to :class:`~repro.serving.service.TranslationService`.
     """
 
+    #: Fault plans target individual stages, and the coalesced cohort
+    #: path bypasses per-stage execution — so a faulty model must never
+    #: coalesce.  A class attribute (not ``__getattr__`` delegation to
+    #: the wrapped model's property) guarantees it.
+    coalescible = False
+
     def __init__(self, nlidb, injector: FaultInjector):
         self._nlidb = nlidb
         self.injector = injector

@@ -23,7 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.core.nlidb import Translation
-from repro.pipeline import OUTCOME_ERROR, StageRecord
+from repro.pipeline import OUTCOME_ERROR, WIRE_SCHEMA_VERSION, StageRecord
 
 __all__ = ["TranslationResult", "STATUS_OK", "STATUS_DEGRADED",
            "STATUS_FAILED", "describe_error"]
@@ -89,18 +89,20 @@ class TranslationResult:
     timings: dict[str, float] = field(default_factory=dict)
     cached: bool = False
     trace: tuple = ()
-    #: The exception behind ``error`` — kept so the deprecated
-    #: ``raw=True`` shim can re-raise with the original type/traceback.
-    exception: BaseException | None = field(default=None, repr=False,
-                                            compare=False)
 
     @property
     def ok(self) -> bool:
         return self.status == STATUS_OK
 
     def to_dict(self) -> dict:
-        """JSON-serializable view (drops the live objects)."""
+        """JSON-serializable view (drops the live objects).
+
+        ``schema_version`` stamps the versioned wire envelope (see
+        DESIGN.md, "Wire schema"); trace records carry it too, so a
+        consumer can validate either level independently.
+        """
         return {
+            "schema_version": WIRE_SCHEMA_VERSION,
             "status": self.status,
             "sql": self.sql,
             "error": self.error,
@@ -165,4 +167,4 @@ class TranslationResult:
                 message=str(error)),)
         return cls(status=STATUS_FAILED, sql=None, translation=None,
                    error=describe_error(error), attempts=attempts,
-                   timings=timings or {}, exception=error, trace=trace)
+                   timings=timings or {}, trace=trace)

@@ -6,11 +6,22 @@ questions, a few hot tables, strict latency expectations — and
 failures.  :class:`TranslationService` adds the serving machinery
 without touching model semantics:
 
+* one asynchronous entry point — :meth:`TranslationService.submit`
+  returns a :class:`concurrent.futures.Future` resolving to a
+  :class:`~repro.serving.results.TranslationResult`; :meth:`translate`
+  and :meth:`translate_batch` are thin synchronous wrappers, so every
+  request drains through the same queue and the same batch executor;
+* a **cross-request micro-batching scheduler**
+  (:class:`~repro.serving.scheduler.MicroBatchScheduler`): concurrent
+  submissions coalesce into stage-level lockstep batches — every
+  pending question's undecided columns scored in one classifier pass,
+  every pending beam search advanced as one decoder/attention batch
+  per step — under a max-wait/max-batch admission policy whose default
+  (natural batching) keeps single-request p50 unregressed at low load;
 * a bounded LRU **translation cache** keyed on
-  ``(question tokens, table content fingerprint, beam width)``;
-* :meth:`TranslationService.translate_batch`, which groups same-table
-  requests so per-table work (annotation column statistics, the header
-  encoding) is computed once per table per batch;
+  ``(question tokens, table content fingerprint, beam width)``, plus
+  within-batch request deduplication (identical concurrent requests
+  compute once);
 * a :class:`~repro.serving.metrics.MetricsRegistry` with request /
   cache / outcome counters, breaker and cache gauges, and per-stage
   latency histograms;
@@ -21,33 +32,45 @@ without touching model semantics:
   circuit breaker that trips after repeated full-path failures and
   serves cache + degraded paths while open.
 
+Coalesced execution never changes results: a batch's lanes are
+computed by the same kernels on the same per-request shapes (see
+:meth:`~repro.core.nlidb.NLIDB.cohort_artifacts`), so the SQL is
+byte-identical to the sequential path — pinned by differential tests.
+A lane the cohort cannot serve (any per-lane failure, a tripped
+breaker, a fault-injection wrapper) falls back to the ordinary
+sequential ladder with its usual retry/breaker accounting.
+
 Every ladder rung executes through the same
 :class:`~repro.pipeline.Pipeline` stage graph (deadline checks ride as
-middleware); the per-stage metrics, the envelope's ``timings``, and its
-``trace`` are all derived from the run's
-:class:`~repro.pipeline.StageTrace` records.
+middleware; coalesced lanes add
+:class:`~repro.pipeline.BatchTraceMiddleware`, so their stage records
+carry the batch id, size, lane, and shared-kernel wall times); the
+per-stage metrics, the envelope's ``timings``, and its ``trace`` are
+all derived from the run's :class:`~repro.pipeline.StageTrace` records.
 
-The public API returns a :class:`~repro.serving.results.
-TranslationResult` envelope and **never raises** for per-request
-failures; ``translate(..., raw=True)`` is a deprecated shim that
-returns the bare :class:`~repro.core.nlidb.Translation` and re-raises
-errors, preserving the pre-envelope contract for one release.
+The public API returns :class:`~repro.serving.results.
+TranslationResult` envelopes and **never raises** for per-request
+failures.  (The pre-envelope ``raw=True`` escape hatch is gone; callers
+needing the bare :class:`~repro.core.nlidb.Translation` read
+``result.translation``.)
 
 Thread safety: the numpy substrate's ``no_grad`` flips a module-global
-flag, so *model* inference is serialized behind one lock; cache hits
-never take that lock and therefore proceed concurrently.  Every
-returned :class:`Translation` may be shared between callers — treat it
-as immutable.  Note that retry backoff sleeps while holding the model
-lock: inference is serialized anyway, so a sleeping retry cannot starve
-work that would otherwise run.
+flag, so *model* inference is serialized — structurally, by the
+scheduler's single worker thread, and defensively by the model lock.
+Cache hits resolve at submission time without touching the queue and
+therefore proceed concurrently.  Every returned :class:`Translation`
+may be shared between callers — treat it as immutable.  Note that
+retry backoff sleeps on the worker thread: inference is serialized
+anyway, so a sleeping retry cannot starve work that would otherwise
+run, but it does delay the rest of its batch.
 """
 
 from __future__ import annotations
 
 import threading
 import time
-import warnings
-from dataclasses import asdict
+from concurrent.futures import Future
+from dataclasses import asdict, dataclass, field
 from typing import Callable
 
 from repro.caching import LRUCache
@@ -63,29 +86,44 @@ from repro.errors import (
 from repro.pipeline import (
     OUTCOME_CACHED,
     OUTCOME_SKIPPED,
+    BatchInfo,
+    BatchTraceMiddleware,
     StageRecord,
     StageTrace,
+    WIRE_SCHEMA_VERSION,
     deadline_middleware,
 )
 from repro.sqlengine import Table, table_fingerprint
 
 from repro.serving.metrics import MetricsRegistry
-from repro.serving.requests import (
-    TranslationRequest,
-    as_request,
-    normalize_question,
+from repro.serving.requests import TranslationRequest, as_request
+from repro.serving.resilience import (
+    BREAKER_CLOSED,
+    CircuitBreaker,
+    Deadline,
+    ResiliencePolicy,
 )
-from repro.serving.resilience import CircuitBreaker, Deadline, ResiliencePolicy
 from repro.serving.results import TranslationResult
+from repro.serving.scheduler import MicroBatchScheduler, SchedulerPolicy
 
 __all__ = ["TranslationService", "DEFAULT_CACHE_SIZE"]
 
 DEFAULT_CACHE_SIZE = 1024
 
 
+@dataclass
+class _Pending:
+    """One queued request: what to compute and whom to tell."""
+
+    request: TranslationRequest
+    key: tuple
+    deadline: Deadline
+    future: Future = field(default_factory=Future)
+
+
 class TranslationService:
-    """Serve ``translate`` requests with caching, batching, metrics, and
-    graceful degradation.
+    """Serve ``translate`` requests with micro-batching, caching,
+    metrics, and graceful degradation.
 
     Parameters
     ----------
@@ -104,6 +142,10 @@ class TranslationService:
     breaker:
         Optional pre-built :class:`CircuitBreaker` (tests inject one
         with a fake clock); by default built from ``policy``.
+    scheduler_policy:
+        The micro-batch admission policy (max batch size, max wait).
+        The default is natural batching — dispatch whatever is queued
+        whenever the worker is free, capped at 16 lanes.
     sleep:
         Injectable sleep used for retry backoff.
     """
@@ -112,6 +154,7 @@ class TranslationService:
                  metrics: MetricsRegistry | None = None,
                  policy: ResiliencePolicy | None = None,
                  breaker: CircuitBreaker | None = None,
+                 scheduler_policy: SchedulerPolicy | None = None,
                  sleep: Callable[[float], None] = time.sleep):
         if not getattr(nlidb, "_fitted", False):
             raise ModelError("TranslationService needs a fitted NLIDB")
@@ -122,6 +165,10 @@ class TranslationService:
         self._sleep = sleep
         self._cache = LRUCache(maxsize=cache_size)
         self._model_lock = threading.Lock()
+        self._batch_seq = 0
+        self.scheduler: MicroBatchScheduler[_Pending] = MicroBatchScheduler(
+            self._process_batch, policy=scheduler_policy,
+            on_batch_error=self._fail_batch)
         # Both ladder rungs execute through the same stage-graph
         # executor; the per-request deadline check rides as the
         # outermost middleware (a FaultyNLIDB adds its fault middleware
@@ -138,78 +185,94 @@ class TranslationService:
     # Public API
     # ------------------------------------------------------------------
 
+    def submit(self, request, table: Table | None = None,
+               beam_width: int | None = None) -> "Future[TranslationResult]":
+        """Enqueue one request; the future resolves to its envelope.
+
+        Accepts a :class:`TranslationRequest`, a ``(question, table[,
+        beam_width])`` tuple, or the classic ``(question, table)``
+        positional form.  Raises :class:`~repro.errors.ReproError`
+        immediately for a malformed request (there is nothing to
+        enqueue); every *pipeline* failure resolves the future with a
+        ``status="failed"`` envelope instead of raising.
+
+        A warm-cache request resolves synchronously and never touches
+        the queue; everything else is admitted to the micro-batch
+        scheduler, where it coalesces with whatever else is in flight.
+        The request's deadline starts now — time spent queued counts
+        against its budget, exactly as lock-wait time used to.
+        """
+        if table is not None:
+            request = as_request((request, table, beam_width))
+        else:
+            request = as_request(request)
+        future, pending = self._admit(request)
+        if pending is not None:
+            self.scheduler.submit(pending)
+        return future
+
     def translate(self, question: str | list[str], table: Table,
-                  beam_width: int | None = None, *,
-                  raw: bool = False) -> TranslationResult | Translation:
+                  beam_width: int | None = None) -> TranslationResult:
         """Translate one question into a :class:`TranslationResult`.
 
-        Never raises for pipeline failures: a request that exhausts the
-        degradation ladder comes back as ``status="failed"`` with a
-        structured error.  ``raw=True`` (deprecated) restores the old
-        contract — the bare :class:`Translation`, re-raising errors.
+        ``submit(...).result()`` — exactly one code path serves
+        synchronous and asynchronous callers.  Never raises for
+        pipeline failures: a request that exhausts the degradation
+        ladder comes back as ``status="failed"`` with a structured
+        error.
         """
-        result = self._serve(question, table, beam_width,
-                             table_fingerprint(table))
-        if raw:
-            return self._unwrap(result)
-        return result
+        return self.submit(question, table, beam_width).result()
 
-    def translate_batch(self, requests, *,
-                        raw: bool = False) -> list[TranslationResult]:
-        """Translate many requests, grouping same-table work.
+    def translate_batch(self, requests) -> list[TranslationResult]:
+        """Translate many requests through the shared queue.
 
         ``requests`` is a sequence of :class:`TranslationRequest` or
         ``(question, table[, beam_width])`` tuples.  Results come back
         in input order, one :class:`TranslationResult` per request —
         a bad or failing request yields a ``"failed"`` envelope at its
-        index and never poisons the rest of the batch.  Grouping only
-        changes *how much* per-table work (column statistics, header
-        encodings) is recomputed.
-
-        With ``raw=True`` (deprecated) the return is a list of bare
-        :class:`Translation` and the first failure raises.
+        index and never poisons the rest of the batch.  The whole call
+        is enqueued atomically, so its requests coalesce into as few
+        micro-batches as the admission policy allows (mixed tables
+        included — the coalesced kernels accept heterogeneous schemas).
         """
         items = list(requests)
         self.metrics.increment("batches")
         self.metrics.increment("batch_requests", len(items))
         results: list[TranslationResult | None] = [None] * len(items)
-
-        batch: list[tuple[int, TranslationRequest]] = []
+        futures: list[tuple[int, Future]] = []
+        pendings: list[_Pending] = []
         for i, item in enumerate(items):
             try:
-                batch.append((i, as_request(item)))
+                request = as_request(item)
             except ReproError as exc:
-                if raw:
-                    raise
                 self.metrics.increment("bad_requests")
                 results[i] = TranslationResult.from_failure(exc)
-
-        groups: dict[str, list[tuple[int, TranslationRequest]]] = {}
-        for i, request in batch:
-            fingerprint = table_fingerprint(request.table)
-            groups.setdefault(fingerprint, []).append((i, request))
-
-        for fingerprint, members in groups.items():
-            header_tokens: list[str] | None = None
-            for i, request in members:
-                if header_tokens is None:
-                    header_tokens = self.nlidb.header_tokens(request.table)
-                results[i] = self._serve(request.question, request.table,
-                                         request.beam_width, fingerprint,
-                                         header_tokens=header_tokens)
-        if raw:
-            return [self._unwrap(result) for result in results]
+                continue
+            future, pending = self._admit(request)
+            futures.append((i, future))
+            if pending is not None:
+                pendings.append(pending)
+        self.scheduler.submit_many(pendings)
+        for i, future in futures:
+            results[i] = future.result()
         return results  # fully populated: every index was served
+
+    def close(self) -> None:
+        """Stop admitting requests; in-flight work still completes."""
+        self.scheduler.close()
 
     def fingerprint(self, table: Table) -> str:
         """The cache-key fingerprint of a table (content hash)."""
         return table_fingerprint(table)
 
     def stats(self) -> dict:
-        """Metrics snapshot plus cache, breaker, and policy state."""
+        """Metrics snapshot plus cache, breaker, scheduler, and policy
+        state.  ``schema_version`` names the wire envelope every
+        ``to_dict`` in the system emits."""
         self.metrics.set_gauge("breaker_state", self.breaker.state_gauge())
         self.metrics.set_gauge("cache_size", float(len(self._cache)))
         snapshot = self.metrics.snapshot()
+        snapshot["schema_version"] = WIRE_SCHEMA_VERSION
         snapshot["cache"] = {
             "size": len(self._cache),
             "maxsize": self._cache.maxsize,
@@ -219,6 +282,7 @@ class TranslationService:
             "hit_rate": self._cache.hit_rate(),
         }
         snapshot["breaker"] = self.breaker.snapshot()
+        snapshot["scheduler"] = self.scheduler.stats()
         snapshot["policy"] = asdict(self.policy)
         # The annotator's fingerprint-keyed schema-encoding cache, when
         # the wrapped NLIDB has one (fault wrappers delegate; test stubs
@@ -234,38 +298,175 @@ class TranslationService:
         self._cache.clear()
 
     # ------------------------------------------------------------------
-    # Serving core
+    # Admission (caller thread)
     # ------------------------------------------------------------------
 
-    def _serve(self, question, table: Table, beam_width: int | None,
-               fingerprint: str,
-               header_tokens: list[str] | None = None) -> TranslationResult:
+    def _admit(self, request: TranslationRequest,
+               ) -> tuple[Future, _Pending | None]:
+        """Count the request and either resolve it warm or queue it."""
         self.metrics.increment("requests")
-        key = (normalize_question(question), fingerprint,
-               self._resolve_width(beam_width))
+        key = (request.question, table_fingerprint(request.table),
+               self._resolve_width(request.beam_width))
+        future: Future = Future()
         cached = self._cache.get(key)
         if cached is not None:
             self.metrics.increment("cache_hits")
-            return self._finish(self._cache_hit(cached))
-        # The deadline starts before the model lock so time spent queued
-        # behind other inference counts against this request's budget.
-        deadline = Deadline(self.policy.deadline_s)
+            future.set_result(self._finish(self._cache_hit(cached)))
+            return future, None
+        return future, _Pending(request=request, key=key,
+                                deadline=Deadline(self.policy.deadline_s),
+                                future=future)
+
+    # ------------------------------------------------------------------
+    # Batch execution (scheduler worker thread)
+    # ------------------------------------------------------------------
+
+    def _process_batch(self, pendings: list[_Pending]) -> None:
+        """Serve one drained micro-batch; resolves every lane's future.
+
+        Order of business: re-check the cache (another lane may have
+        warmed a key since admission), dedupe identical requests into
+        leaders + followers, run the coalescible leaders through the
+        shared kernels, walk everything left through the sequential
+        ladder, then mirror leader outcomes onto followers.
+        """
         with self._model_lock:
-            # Re-check: another thread may have computed this key while
-            # we waited for the model; counting it as a hit keeps
-            # hits + misses == requests exact under concurrency.  The
-            # LRU's own counters already saw this request once, so the
-            # re-check is uncounted there.
-            cached = self._cache.get(key, count=False)
-            if cached is not None:
-                self.metrics.increment("cache_hits")
-                return self._finish(self._cache_hit(cached))
-            self.metrics.increment("cache_misses")
+            self._batch_seq += 1
+            work: list[_Pending] = []
+            for p in pendings:
+                cached = self._cache.get(p.key, count=False)
+                if cached is not None:
+                    # Counted as a hit so hits + misses == requests
+                    # stays exact under concurrency; the LRU's own
+                    # counters saw this request once at admission, so
+                    # the re-check is uncounted there.
+                    self.metrics.increment("cache_hits")
+                    if p.future.set_running_or_notify_cancel():
+                        p.future.set_result(
+                            self._finish(self._cache_hit(cached)))
+                    continue
+                self.metrics.increment("cache_misses")
+                if p.future.set_running_or_notify_cancel():
+                    work.append(p)
+
+            leaders: dict[tuple, _Pending] = {}
+            followers: dict[tuple, list[_Pending]] = {}
+            for p in work:
+                if p.key in leaders:
+                    followers.setdefault(p.key, []).append(p)
+                    self.metrics.increment("deduplicated")
+                else:
+                    leaders[p.key] = p
+
+            served = self._serve_coalesced(list(leaders.values()))
+            for p in leaders.values():
+                if p.key not in served:
+                    self._serve_sequential(p)
+            for key, dupes in followers.items():
+                leader_future = leaders[key].future
+                for p in dupes:
+                    self._mirror(leader_future, p.future)
+
+    def _serve_coalesced(self, leaders: list[_Pending]) -> set:
+        """Run eligible leaders through the shared cohort kernels.
+
+        Returns the keys whose futures were resolved here; everything
+        else (ineligible batches, lanes the cohort dropped) belongs to
+        the sequential ladder, where retry/breaker/degradation
+        accounting lives.  Requires ≥2 live lanes — a singleton batch
+        gains nothing from the merged kernels and keeps low-load p50 on
+        the untouched sequential path.
+        """
+        served: set = set()
+        if (len(leaders) < 2
+                or not getattr(self.nlidb, "coalescible", False)
+                or self.breaker.state != BREAKER_CLOSED):
+            return served
+        lanes = [p for p in leaders if not p.deadline.expired()]
+        if len(lanes) < 2:
+            return served
+        try:
+            artifacts, stats = self.nlidb.cohort_artifacts(
+                [(list(p.request.question), p.request.table,
+                  p.request.beam_width) for p in lanes])
+        except ReproError:
+            self.metrics.increment("coalesce_fallbacks", len(lanes))
+            return served
+        self.metrics.increment("coalesced_batches")
+        info = BatchInfo(
+            self._batch_seq, len(lanes), 0,
+            kernel_walls={"annotate": stats.get("annotate_s", 0.0),
+                          "translate": stats.get("decode_s", 0.0)})
+        for lane, (p, seeded) in enumerate(zip(lanes, artifacts)):
+            if seeded is None:
+                self.metrics.increment("coalesce_fallbacks")
+                continue
+            timings: dict[str, float] = {}
+            trace = StageTrace()
+            try:
+                translation = self._run_pipeline(
+                    list(p.request.question), p.request.table,
+                    p.request.beam_width, None, mode="full",
+                    deadline=p.deadline, trace=trace, attempt=1,
+                    timings=timings, artifacts=seeded,
+                    batch=info.for_lane(lane))
+            except ReproError:
+                # Only the deadline can fire here (the model stages are
+                # pre-seeded; recovery reports errors in-band) — the
+                # sequential ladder turns it into the usual envelope.
+                self.metrics.increment("coalesce_fallbacks")
+                continue
+            except BaseException as exc:
+                p.future.set_exception(exc)
+                served.add(p.key)
+                continue
+            # A completed full-path run: same breaker/cache treatment
+            # as a sequential full-rung success.
+            self.breaker.record_success()
+            self.metrics.increment("coalesced_requests")
+            result = TranslationResult.from_translation(
+                translation, attempts=1, timings=timings,
+                trace=tuple(trace))
+            self._cache.put(p.key, translation)
+            p.future.set_result(self._finish(result))
+            served.add(p.key)
+        return served
+
+    def _serve_sequential(self, p: _Pending) -> None:
+        """One lane through the degradation ladder; resolves its future."""
+        try:
             result, cacheable = self._compute_resilient(
-                list(key[0]), table, beam_width, header_tokens, deadline)
+                list(p.request.question), p.request.table,
+                p.request.beam_width, None, p.deadline)
             if cacheable and result.translation is not None:
-                self._cache.put(key, result.translation)
-            return self._finish(result)
+                self._cache.put(p.key, result.translation)
+            p.future.set_result(self._finish(result))
+        except BaseException as exc:  # noqa: BLE001 — future must resolve
+            if not p.future.done():
+                p.future.set_exception(exc)
+
+    @staticmethod
+    def _mirror(source: Future, target: Future) -> None:
+        """Copy a resolved leader future onto a deduplicated follower.
+
+        Both futures entered RUNNING during the cache re-check, so the
+        leader's outcome (already resolved, same thread) just copies
+        over."""
+        exc = source.exception()
+        if exc is not None:
+            target.set_exception(exc)
+        else:
+            target.set_result(source.result())
+
+    def _fail_batch(self, pendings: list[_Pending],
+                    exc: BaseException) -> None:
+        """Last-resort resolution if the batch executor itself raised."""
+        for p in pendings:
+            if not p.future.done():
+                try:
+                    p.future.set_exception(exc)
+                except BaseException:
+                    pass
 
     @staticmethod
     def _cache_hit(cached: Translation) -> TranslationResult:
@@ -383,13 +584,19 @@ class TranslationService:
                       beam_width: int | None,
                       header_tokens: list[str] | None, *, mode: str,
                       deadline: Deadline, trace: StageTrace, attempt: int,
-                      timings: dict[str, float]) -> Translation:
+                      timings: dict[str, float],
+                      artifacts: dict | None = None,
+                      batch: BatchInfo | None = None) -> Translation:
         """Execute one pipeline variant over one fresh context.
 
         The context gets fresh artifacts (a retry must recompute) but
         shares the request-level ``trace``; this run's slice of it is
         absorbed into metrics and ``timings`` whether the run completed
-        or raised.
+        or raised.  A coalesced lane passes ``artifacts`` pre-seeded by
+        the shared kernels (the artifact-cache middleware marks those
+        stages ``cached``; only recovery runs live) and a ``batch``
+        identity stamped into every record by
+        :class:`BatchTraceMiddleware`.
         """
         # Caller holds the model lock (the substrate's grad-mode flag is
         # process-global, so inference must not interleave).
@@ -398,10 +605,15 @@ class TranslationService:
                                  beam_width=beam_width,
                                  header_tokens=header_tokens,
                                  deadline=deadline, trace=trace,
-                                 attempt=attempt)
+                                 attempt=attempt, artifacts=artifacts)
+        pipeline = self._pipelines[mode]
+        if batch is not None:
+            pipeline = self.nlidb.pipeline(
+                mode, middleware=(deadline_middleware,
+                                  BatchTraceMiddleware(batch)))
         mark = len(trace)
         try:
-            self._pipelines[mode].run(ctx)
+            pipeline.run(ctx)
         except ReproError as exc:
             if (getattr(exc, "stage", None) == "annotate"
                     and not isinstance(exc, DeadlineExceeded)):
@@ -437,19 +649,6 @@ class TranslationService:
                 # Accumulate across retries so a request's timings sum
                 # to its real pipeline time.
                 timings[name] = timings.get(name, 0.0) + record.wall_s
-
-    def _unwrap(self, result: TranslationResult) -> Translation:
-        """The deprecated ``raw=True`` contract: Translation-or-raise."""
-        warnings.warn(
-            "raw=True is deprecated: TranslationService returns "
-            "TranslationResult envelopes; use result.translation instead",
-            DeprecationWarning, stacklevel=3)
-        if result.translation is not None:
-            return result.translation
-        if result.exception is not None:
-            raise result.exception
-        message = (result.error or {}).get("message", "translation failed")
-        raise ServingError(message)
 
     def _resolve_width(self, beam_width: int | None) -> int | None:
         if beam_width is not None:

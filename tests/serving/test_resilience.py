@@ -218,7 +218,8 @@ class TestTranslationResultEnvelope:
         assert result.sql is None and result.translation is None
         assert result.error["type"] == "CircuitOpen"
         assert result.attempts == 2
-        assert result.exception is error
+        assert result.error["message"] == "open"
         payload = result.to_dict()
         json.dumps(payload)
+        assert payload["schema_version"] >= 2
         assert "exception" not in payload and "translation" not in payload

@@ -354,54 +354,86 @@ class TestServiceCache:
         assert stub.calls == 2
 
 
-class TestRawShim:
-    def test_raw_returns_bare_translation(self, stub_service):
-        with pytest.deprecated_call():
-            translation = stub_service.translate(QUESTION, make_table(),
-                                                 raw=True)
-        assert translation.query is not None
-        assert not isinstance(translation, TranslationResult)
+class TestSubmitAPI:
+    """The unified async entry point — and the removed ``raw`` shim."""
 
-    def test_raw_reraises_pipeline_errors(self, stub_service):
-        with pytest.deprecated_call():
-            with pytest.raises(ModelError):
-                stub_service.translate([], make_table(), raw=True)
+    def test_raw_kwarg_is_gone(self, stub_service):
+        # The deprecated pre-envelope escape hatch was removed outright;
+        # passing it is an ordinary TypeError, not a warning.
+        with pytest.raises(TypeError):
+            stub_service.translate(QUESTION, make_table(), raw=True)
+        with pytest.raises(TypeError):
+            stub_service.translate_batch([(QUESTION, make_table())],
+                                         raw=True)
 
-    def test_raw_batch(self, stub_service):
-        table = make_table()
-        with pytest.deprecated_call():
-            translations = stub_service.translate_batch(
-                [(QUESTION, table)] * 2, raw=True)
-        assert all(t.query is not None for t in translations)
-
-    def test_raw_returns_legacy_translation_type(self, stub_service):
-        # The shim's contract is the *pre-envelope* return type: a bare
-        # core Translation, complete with its staged fields.
-        from repro.core.nlidb import Translation
-        with pytest.deprecated_call():
-            translation = stub_service.translate(QUESTION, make_table(),
-                                                 raw=True)
-        assert isinstance(translation, Translation)
-        assert translation.annotated_tokens
-        assert translation.predicted_annotated_sql
-
-    def test_shim_signature_unchanged(self):
-        # Regression: the deprecation shim must not change the public
-        # signatures ("no call-site churn for one release").
+    def test_signatures(self):
         params = inspect.signature(TranslationService.translate).parameters
-        assert list(params) == ["self", "question", "table", "beam_width",
-                                "raw"]
-        assert params["raw"].kind is inspect.Parameter.KEYWORD_ONLY
-        assert params["raw"].default is False
+        assert list(params) == ["self", "question", "table", "beam_width"]
         batch_params = inspect.signature(
             TranslationService.translate_batch).parameters
-        assert list(batch_params) == ["self", "requests", "raw"]
-        assert batch_params["raw"].kind is inspect.Parameter.KEYWORD_ONLY
+        assert list(batch_params) == ["self", "requests"]
+        submit_params = inspect.signature(
+            TranslationService.submit).parameters
+        assert list(submit_params) == ["self", "request", "table",
+                                       "beam_width"]
 
-    def test_raw_warning_names_the_replacement(self, stub_service):
-        with pytest.warns(DeprecationWarning,
-                          match="result.translation"):
-            stub_service.translate(QUESTION, make_table(), raw=True)
+    def test_submit_returns_future_of_envelope(self, stub_service):
+        from concurrent.futures import Future
+        future = stub_service.submit(QUESTION, make_table())
+        assert isinstance(future, Future)
+        result = future.result(timeout=30)
+        assert isinstance(result, TranslationResult)
+        assert result.status == "ok"
+        assert result.sql == result.translation.query.to_sql()
+
+    def test_submit_accepts_every_request_form(self, stub_service, stub):
+        table = make_table()
+        forms = [
+            stub_service.submit(TranslationRequest(QUESTION, table)),
+            stub_service.submit((QUESTION, table)),
+            stub_service.submit(QUESTION, table),
+            stub_service.submit(QUESTION.split(), table),
+        ]
+        results = [f.result(timeout=30) for f in forms]
+        assert all(r.status == "ok" for r in results)
+        # All four normalize to one cache key: the model ran once.
+        assert stub.calls == 1
+
+    def test_submit_rejects_junk_immediately(self, stub_service):
+        with pytest.raises(ReproError):
+            stub_service.submit("just a string")
+        with pytest.raises(ReproError):
+            stub_service.submit(QUESTION, "not a table")
+
+    def test_warm_cache_resolves_without_queueing(self, stub_service):
+        table = make_table()
+        stub_service.translate(QUESTION, table)
+        queued_before = stub_service.scheduler.stats()["dispatched"]
+        future = stub_service.submit(QUESTION, table)
+        assert future.done()  # resolved synchronously at submission
+        assert future.result().cached
+        assert stub_service.scheduler.stats()["dispatched"] == queued_before
+
+    def test_pipeline_failure_resolves_the_future(self, stub_service):
+        # Model failures come back through the future as failed
+        # envelopes, exactly like translate(); the future never raises
+        # for them.
+        result = stub_service.submit([], make_table()).result(timeout=30)
+        assert result.status == "failed"
+        assert result.error["type"] == "ModelError"
+
+    def test_translate_is_submit_then_result(self, stub_service):
+        sync = stub_service.translate(QUESTION, make_table())
+        warm = stub_service.submit(QUESTION, make_table()).result(timeout=30)
+        assert warm.translation is sync.translation
+
+    def test_close_refuses_new_work_finishes_old(self, stub_service):
+        table = make_table()
+        first = stub_service.translate(QUESTION, table)
+        stub_service.close()
+        assert first.status == "ok"
+        with pytest.raises(ReproError):
+            stub_service.submit("other question ?", table)
 
 
 class TestServiceFailures:
@@ -483,7 +515,10 @@ class TestServiceBatch:
         stats = stub_service.stats()
         json.dumps(stats)
         assert {"counters", "gauges", "histograms", "cache", "breaker",
-                "policy"} <= set(stats)
+                "policy", "scheduler", "schema_version"} <= set(stats)
+        assert stats["schema_version"] >= 2
+        assert stats["scheduler"]["dispatched"] >= 1
+        assert stats["scheduler"]["policy"]["max_batch"] >= 1
         assert stats["cache"]["size"] == 1
         assert stats["breaker"]["state"] == "closed"
         assert stats["gauges"]["breaker_state"] == 0.0
