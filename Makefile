@@ -6,7 +6,8 @@ PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: check test test-faults test-pipeline test-eval lint bench-serving \
-	bench-inference bench-scheduler bench-robustness bench-smoke bench
+	bench-inference bench-scheduler bench-cluster bench-robustness \
+	bench-smoke bench
 
 # Tier-1: the full unit/integration/property suite.
 test:
@@ -56,6 +57,15 @@ bench-inference:
 bench-scheduler:
 	REPRO_BENCH_SCALE=smoke $(PYTHON) -m pytest benchmarks/bench_scheduler.py -q
 
+# Serving-cluster benchmark: 1/2/4-replica fleets under a seeded
+# mixed-tenant stream, consistent-hash vs random routing, plus the
+# admission-control overload probe.  Writes BENCH_cluster.json (QPS,
+# p50/p95/p99, rejection counts, per-replica schema-cache hit rates)
+# at the repo root; fails if sharded routing does not beat random on
+# schema-cache hit rate.
+bench-cluster:
+	REPRO_BENCH_SCALE=smoke $(PYTHON) -m pytest benchmarks/bench_cluster.py -q
+
 # Adversarial robustness + few-shot transfer benchmark: clean vs
 # attacked accuracy per ladder rung and K-shot curves on held-out
 # domains.  Writes the BENCH_robustness.json tracked-metric record at
@@ -69,7 +79,8 @@ bench-robustness:
 # CI-friendly alias: the smoke benchmarks — the fastest end-to-end
 # exercise of the serving path, the inference fast path, and the
 # robustness harness.
-bench-smoke: bench-serving bench-inference bench-scheduler bench-robustness
+bench-smoke: bench-serving bench-inference bench-scheduler bench-cluster \
+	bench-robustness
 
 # Full paper-table benchmark suite (slow; standard scale by default).
 bench:

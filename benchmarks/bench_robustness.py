@@ -8,7 +8,9 @@ not a pass/fail gate:
 * attack suite — clean accuracy and per-attack accuracy/robustness
   deltas for two ladder rungs: ``full_adversarial`` (the paper's
   pipeline) and ``matcher_only`` (the serving layer's degraded
-  context-free rung), over the four standard attack families;
+  context-free rung), over the five standard attack families
+  (paraphrase, value swap, distractor column, influence drop, and
+  character-level typo);
 * few-shot transfer — K ∈ {0, 5, 10, 25}-shot accuracy curves on two
   held-out domains, full rung only (degraded rungs are excluded from
   transfer by contract).

@@ -91,6 +91,19 @@ class CircuitOpen(ServingError):
     """The circuit breaker is open; the full pipeline was not attempted."""
 
 
+class Overloaded(ServingError):
+    """The cluster front door refused admission: the global in-flight
+    queue is at capacity.
+
+    Retryable by definition — the request was never attempted, so a
+    client that backs off and resubmits loses nothing.  The serving
+    layer resolves the caller's future with a structured ``"failed"``
+    envelope carrying this error rather than raising.
+    """
+
+    retryable = True
+
+
 def is_retryable(error: BaseException) -> bool:
     """Whether the retry policy may re-attempt after ``error``.
 

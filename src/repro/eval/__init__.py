@@ -6,9 +6,9 @@ package is the evaluation rung that measures both:
 
 * :mod:`repro.eval.attacks` — typed, seeded generators producing
   adversarial variants of evaluation questions (lexicon paraphrases,
-  counterfactual value swaps, distractor-column phrasings, and
+  counterfactual value swaps, distractor-column phrasings,
   influence-guided perturbations reusing the Section IV-C
-  ``compute_influence`` machinery);
+  ``compute_influence`` machinery, and character-level typos);
 * :mod:`repro.eval.validity` — the executor-backed admission gate: a
   variant only enters the suite if its gold query still executes to
   the gold denotation (invalid variants are counted and logged, never
@@ -27,6 +27,7 @@ from repro.eval.attacks import (
     DistractorColumnAttack,
     InfluenceAttack,
     ParaphraseAttack,
+    TypoAttack,
     ValueSwapAttack,
     generate_suite,
     standard_attacks,
@@ -43,7 +44,7 @@ from repro.eval.validity import (
 __all__ = [
     "Attack", "AttackVariant", "AttackSuite",
     "ParaphraseAttack", "ValueSwapAttack", "DistractorColumnAttack",
-    "InfluenceAttack", "standard_attacks", "generate_suite",
+    "InfluenceAttack", "TypoAttack", "standard_attacks", "generate_suite",
     "AdmittedVariant", "AdmissionReport", "admit_suite", "check_variant",
     "TransferPoint", "few_shot_curve", "curves_to_dict",
     "ModelRung", "score_suite", "build_report",

@@ -14,8 +14,9 @@ attack_index, example_index]``, so the same seed over the same corpus
 produces a byte-identical variant set — across runs, machines, and
 attack-object instances.
 
-The four families map onto the paper's question-understanding
-challenges (Section III) and the Section IV-C influence method; see
+The families map onto the paper's question-understanding challenges
+(Section III) and the Section IV-C influence method, plus a
+character-level typo family for surface-form robustness; see
 DESIGN.md §8 for the full mapping.
 """
 
@@ -36,8 +37,8 @@ from repro.core.mention.adversarial import compute_influence
 
 __all__ = [
     "AttackVariant", "Attack", "ParaphraseAttack", "ValueSwapAttack",
-    "DistractorColumnAttack", "InfluenceAttack", "AttackSuite",
-    "standard_attacks", "generate_suite",
+    "DistractorColumnAttack", "InfluenceAttack", "TypoAttack",
+    "AttackSuite", "standard_attacks", "generate_suite",
 ]
 
 #: Words that cue the aggregate or comparison operator of the gold SQL
@@ -298,18 +299,101 @@ class InfluenceAttack(Attack):
         return self._variant(example, tokens, note=note)
 
 
+class TypoAttack(Attack):
+    """Inject one character-level typo into a content word.
+
+    Users misspell; the paper's matcher-based mention resolution is
+    exact on surface forms, so a single edit-distance-1 typo in a
+    column mention is a realistic stressor for the classifier's
+    embedding-level robustness.  Three edit operations, chosen by the
+    per-pair RNG:
+
+    * ``swap`` — transpose two adjacent characters ("director" →
+      "driector");
+    * ``drop`` — delete one interior character ("director" →
+      "diretor");
+    * ``double`` — repeat one character ("director" → "dirrector").
+
+    Targets prefer tokens inside gold *column-mention* spans, falling
+    back to any alphabetic content word of length >= 4.  Value spans,
+    operator cues, and stop words are never touched, so the gold query
+    is preserved by construction; whether the typo'd question still
+    resolves is exactly what the downstream validity gate and accuracy
+    measurement decide.
+    """
+
+    name = "typo"
+
+    _MIN_LEN = 4
+
+    def _eligible(self, token: str) -> bool:
+        return (len(token) >= self._MIN_LEN and token.isalpha()
+                and not is_stop_word(token)
+                and token not in OPERATOR_CUES)
+
+    def _mutate(self, token: str, rng: np.random.Generator) -> str | None:
+        """One edit-distance-1 variant of ``token``, or ``None``.
+
+        Interior positions only (first/last characters anchor human
+        word recognition and the matchers' prefix behaviour), and the
+        result must actually differ (swapping "oo" is a no-op).
+        """
+        ops = ["swap", "drop", "double"]
+        rng.shuffle(ops)
+        positions = list(range(1, len(token) - 1))
+        for op in ops:
+            rng.shuffle(positions)
+            for i in positions:
+                if op == "swap":
+                    mutated = (token[:i] + token[i + 1] + token[i]
+                               + token[i + 2:]) if i + 2 < len(token) \
+                        else None
+                elif op == "drop":
+                    mutated = token[:i] + token[i + 1:]
+                else:
+                    mutated = token[:i] + token[i] + token[i:]
+                if mutated is not None and mutated != token:
+                    return mutated
+        return None
+
+    def perturb(self, example, rng):
+        tokens = list(example.question_tokens)
+        blocked = _value_positions(example)
+        column_positions = sorted(
+            {i for m in example.mentions if m.kind == "column"
+             for i in range(m.start, m.end)} - blocked)
+        candidates = [i for i in column_positions
+                      if self._eligible(tokens[i])]
+        if not candidates:
+            candidates = [i for i in range(len(tokens))
+                          if i not in blocked
+                          and self._eligible(tokens[i])]
+        rng.shuffle(candidates)
+        for position in candidates:
+            mutated = self._mutate(tokens[position], rng)
+            if mutated is None:
+                continue
+            note = f"{tokens[position]!r} -> {mutated!r} @ {position}"
+            tokens[position] = mutated
+            return self._variant(example, tokens, note=note)
+        return None
+
+
 def standard_attacks(classifier=None) -> list[Attack]:
-    """The four standard attack families, in canonical order.
+    """The standard attack families, in canonical order.
 
     ``classifier`` (a trained :class:`~repro.core.mention.
     column_classifier.ColumnMentionClassifier`) enables the
-    influence-guided family; without one the first three families are
-    returned.
+    influence-guided family; without one it is omitted.  New families
+    append at the *end* of the list: the suite's determinism contract
+    seeds each pair as ``[seed, attack_index, example_index]``, so a
+    mid-list insertion would silently re-seed every later family.
     """
     attacks: list[Attack] = [ParaphraseAttack(), ValueSwapAttack(),
                              DistractorColumnAttack()]
     if classifier is not None:
         attacks.append(InfluenceAttack(classifier))
+    attacks.append(TypoAttack())
     return attacks
 
 

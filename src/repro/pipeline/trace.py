@@ -21,9 +21,12 @@ __all__ = ["StageRecord", "StageTrace", "WIRE_SCHEMA_VERSION",
 #: ``serve-stats`` report).  Version 1 retroactively names the
 #: unversioned envelope shipped through PR 6; version 2 adds the
 #: explicit ``schema_version`` field, the ``Translation.to_dict`` view,
-#: and batch-identity labels in stage-trace details.  The full envelope
-#: shape is documented in DESIGN.md ("Wire schema").
-WIRE_SCHEMA_VERSION = 2
+#: and batch-identity labels in stage-trace details; version 3 adds the
+#: cluster routing fields — ``replica_id`` / ``shard_key`` on
+#: ``TranslationResult`` and the ``route`` stage record the cluster
+#: front door prepends to every served request's trace.  The full
+#: envelope shape is documented in DESIGN.md ("Wire schema").
+WIRE_SCHEMA_VERSION = 3
 
 #: The stage ran to completion.
 OUTCOME_OK = "ok"

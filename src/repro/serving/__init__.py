@@ -17,7 +17,17 @@ TranslationResult` envelope; see
 :mod:`repro.serving.faults` provides a deterministic fault-injection
 harness (:class:`FaultyNLIDB`) so every policy is testable without a
 flaky model.
+
+:mod:`repro.serving.cluster` scales the single service horizontally:
+:class:`~repro.serving.cluster.ClusterService` fronts N replicas with
+admission control (bounded in-flight queue, ``Overloaded`` rejection),
+consistent-hash routing on the table fingerprint
+(:class:`~repro.serving.router.RendezvousRouter`), breaker-derived
+per-replica health with failover, and zero-downtime blue/green model
+swaps with schema-cache warming.
 """
+
+from repro.serving.cluster import ClusterPolicy, ClusterService, Replica
 
 from repro.serving.faults import (
     FaultInjector,
@@ -47,6 +57,7 @@ from repro.serving.results import (
     TranslationResult,
     describe_error,
 )
+from repro.serving.router import RandomRouter, RendezvousRouter
 from repro.serving.scheduler import (
     MicroBatchScheduler,
     QueueClosed,
@@ -69,5 +80,7 @@ __all__ = [
     "FaultSpec", "FaultInjector", "FaultyNLIDB", "InjectedFault",
     "parse_fault_spec",
     "SchedulerPolicy", "MicroBatchScheduler", "QueueClosed",
+    "ClusterService", "ClusterPolicy", "Replica",
+    "RendezvousRouter", "RandomRouter",
     "MetricsRegistry", "table_fingerprint", "WIRE_SCHEMA_VERSION",
 ]

@@ -1,0 +1,164 @@
+"""Consistent-hash request routing for the serving cluster.
+
+The transfer-learnability framing of the paper means one deployment
+serves *many* tables (tenants); what makes a replica fast on a table is
+warm state keyed on that table's content fingerprint — the annotator's
+:class:`~repro.core.schema.SchemaEncoding` cache and the service's
+translation LRU.  Routing every request for a fingerprint to the same
+replica keeps those caches hot per shard instead of spraying cold
+misses across the fleet.
+
+:class:`RendezvousRouter` implements highest-random-weight (HRW /
+rendezvous) hashing: each ``(shard_key, replica_id)`` pair gets a
+stable 64-bit score from a keyed hash, and the replica with the
+highest score owns the key.  Rendezvous hashing has the two properties
+the cluster needs and unit tests pin:
+
+* **balance** — scores are uniform, so over many fingerprints every
+  replica owns ~1/N of the keyspace (no virtual-node tuning);
+* **minimal movement** — adding a replica only moves the keys the new
+  replica now wins (an expected 1/(N+1) fraction); removing one only
+  moves the keys it owned.  Everything else keeps its warm replica.
+
+:meth:`RendezvousRouter.ranked` returns *all* replicas in descending
+score order — the cluster's failover order: when the owner's breaker
+is open or it is draining during a blue/green swap, the request falls
+to the next-ranked replica, which is also the replica that would own
+the key if the owner left, so failover traffic lands where the keys
+would migrate anyway.
+
+:class:`RandomRouter` is the seeded control arm for the cluster
+benchmark: same interface, uniformly random placement, no key
+affinity.  ``BENCH_cluster.json``'s sharded-vs-random schema-cache
+comparison is the measured value of consistent hashing.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+
+import numpy as np
+
+__all__ = ["RendezvousRouter", "RandomRouter"]
+
+_SEPARATOR = b"\x00"
+
+
+def _score(shard_key: str, replica_id: str) -> int:
+    """Stable 64-bit HRW score of one (key, replica) pair.
+
+    blake2b is keyed per pair via length-delimited fields (so
+    ``("ab", "c")`` and ``("a", "bc")`` cannot collide) and is stable
+    across processes, unlike the salted built-in ``hash``.
+    """
+    digest = hashlib.blake2b(digest_size=8)
+    for part in (shard_key, replica_id):
+        data = part.encode("utf-8")
+        digest.update(str(len(data)).encode("ascii"))
+        digest.update(_SEPARATOR)
+        digest.update(data)
+    return int.from_bytes(digest.digest(), "big")
+
+
+class RendezvousRouter:
+    """Highest-random-weight router over a mutable replica set.
+
+    Thread-safe: membership changes and routing reads share one lock.
+    Replica ids are free-form non-empty strings; the cluster uses
+    stable shard ids (``"r0"``, ``"r1"``, …) that survive blue/green
+    swaps, so a swap never reshuffles the key → shard assignment.
+    """
+
+    def __init__(self, replica_ids):
+        ids = list(replica_ids)
+        if not ids:
+            raise ValueError("router needs at least one replica id")
+        if len(set(ids)) != len(ids):
+            raise ValueError(f"duplicate replica ids: {ids!r}")
+        if any(not rid for rid in ids):
+            raise ValueError("replica ids must be non-empty strings")
+        self._ids = ids
+        self._lock = threading.Lock()
+
+    @property
+    def replica_ids(self) -> list[str]:
+        with self._lock:
+            return list(self._ids)
+
+    def add(self, replica_id: str) -> None:
+        """Join one replica; only keys it now wins move to it."""
+        if not replica_id:
+            raise ValueError("replica id must be a non-empty string")
+        with self._lock:
+            if replica_id in self._ids:
+                raise ValueError(f"replica {replica_id!r} already routed")
+            self._ids.append(replica_id)
+
+    def remove(self, replica_id: str) -> None:
+        """Leave one replica; only the keys it owned move elsewhere."""
+        with self._lock:
+            if replica_id not in self._ids:
+                raise ValueError(f"replica {replica_id!r} not routed")
+            if len(self._ids) == 1:
+                raise ValueError("cannot remove the last replica")
+            self._ids.remove(replica_id)
+
+    def owner(self, shard_key: str) -> str:
+        """The replica owning ``shard_key`` (highest HRW score)."""
+        with self._lock:
+            return max(self._ids, key=lambda rid: _score(shard_key, rid))
+
+    def ranked(self, shard_key: str) -> list[str]:
+        """Every replica in descending score order (failover order)."""
+        with self._lock:
+            return sorted(self._ids, reverse=True,
+                          key=lambda rid: _score(shard_key, rid))
+
+    def snapshot(self) -> dict:
+        """JSON-ready router description for ``stats()`` blocks."""
+        with self._lock:
+            return {"kind": "rendezvous", "replicas": list(self._ids)}
+
+
+class RandomRouter:
+    """Seeded uniform placement: the benchmark's no-affinity control.
+
+    The interface matches :class:`RendezvousRouter`; ``ranked``
+    returns a fresh random permutation per call, so neither the owner
+    choice nor the failover order carries any key affinity.  Fully
+    deterministic for a given seed and call sequence.
+    """
+
+    def __init__(self, replica_ids, seed: int = 0):
+        ids = list(replica_ids)
+        if not ids:
+            raise ValueError("router needs at least one replica id")
+        self._ids = ids
+        self._rng = np.random.default_rng(seed)
+        self._lock = threading.Lock()
+
+    @property
+    def replica_ids(self) -> list[str]:
+        with self._lock:
+            return list(self._ids)
+
+    def add(self, replica_id: str) -> None:
+        with self._lock:
+            self._ids.append(replica_id)
+
+    def remove(self, replica_id: str) -> None:
+        with self._lock:
+            self._ids.remove(replica_id)
+
+    def owner(self, shard_key: str) -> str:
+        return self.ranked(shard_key)[0]
+
+    def ranked(self, shard_key: str) -> list[str]:
+        with self._lock:
+            order = self._rng.permutation(len(self._ids))
+            return [self._ids[int(i)] for i in order]
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {"kind": "random", "replicas": list(self._ids)}

@@ -148,6 +148,12 @@ class TranslationService:
         whenever the worker is free, capped at 16 lanes.
     sleep:
         Injectable sleep used for retry backoff.
+    model_lock:
+        Optional shared lock serializing model inference.  The numpy
+        substrate's grad-mode flag is *process*-global, so when several
+        services share one process (the cluster's worker replicas) they
+        must also share one model lock; a lone service defaults to its
+        own.
     """
 
     def __init__(self, nlidb: NLIDB, cache_size: int = DEFAULT_CACHE_SIZE,
@@ -155,7 +161,8 @@ class TranslationService:
                  policy: ResiliencePolicy | None = None,
                  breaker: CircuitBreaker | None = None,
                  scheduler_policy: SchedulerPolicy | None = None,
-                 sleep: Callable[[float], None] = time.sleep):
+                 sleep: Callable[[float], None] = time.sleep,
+                 model_lock: threading.Lock | None = None):
         if not getattr(nlidb, "_fitted", False):
             raise ModelError("TranslationService needs a fitted NLIDB")
         self.nlidb = nlidb
@@ -164,7 +171,7 @@ class TranslationService:
         self.breaker = breaker or CircuitBreaker.from_policy(self.policy)
         self._sleep = sleep
         self._cache = LRUCache(maxsize=cache_size)
-        self._model_lock = threading.Lock()
+        self._model_lock = model_lock or threading.Lock()
         self._batch_seq = 0
         self.scheduler: MicroBatchScheduler[_Pending] = MicroBatchScheduler(
             self._process_batch, policy=scheduler_policy,

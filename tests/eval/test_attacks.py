@@ -10,7 +10,9 @@ from __future__ import annotations
 
 from repro.eval import generate_suite, standard_attacks
 from repro.eval.attacks import OPERATOR_CUES
+from repro.text.edit_distance import levenshtein
 from repro.text.lexicon import synonym_group_of
+from repro.text.stopwords import is_stop_word
 from repro.text.tokenizer import tokenize
 
 from .conftest import SUITE_SEED
@@ -61,7 +63,7 @@ def test_prefix_corpus_reproduces_prefix_variants(nlidb, corpus,
 
 
 def test_every_pair_is_variant_or_skip(attack_suite, corpus):
-    assert len(attack_suite.skipped) == 4  # all four families ran
+    assert len(attack_suite.skipped) == 5  # all five families ran
     total = len(attack_suite.variants) + sum(attack_suite.skipped.values())
     assert total == len(attack_suite.skipped) * len(corpus)
     assert attack_suite.corpus_size == len(corpus)
@@ -123,3 +125,18 @@ def test_influence_drop_removes_one_unprotected_token(attack_suite):
         dropped = v.note.split("'")[1]
         assert dropped in v.origin_tokens
         assert dropped not in OPERATOR_CUES
+
+
+def test_typo_is_single_small_edit_on_content_word(attack_suite):
+    for v in _variants(attack_suite, "typo"):
+        assert v.preserves_query
+        diff = [(new, old) for new, old in zip(v.tokens, v.origin_tokens)
+                if new != old]
+        assert len(v.tokens) == len(v.origin_tokens)
+        assert len(diff) == 1, "exactly one token typo'd"
+        new, old = diff[0]
+        assert 1 <= levenshtein(new, old) <= 2  # swap counts as 2
+        assert old.isalpha() and len(old) >= 4
+        assert old not in OPERATOR_CUES and not is_stop_word(old)
+        # interior edit: word boundaries anchor recognition
+        assert new[0] == old[0] and new[-1] == old[-1]

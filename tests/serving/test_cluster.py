@@ -1,0 +1,338 @@
+"""Cluster front-door behaviour: admission, routing, failover, swap.
+
+The fast stub-translator tests pin the mechanics (shard affinity,
+``Overloaded`` envelopes, breaker/draining failover, v3 routing
+stamps); the trained-model test at the bottom is the tentpole's
+acceptance gate — a blue/green swap with requests in flight loses
+nothing and every answer is byte-identical to the direct pipeline.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.core import NLIDB, NLIDBConfig
+from repro.core.persistence import load_nlidb, save_nlidb
+from repro.errors import ModelError, Overloaded, ReproError
+from repro.serving import (
+    BREAKER_OPEN,
+    ClusterPolicy,
+    ClusterService,
+    RandomRouter,
+    TranslationResult,
+    table_fingerprint,
+)
+from repro.sqlengine import Column, DataType, Table
+from repro.text import WordEmbeddings
+
+EMB = WordEmbeddings(dim=16, seed=0)
+
+QUESTION = "which film has director tarkovsky ?"
+
+
+class StubTranslator:
+    """Deterministic translator standing in for the seq2seq model."""
+
+    def __init__(self, output=("select", "g1")):
+        self.output = list(output)
+
+        class _Config:
+            beam_width = 5
+        self.config = _Config()
+
+    def translate(self, source, header_tokens, extra_symbols=(),
+                  beam_width=None):
+        return list(self.output)
+
+
+def make_table(name="films", seed=0):
+    return Table(name, [Column("film"), Column("director"),
+                        Column("year", DataType.REAL)],
+                 [(f"solaris{seed}", "tarkovsky", 1972.0),
+                  (f"stalker{seed}", "tarkovsky", 1979.0)])
+
+
+def stub_model():
+    model = NLIDB(EMB, NLIDBConfig(), translator=StubTranslator())
+    model._fitted = True  # annotator runs matcher-only when untrained
+    return model
+
+
+@pytest.fixture
+def cluster():
+    service = ClusterService(stub_model(), n_replicas=3,
+                             policy=ClusterPolicy(max_in_flight=16))
+    yield service
+    service.close()
+
+
+TABLES = [make_table(f"films{i}", i) for i in range(8)]
+
+
+class TestConstruction:
+    def test_needs_fitted_models(self):
+        with pytest.raises(ModelError):
+            ClusterService(NLIDB(EMB, NLIDBConfig()), n_replicas=2)
+
+    def test_replica_count_must_match_model_list(self):
+        with pytest.raises(ValueError):
+            ClusterService([stub_model()], n_replicas=2)
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            ClusterPolicy(max_in_flight=0)
+        with pytest.raises(ValueError):
+            ClusterPolicy(tracked_tables=0)
+
+
+class TestRoutingAndStamps:
+    def test_same_table_always_lands_on_its_owner(self, cluster):
+        for table in TABLES:
+            owner = cluster.router.owner(table_fingerprint(table))
+            for _ in range(3):
+                result = cluster.translate(QUESTION, table)
+                assert result.status == "ok"
+                assert result.replica_id == owner
+
+    def test_v3_stamps_and_route_record(self, cluster):
+        table = TABLES[0]
+        result = cluster.translate(QUESTION, table)
+        assert result.shard_key == table_fingerprint(table)
+        record = result.trace[0]
+        assert record.stage == "route"
+        assert record.detail["replica_id"] == result.replica_id
+        assert record.detail["shard_key"] == result.shard_key
+        assert record.detail["failover"] is False
+        assert record.detail["color"] == "blue"
+        payload = result.to_dict()
+        assert payload["schema_version"] >= 3
+        assert payload["replica_id"] == result.replica_id
+        assert payload["shard_key"] == result.shard_key
+        # The wrapped service's own records follow the route record.
+        assert len(result.trace) > 1
+
+    def test_bare_service_results_are_unstamped(self, cluster):
+        replica = cluster.replicas[0]
+        direct = replica.service.translate(QUESTION, TABLES[0])
+        assert direct.replica_id is None and direct.shard_key is None
+
+    def test_batch_keeps_order_and_envelopes_bad_items(self, cluster):
+        items = [(QUESTION, TABLES[0], None), ("not a request",),
+                 (QUESTION, TABLES[2], None)]
+        results = cluster.translate_batch(items)
+        assert [r.status for r in results] == ["ok", "failed", "ok"]
+        assert results[1].error["type"] == "ReproError"
+        assert cluster.metrics.counter("bad_requests") == 1
+
+    def test_hot_tracker_feeds_warming(self, cluster):
+        table = TABLES[0]
+        for _ in range(5):
+            cluster.translate(QUESTION, table)
+        owner = cluster.router.owner(table_fingerprint(table))
+        replica = {r.replica_id: r for r in cluster.replicas}[owner]
+        hottest = replica.hottest(3)
+        assert hottest and hottest[0][0] == table_fingerprint(table)
+
+
+class TestAdmission:
+    def test_overload_resolves_with_structured_rejection(self):
+        service = ClusterService(stub_model(), n_replicas=2,
+                                 policy=ClusterPolicy(max_in_flight=1))
+        try:
+            futures = [service.submit(QUESTION, make_table(f"t{i}", i))
+                       for i in range(6)]
+            results = [f.result(timeout=10) for f in futures]
+        finally:
+            service.close()
+        rejected = [r for r in results if r.status == "failed"]
+        served = [r for r in results if r.status == "ok"]
+        assert served, "admitted requests must still serve"
+        assert rejected, "submitting past capacity must reject"
+        for result in rejected:
+            assert result.error["type"] == "Overloaded"
+            assert result.error["retryable"] is True
+            assert result.sql is None
+            assert result.shard_key is not None
+            assert result.trace[0].stage == "route"
+            assert result.trace[0].error == "Overloaded"
+        assert service.metrics.counter("rejections") == len(rejected)
+
+    def test_below_threshold_nothing_is_rejected(self, cluster):
+        futures = [cluster.submit(QUESTION, TABLES[i % len(TABLES)])
+                   for i in range(cluster.policy.max_in_flight)]
+        assert all(f.result(timeout=10).status == "ok" for f in futures)
+        assert cluster.metrics.counter("rejections") == 0
+
+    def test_in_flight_drains_back_to_zero(self, cluster):
+        for i in range(8):
+            cluster.translate(QUESTION, TABLES[i % len(TABLES)])
+        assert cluster.stats()["gauges"]["in_flight"] == 0.0
+
+    def test_malformed_request_raises_not_envelopes(self, cluster):
+        with pytest.raises(ReproError):
+            cluster.submit(("question with no table",))
+
+
+class TestFailover:
+    def _owner_replica(self, cluster, table):
+        owner = cluster.router.owner(table_fingerprint(table))
+        return {r.replica_id: r for r in cluster.replicas}[owner]
+
+    def test_draining_owner_fails_over_to_next_ranked(self, cluster):
+        table = TABLES[0]
+        owner = self._owner_replica(cluster, table)
+        owner.draining = True
+        result = cluster.translate(QUESTION, table)
+        ranked = cluster.router.ranked(table_fingerprint(table))
+        assert result.status == "ok"
+        assert result.replica_id == ranked[1]
+        assert result.trace[0].detail["failover"] is True
+        assert cluster.metrics.counter("failovers") == 1
+
+    def test_open_breaker_fails_over(self, cluster):
+        table = TABLES[0]
+        owner = self._owner_replica(cluster, table)
+        for _ in range(owner.service.breaker.failure_threshold):
+            owner.service.breaker.record_failure()
+        assert owner.service.breaker.state == BREAKER_OPEN
+        assert not owner.healthy()
+        result = cluster.translate(QUESTION, table)
+        assert result.status == "ok"
+        assert result.replica_id != owner.replica_id
+
+    def test_failover_disabled_sticks_with_owner(self):
+        service = ClusterService(
+            stub_model(), n_replicas=3,
+            policy=ClusterPolicy(max_in_flight=16, failover=False))
+        try:
+            table = TABLES[0]
+            owner = service.router.owner(table_fingerprint(table))
+            replica = {r.replica_id: r for r in service.replicas}[owner]
+            for _ in range(replica.service.breaker.failure_threshold):
+                replica.service.breaker.record_failure()
+            result = service.translate(QUESTION, table)
+            # The owner's own degradation ladder answers (context-free
+            # rung behind the open breaker), on the owner.
+            assert result.replica_id == owner
+            assert result.status == "degraded"
+        finally:
+            service.close()
+
+    def test_all_unhealthy_still_serves_on_owner(self, cluster):
+        table = TABLES[0]
+        for replica in cluster.replicas:
+            for _ in range(replica.service.breaker.failure_threshold):
+                replica.service.breaker.record_failure()
+        result = cluster.translate(QUESTION, table)
+        assert result.status == "degraded"
+        assert result.replica_id == \
+            cluster.router.ranked(table_fingerprint(table))[0]
+
+
+class TestRandomRouterControl:
+    def test_cluster_accepts_router_factory(self):
+        service = ClusterService(
+            stub_model(), n_replicas=3,
+            router_factory=lambda ids: RandomRouter(ids, seed=3))
+        try:
+            seen = {service.translate(QUESTION, TABLES[0]).replica_id
+                    for _ in range(12)}
+            assert len(seen) > 1, "random routing must spray one key"
+        finally:
+            service.close()
+
+
+class TestStats:
+    def test_stats_shape(self, cluster):
+        cluster.translate(QUESTION, TABLES[0])
+        stats = cluster.stats()
+        assert stats["schema_version"] >= 3
+        assert stats["generation"] == 0 and stats["color"] == "blue"
+        assert stats["router"]["kind"] == "rendezvous"
+        assert set(stats["replicas"]) == {"r0", "r1", "r2"}
+        for replica in stats["replicas"].values():
+            assert replica["healthy"] is True
+            assert "scheduler" in replica["service"]
+            assert "schema_cache" in replica["service"]
+        assert stats["policy"]["max_in_flight"] == 16
+
+    def test_served_counters_partition_requests(self, cluster):
+        for i in range(6):
+            cluster.translate(QUESTION, TABLES[i])
+        counters = cluster.metrics
+        assert counters.counter("requests") == 6
+        assert counters.counter("served_ok") \
+            + counters.counter("served_degraded") \
+            + counters.counter("served_failed") \
+            + counters.counter("rejections") == 6
+
+
+class TestSwapMechanics:
+    def test_swap_flips_color_and_drains_old_set(self, cluster):
+        old = cluster.replicas
+        summary = cluster.swap(stub_model())
+        assert summary["generation"] == 1 and summary["color"] == "green"
+        assert summary["drained"] == 3
+        assert all(r.draining for r in old)
+        assert all(not r.draining for r in cluster.replicas)
+        # Same shard ids: the router assignment never reshuffles.
+        assert [r.replica_id for r in cluster.replicas] \
+            == [r.replica_id for r in old]
+        result = cluster.translate(QUESTION, TABLES[0])
+        assert result.status == "ok"
+        assert result.trace[0].detail["color"] == "green"
+
+    def test_swap_model_count_must_match(self, cluster):
+        with pytest.raises(ValueError):
+            cluster.swap([stub_model()])
+
+    def test_double_swap_returns_to_blue(self, cluster):
+        cluster.swap(stub_model())
+        cluster.swap(stub_model())
+        assert cluster.color == "blue"
+        assert cluster.translate(QUESTION, TABLES[0]).status == "ok"
+
+
+class TestSwapDifferential:
+    """Tentpole acceptance: zero loss, byte-identical SQL mid-swap."""
+
+    def test_swap_under_load_loses_nothing(self, nlidb, corpus,
+                                           direct_translations, tmp_path):
+        save_nlidb(nlidb, tmp_path / "next")
+        standby_model = load_nlidb(tmp_path / "next")
+        cluster = ClusterService(
+            nlidb, n_replicas=2,
+            policy=ClusterPolicy(max_in_flight=len(corpus) + 8))
+        try:
+            # Warm the hot-table trackers so the swap has something to
+            # warm the standby schema caches from.
+            for example in corpus[:6]:
+                cluster.translate(example.question_tokens, example.table)
+
+            half = len(corpus) // 2
+            futures = [cluster.submit(e.question_tokens, e.table)
+                       for e in corpus[:half]]
+            summary = cluster.swap(standby_model)
+            futures += [cluster.submit(e.question_tokens, e.table)
+                        for e in corpus[half:]]
+            results = [f.result(timeout=120) for f in futures]
+        finally:
+            cluster.close()
+
+        assert summary["generation"] == 1
+        assert summary["warmed_fingerprints"] > 0
+        assert len(results) == len(corpus)  # zero requests lost
+        for result, reference in zip(results, direct_translations):
+            assert isinstance(result, TranslationResult)
+            assert result.status != "degraded"
+            assert result.replica_id in {"r0", "r1"}
+            if reference.query is None:
+                assert result.sql is None
+            else:
+                assert result.sql == reference.query.to_sql(), \
+                    "mid-swap answer must be byte-identical to direct"
+        # Both generations served: some before the switch, some after.
+        colors = {r.trace[0].detail["color"] for r in results}
+        assert colors == {"blue", "green"}
