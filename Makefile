@@ -7,7 +7,7 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: check test test-faults test-pipeline test-eval lint bench-serving \
 	bench-inference bench-scheduler bench-cluster bench-robustness \
-	bench-smoke bench
+	bench-accuracy bench-smoke bench
 
 # Tier-1: the full unit/integration/property suite.
 test:
@@ -76,11 +76,22 @@ bench-robustness:
 	REPRO_BENCH_SCALE=smoke PYTHONHASHSEED=0 \
 		$(PYTHON) -m pytest benchmarks/bench_robustness.py -q
 
+# Extended-grammar accuracy benchmark: trains the headline model with
+# the extended output grammar on the role-typed corpus and reports
+# overall plus per-sketch-family accuracy (filter/count/aggregate/
+# range/topn/group_agg/negation/disjunction) and the legacy-subset
+# parity section.  Writes the BENCH_accuracy.json tracked-metric
+# record at the repo root.  PYTHONHASHSEED pinned for the same reason
+# as bench-robustness: training is hash-iteration-order sensitive.
+bench-accuracy:
+	REPRO_BENCH_SCALE=smoke PYTHONHASHSEED=0 \
+		$(PYTHON) -m pytest benchmarks/bench_accuracy.py -q
+
 # CI-friendly alias: the smoke benchmarks — the fastest end-to-end
 # exercise of the serving path, the inference fast path, and the
 # robustness harness.
 bench-smoke: bench-serving bench-inference bench-scheduler bench-cluster \
-	bench-robustness
+	bench-robustness bench-accuracy
 
 # Full paper-table benchmark suite (slow; standard scale by default).
 bench:

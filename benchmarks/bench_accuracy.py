@@ -1,0 +1,124 @@
+"""Per-sketch accuracy benchmark over the extended SQL grammar.
+
+Trains the headline model with ``extended_grammar=True`` on the
+role-typed corpus (all eight intent families: filter, count, aggregate,
+range, top-N, group-aggregate, negation, disjunction) and writes one
+``BENCH_accuracy.json`` record at the repo root — a *tracked metric*
+artifact (uploaded by CI next to ``BENCH_robustness.json``), not a
+pass/fail gate:
+
+* overall Acc_lf / Acc_qm / Acc_ex on the dev slice;
+* the same accuracies broken out per sketch family via
+  :func:`repro.core.evaluate_by_sketch`;
+* a legacy-parity section: the breakout restricted to old-sketch
+  (``sketch_compatible``) examples, plus a byte-identity gate asserting
+  every legacy gold query's SQL rendering round-trips unchanged through
+  the extended parser.
+
+Model training depends on hash iteration order, so ``make
+bench-accuracy`` pins ``PYTHONHASHSEED=0`` — under it the record
+reproduces byte-for-byte at a given scale.
+"""
+
+from __future__ import annotations
+
+import json
+from functools import lru_cache
+from pathlib import Path
+
+import common as C
+from repro.core import evaluate, evaluate_by_sketch, sketch_label
+from repro.sqlengine import parse_sql
+
+SEED = 13
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_accuracy.json"
+
+#: Accumulated across the module's tests; rewritten after each one so a
+#: partial run still leaves a valid JSON artifact.
+RECORD: dict = {"scale": None, "seed": SEED}
+
+
+def _write_record() -> None:
+    RECORD["scale"] = "standard" if C.strict_shape() else "smoke"
+    RESULT_PATH.write_text(json.dumps(RECORD, indent=2, sort_keys=True) + "\n")
+
+
+def _eval_slice():
+    return C.role_typed_dataset().dev[:C.scale().eval_limit]
+
+
+@lru_cache(maxsize=1)
+def _translations():
+    model = C.extended_nlidb()
+    return [model.translate(e.question_tokens, e.table)
+            for e in _eval_slice()]
+
+
+def _result_dict(result) -> dict:
+    return {"acc_lf": result.acc_lf, "acc_qm": result.acc_qm,
+            "acc_ex": result.acc_ex, "n": result.n}
+
+
+def test_per_sketch_accuracy(benchmark):
+    examples = _eval_slice()
+    translations = benchmark.pedantic(_translations, rounds=1, iterations=1)
+    predictions = [t.query for t in translations]
+
+    overall = evaluate(predictions, examples)
+    by_sketch = evaluate_by_sketch(predictions, examples)
+    train = C.role_typed_dataset().train
+    RECORD["overall"] = _result_dict(overall)
+    RECORD["by_sketch"] = {label: _result_dict(r)
+                           for label, r in by_sketch.items()}
+    RECORD["corpus"] = {
+        "train": len(train),
+        "eval": len(examples),
+        "train_extended_fraction":
+            sum(not e.sketch_compatible for e in train) / len(train),
+    }
+    _write_record()
+
+    C.print_header("Extended grammar — per-sketch accuracy (dev)")
+    C.print_row("overall", overall.as_row())
+    for label, result in by_sketch.items():
+        C.print_row(f"  {label}", result.as_row())
+
+    # Structural floors only — the accuracies themselves are tracked
+    # metrics, not gates.
+    assert overall.n == len(examples) >= 1
+    assert sum(r.n for r in by_sketch.values()) == overall.n
+    train_labels = {sketch_label(e.query) for e in train}
+    assert {"filter", "count", "aggregate", "range", "topn", "group_agg",
+            "negation", "disjunction"} <= train_labels
+    assert 0.0 < RECORD["corpus"]["train_extended_fraction"] < 1.0
+
+
+def test_legacy_subset_parity():
+    examples = _eval_slice()
+    predictions = [t.query for t in _translations()]
+    legacy = [(p, e) for p, e in zip(predictions, examples)
+              if e.sketch_compatible]
+    legacy_preds = [p for p, _ in legacy]
+    legacy_examples = [e for _, e in legacy]
+
+    result = evaluate(legacy_preds, legacy_examples)
+    RECORD["legacy_subset"] = _result_dict(result)
+    RECORD["legacy_subset"]["by_sketch"] = {
+        label: _result_dict(r)
+        for label, r in evaluate_by_sketch(legacy_preds,
+                                           legacy_examples).items()}
+    _write_record()
+
+    C.print_header("Extended grammar — legacy (old-sketch) subset")
+    C.print_row("legacy subset", result.as_row())
+
+    assert result.n >= 1
+    # Byte-identity gate: the extended parser must render every legacy
+    # gold query back to the exact same SQL string.
+    for example in legacy_examples:
+        sql = example.query.to_sql()
+        assert parse_sql(sql).to_sql() == sql
+        assert parse_sql(sql) == example.query
+    # Legacy labels only on the legacy subset.
+    labels = set(RECORD["legacy_subset"]["by_sketch"])
+    assert labels <= {"filter", "count", "aggregate", "range"}

@@ -25,12 +25,14 @@ from repro.data import (
     generate_heldout,
     generate_overnight,
     generate_paraphrase_bench,
+    generate_role_typed,
     generate_wikisql_style,
 )
 from repro.text import WordEmbeddings
 
 __all__ = [
     "scale", "embeddings", "dataset", "full_nlidb", "ablation_nlidb",
+    "role_typed_dataset", "extended_nlidb",
     "baseline_model", "predictions", "eval_split", "overnight_data",
     "paraphrase_data", "heldout_data", "transfer_model_factory",
     "print_header", "print_row", "PAPER",
@@ -117,6 +119,23 @@ def full_nlidb() -> NLIDB:
     """The headline model (Annotated Seq2seq, all components on)."""
     model = NLIDB(embeddings(), _base_config())
     model.fit(dataset().train)
+    return model
+
+
+@lru_cache(maxsize=1)
+def role_typed_dataset():
+    """Role-typed corpus over the extended SQL sketch (all 8 intents)."""
+    s = scale()
+    return generate_role_typed(seed=0, train_size=s.train_size,
+                               dev_size=s.dev_size, test_size=s.test_size)
+
+
+@lru_cache(maxsize=1)
+def extended_nlidb() -> NLIDB:
+    """Headline model with the extended output grammar, trained on the
+    role-typed corpus (backs ``bench_accuracy.py``)."""
+    model = NLIDB(embeddings(), _base_config(extended_grammar=True))
+    model.fit(role_typed_dataset().train)
     return model
 
 

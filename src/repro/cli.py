@@ -22,11 +22,12 @@ import argparse
 import json
 import sys
 
-from repro.core import NLIDB, NLIDBConfig, evaluate
+from repro.core import NLIDB, NLIDBConfig, evaluate, evaluate_by_sketch
 from repro.core.persistence import load_nlidb, save_nlidb
 from repro.core.seq2seq.model import Seq2SeqConfig
 from repro.data import (
     generate_heldout,
+    generate_role_typed,
     generate_wikisql_style,
     load_jsonl,
     save_jsonl,
@@ -59,6 +60,11 @@ def build_parser() -> argparse.ArgumentParser:
     gen.add_argument("--seed", type=int, default=0)
     gen.add_argument("--split", choices=["train", "dev", "test"],
                      default="train")
+    gen.add_argument("--role-typed", action="store_true",
+                     help="use the role-matched intent generators "
+                          "(extended SQL sketch: ORDER BY/LIMIT, "
+                          "GROUP BY/HAVING, OR, NOT) instead of the "
+                          "legacy per-domain templates")
 
     train = sub.add_parser("train", help="train an NLIDB")
     train.add_argument("--data", required=True)
@@ -67,11 +73,17 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--classifier-epochs", type=int, default=3)
     train.add_argument("--seq2seq-epochs", type=int, default=10)
     train.add_argument("--embedding-dim", type=int, default=32)
+    train.add_argument("--extended", action="store_true",
+                       help="enable the extended SQL sketch in the "
+                            "translator's output grammar")
     train.add_argument("--quiet", action="store_true")
 
     ev = sub.add_parser("evaluate", help="score a model on a dataset")
     ev.add_argument("--data", required=True)
     ev.add_argument("--model-dir", required=True)
+    ev.add_argument("--by-sketch", action="store_true",
+                    help="additionally break accuracies out per sketch "
+                         "family (filter/count/.../topn/group_agg)")
 
     query = sub.add_parser("query", help="translate one question")
     query.add_argument("--model-dir", required=True)
@@ -153,7 +165,9 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_generate(args) -> int:
-    dataset = generate_wikisql_style(
+    generator = generate_role_typed if args.role_typed \
+        else generate_wikisql_style
+    dataset = generator(
         seed=args.seed,
         train_size=args.size if args.split == "train" else 0,
         dev_size=args.size if args.split == "dev" else 0,
@@ -167,6 +181,7 @@ def _cmd_generate(args) -> int:
 def _cmd_train(args) -> int:
     examples = load_jsonl(args.data)
     config = NLIDBConfig(
+        extended_grammar=args.extended,
         classifier_epochs=args.classifier_epochs,
         seq2seq_epochs=args.seq2seq_epochs,
         seq2seq=Seq2SeqConfig(hidden=args.hidden,
@@ -185,6 +200,10 @@ def _cmd_evaluate(args) -> int:
                    for e in examples]
     result = evaluate(predictions, examples)
     print(result.as_row())
+    if args.by_sketch:
+        for label, breakout in evaluate_by_sketch(predictions,
+                                                  examples).items():
+            print(f"  {label:<12} {breakout.as_row()}")
     return 0
 
 

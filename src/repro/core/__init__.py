@@ -13,7 +13,9 @@ from repro.core.metrics import (
     EvalResult,
     annotated_match,
     evaluate,
+    evaluate_by_sketch,
     mention_detection_accuracy,
+    sketch_label,
 )
 from repro.core.metadata import MinedPhrase, build_knowledge_base, mine_column_phrases
 from repro.core.nlidb import NLIDB, NLIDBConfig, Translation
@@ -31,4 +33,5 @@ __all__ = [
     "MinedPhrase", "mine_column_phrases", "build_knowledge_base",
     "AnnotatedSeq2Seq", "Seq2SeqConfig", "TrainingPair",
     "EvalResult", "evaluate", "mention_detection_accuracy", "annotated_match",
+    "sketch_label", "evaluate_by_sketch",
 ]

@@ -20,7 +20,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.errors import AnnotationError
-from repro.sqlengine import Aggregate, Condition, Operator, Query, Table
+from repro.sqlengine import (Aggregate, And, Condition, Having, Not, Operator,
+                             Or, OrderBy, Query, SortDirection, Table)
 from repro.text import tokenize
 from repro.text.dependency import parse_dependency
 
@@ -34,6 +35,14 @@ __all__ = [
 
 _AGG_TOKENS = {"max", "min", "count", "sum", "avg"}
 _OP_TOKENS = {"=", ">", "<"}
+# Tokens that only the extended grammar emits; their presence routes
+# recovery through the extended parser, their absence keeps the legacy
+# scan byte-identical.
+_CLAUSE_TOKENS = {"group", "having", "order", "limit"}
+_EXTENDED_MARKERS = {"or", "not", "(", ")"} | _CLAUSE_TOKENS
+# Rendering precedence for the WHERE tree (must mirror ast._render_where
+# so recover(build(q)) round-trips): OR < AND < NOT < leaf.
+_PREC_OR, _PREC_AND, _PREC_NOT = 1, 2, 3
 
 
 @dataclass(frozen=True)
@@ -182,7 +191,11 @@ def build_annotated_sql(annotation: AnnotatedQuestion, query: Query,
         tokens.append(query.aggregate.value.lower())
     tokens.extend(_column_tokens(annotation, query.select_column,
                                  header_encoding))
-    if query.conditions:
+    if query.where is not None:
+        tokens.append("where")
+        tokens.extend(_where_expr_tokens(annotation, query.where,
+                                         header_encoding))
+    elif query.conditions:
         tokens.append("where")
         for i, cond in enumerate(query.conditions):
             if i:
@@ -191,7 +204,50 @@ def build_annotated_sql(annotation: AnnotatedQuestion, query: Query,
                                          header_encoding))
             tokens.append(cond.operator.value)
             tokens.extend(_value_tokens(annotation, cond))
+    if query.group_by is not None:
+        tokens.extend(["group", "by"])
+        tokens.extend(_column_tokens(annotation, query.group_by,
+                                     header_encoding))
+    if query.having is not None:
+        tokens.append("having")
+        tokens.append(query.having.aggregate.value.lower())
+        tokens.extend(_column_tokens(annotation, query.having.column,
+                                     header_encoding))
+        tokens.append(query.having.operator.value)
+        tokens.extend(tokenize(str(query.having.value)))
+    if query.order_by is not None:
+        tokens.extend(["order", "by"])
+        tokens.extend(_column_tokens(annotation, query.order_by.column,
+                                     header_encoding))
+        tokens.append(query.order_by.direction.value.lower())
+    if query.limit is not None:
+        tokens.extend(["limit", str(query.limit)])
     return tokens
+
+
+def _where_expr_tokens(annotation: AnnotatedQuestion, expr,
+                       header_encoding: bool,
+                       parent_prec: int = 0) -> list[str]:
+    """Annotated tokens of a WHERE tree, parenthesized like ``to_sql``."""
+    if isinstance(expr, Condition):
+        out = _column_tokens(annotation, expr.column, header_encoding)
+        out = out + [expr.operator.value]
+        out += _value_tokens(annotation, expr, any_match=True)
+        return out
+    if isinstance(expr, Not):
+        out = ["not"] + _where_expr_tokens(annotation, expr.operand,
+                                           header_encoding, _PREC_NOT)
+        prec = _PREC_NOT
+    else:
+        joiner = "and" if isinstance(expr, And) else "or"
+        prec = _PREC_AND if isinstance(expr, And) else _PREC_OR
+        out = []
+        for i, item in enumerate(expr.items):
+            if i:
+                out.append(joiner)
+            out.extend(_where_expr_tokens(annotation, item,
+                                          header_encoding, prec))
+    return ["("] + out + [")"] if prec < parent_prec else out
 
 
 def _column_tokens(annotation: AnnotatedQuestion, column: str,
@@ -206,11 +262,25 @@ def _column_tokens(annotation: AnnotatedQuestion, column: str,
     return tokenize(column)
 
 
-def _value_tokens(annotation: AnnotatedQuestion, cond: Condition) -> list[str]:
+def _value_tokens(annotation: AnnotatedQuestion, cond: Condition,
+                  any_match: bool = False) -> list[str]:
     value_surface = tokenize(str(cond.value))
     ann = annotation.value_annotation(cond.column)
     if ann is not None and tokenize(ann.surface) == value_surface:
         return [f"v{ann.index}"]
+    if any_match:
+        # Extended trees can reference two values of one column (range,
+        # disjunction); match any annotation, not just the first — but
+        # only when the symbol resolves back to this surface (value
+        # indices pair with the column index, so a second value of the
+        # same column shares its symbol and must stay literal for
+        # recovery to be unambiguous).
+        for other in annotation.values:
+            if (other.column.lower() == cond.column.lower()
+                    and tokenize(other.surface) == value_surface
+                    and tokenize(annotation.value_for_symbol(
+                        f"v{other.index}")) == value_surface):
+                return [f"v{other.index}"]
     return value_surface
 
 
@@ -222,11 +292,15 @@ def _value_tokens(annotation: AnnotatedQuestion, cond: Condition) -> list[str]:
 def recover_sql(tokens: list[str], annotation: AnnotatedQuestion) -> Query:
     """Convert a predicted ``sᵃ`` token sequence back to a real query.
 
-    Raises :class:`AnnotationError` if the sequence does not follow the
-    WikiSQL sketch grammar.
+    Sequences without extended-grammar markers take the legacy WikiSQL
+    scan unchanged; markers (``or``/``not``/parens/clause keywords)
+    route through the extended parser.  Raises
+    :class:`AnnotationError` if the sequence follows neither grammar.
     """
     if not tokens or tokens[0] != "select":
         raise AnnotationError(f"annotated SQL must start with 'select': {tokens}")
+    if any(t in _EXTENDED_MARKERS for t in tokens):
+        return _recover_extended(tokens, annotation)
     pos = 1
     aggregate = Aggregate.NONE
     if pos < len(tokens) and tokens[pos] in _AGG_TOKENS:
@@ -255,6 +329,128 @@ def recover_sql(tokens: list[str], annotation: AnnotatedQuestion) -> Query:
                 _resolve_value(val_tokens, annotation)))
     return Query(select_column=select_column, aggregate=aggregate,
                  conditions=conditions)
+
+
+def _recover_extended(tokens: list[str],
+                      annotation: AnnotatedQuestion) -> Query:
+    """Extended-grammar recovery, mirroring ``parser.parse_sql``."""
+    pos = 1  # 'select' already checked
+    aggregate = Aggregate.NONE
+    if pos < len(tokens) and tokens[pos] in _AGG_TOKENS:
+        aggregate = Aggregate.from_token(tokens[pos])
+        pos += 1
+
+    select_stops = {"where"} | _CLAUSE_TOKENS
+    select_tokens, pos = _take_until(tokens, pos, select_stops)
+    select_column = _resolve_column(select_tokens, annotation)
+
+    where_expr = None
+    if pos < len(tokens) and tokens[pos] == "where":
+        pos += 1
+        where_expr, pos = _recover_or_expr(tokens, pos, annotation)
+
+    group_by = None
+    if pos < len(tokens) and tokens[pos] == "group":
+        pos += 1
+        if pos >= len(tokens) or tokens[pos] != "by":
+            raise AnnotationError("GROUP must be followed by BY")
+        pos += 1
+        col_tokens, pos = _take_until(tokens, pos,
+                                      {"having", "order", "limit"})
+        group_by = _resolve_column(col_tokens, annotation)
+
+    having = None
+    if pos < len(tokens) and tokens[pos] == "having":
+        pos += 1
+        if pos >= len(tokens) or tokens[pos] not in _AGG_TOKENS:
+            raise AnnotationError("HAVING must start with an aggregate")
+        having_agg = Aggregate.from_token(tokens[pos])
+        pos += 1
+        col_tokens, pos = _take_until(tokens, pos, _OP_TOKENS)
+        if pos >= len(tokens):
+            raise AnnotationError("HAVING condition missing operator")
+        having_op = Operator.from_token(tokens[pos])
+        pos += 1
+        val_tokens, pos = _take_until(tokens, pos, {"order", "limit"})
+        having = Having(having_agg, _resolve_column(col_tokens, annotation),
+                        having_op, _resolve_value(val_tokens, annotation))
+
+    order_by = None
+    if pos < len(tokens) and tokens[pos] == "order":
+        pos += 1
+        if pos >= len(tokens) or tokens[pos] != "by":
+            raise AnnotationError("ORDER must be followed by BY")
+        pos += 1
+        col_tokens, pos = _take_until(tokens, pos,
+                                      {"asc", "desc", "limit"})
+        direction = SortDirection.ASC
+        if pos < len(tokens) and tokens[pos] in ("asc", "desc"):
+            direction = SortDirection.from_token(tokens[pos])
+            pos += 1
+        order_by = OrderBy(_resolve_column(col_tokens, annotation), direction)
+
+    limit = None
+    if pos < len(tokens) and tokens[pos] == "limit":
+        pos += 1
+        if pos >= len(tokens):
+            raise AnnotationError("LIMIT missing its value")
+        value = _resolve_value([tokens[pos]], annotation)
+        pos += 1
+        if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+            raise AnnotationError(f"LIMIT must be a non-negative integer, "
+                                  f"got {value!r}")
+        limit = value
+
+    if pos < len(tokens):
+        raise AnnotationError(
+            f"trailing tokens after query: {tokens[pos:]!r}")
+    return Query(select_column=select_column, aggregate=aggregate,
+                 where=where_expr, group_by=group_by, having=having,
+                 order_by=order_by, limit=limit)
+
+
+def _recover_or_expr(tokens: list[str], pos: int,
+                     annotation: AnnotatedQuestion):
+    expr, pos = _recover_and_expr(tokens, pos, annotation)
+    items = [expr]
+    while pos < len(tokens) and tokens[pos] == "or":
+        item, pos = _recover_and_expr(tokens, pos + 1, annotation)
+        items.append(item)
+    return (items[0] if len(items) == 1 else Or(tuple(items))), pos
+
+
+def _recover_and_expr(tokens: list[str], pos: int,
+                      annotation: AnnotatedQuestion):
+    expr, pos = _recover_unary(tokens, pos, annotation)
+    items = [expr]
+    while pos < len(tokens) and tokens[pos] == "and":
+        item, pos = _recover_unary(tokens, pos + 1, annotation)
+        items.append(item)
+    return (items[0] if len(items) == 1 else And(tuple(items))), pos
+
+
+def _recover_unary(tokens: list[str], pos: int,
+                   annotation: AnnotatedQuestion):
+    if pos >= len(tokens):
+        raise AnnotationError("WHERE clause ends unexpectedly")
+    if tokens[pos] == "not":
+        operand, pos = _recover_unary(tokens, pos + 1, annotation)
+        return Not(operand), pos
+    if tokens[pos] == "(":
+        expr, pos = _recover_or_expr(tokens, pos + 1, annotation)
+        if pos >= len(tokens) or tokens[pos] != ")":
+            raise AnnotationError("unbalanced '(' in WHERE clause")
+        return expr, pos + 1
+    col_stops = _OP_TOKENS | {"and", "or", "(", ")"} | _CLAUSE_TOKENS
+    col_tokens, pos = _take_until(tokens, pos, col_stops)
+    if pos >= len(tokens) or tokens[pos] not in _OP_TOKENS:
+        raise AnnotationError("condition missing operator")
+    operator = Operator.from_token(tokens[pos])
+    pos += 1
+    val_stops = {"and", "or", ")"} | _CLAUSE_TOKENS
+    val_tokens, pos = _take_until(tokens, pos, val_stops)
+    return Condition(_resolve_column(col_tokens, annotation), operator,
+                     _resolve_value(val_tokens, annotation)), pos
 
 
 def _take_until(tokens: list[str], pos: int,

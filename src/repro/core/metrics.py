@@ -20,10 +20,18 @@ from dataclasses import dataclass
 
 from repro.data.records import Example
 from repro.errors import SQLExecutionError
-from repro.sqlengine import Query, execute, results_equal
+from repro.sqlengine import (
+    Aggregate,
+    Not,
+    Operator,
+    Or,
+    Query,
+    execute,
+    results_equal,
+)
 
 __all__ = ["EvalResult", "evaluate", "mention_detection_accuracy",
-           "annotated_match"]
+           "annotated_match", "sketch_label", "evaluate_by_sketch"]
 
 
 @dataclass
@@ -70,6 +78,62 @@ def evaluate(predictions: list[Query | None],
             ex += 1
     n = len(examples)
     return EvalResult(lf / n, qm / n, ex / n, n)
+
+
+def _contains_node(expr, node_type) -> bool:
+    if isinstance(expr, node_type):
+        return True
+    if isinstance(expr, Not):
+        return _contains_node(expr.operand, node_type)
+    children = getattr(expr, "items", ())
+    return any(_contains_node(child, node_type) for child in children)
+
+
+def sketch_label(query: Query) -> str:
+    """Name the sketch family a query belongs to (for breakout scoring).
+
+    Mirrors the intent generators in :mod:`repro.data.intents`: each
+    generator's output maps back to its own label, so per-sketch
+    accuracy directly measures per-intent accuracy.  Priority order
+    matters — a grouped query with a HAVING is still ``group_agg``, a
+    range query with an aggregate is still ``range``.
+    """
+    if query.group_by is not None:
+        return "group_agg"
+    if query.order_by is not None or query.limit is not None:
+        return "topn"
+    expr = query.where_expr()
+    if expr is not None:
+        if _contains_node(expr, Or):
+            return "disjunction"
+        if _contains_node(expr, Not):
+            return "negation"
+    leaves = query.where_leaves()
+    by_column: dict[str, set[Operator]] = {}
+    for leaf in leaves:
+        by_column.setdefault(leaf.column.lower(), set()).add(leaf.operator)
+    if any({Operator.GT, Operator.LT} <= ops for ops in by_column.values()):
+        return "range"
+    if query.aggregate is Aggregate.COUNT:
+        return "count"
+    if query.aggregate is not Aggregate.NONE:
+        return "aggregate"
+    return "filter"
+
+
+def evaluate_by_sketch(predictions: list[Query | None],
+                       examples: list[Example]) -> dict[str, EvalResult]:
+    """Per-sketch-family accuracies (examples grouped by gold label)."""
+    if len(predictions) != len(examples):
+        raise ValueError(
+            f"{len(predictions)} predictions vs {len(examples)} examples")
+    grouped: dict[str, tuple[list[Query | None], list[Example]]] = {}
+    for predicted, example in zip(predictions, examples):
+        bucket = grouped.setdefault(sketch_label(example.query), ([], []))
+        bucket[0].append(predicted)
+        bucket[1].append(example)
+    return {label: evaluate(preds, exs)
+            for label, (preds, exs) in sorted(grouped.items())}
 
 
 def mention_detection_accuracy(predictions: list[Query | None],

@@ -51,6 +51,11 @@ class NLIDBConfig:
     # Annotation encoding (Section V-A).
     column_name_appending: bool = True   # ablation: symbol substitution
     header_encoding: bool = True         # ablation: no table headers
+    # Extended SQL grammar (OR/NOT, GROUP BY/HAVING, ORDER BY/LIMIT):
+    # adds the extra structural tokens to the translator's output space.
+    # Mirrored into ``seq2seq.extended_grammar`` at construction so the
+    # candidate sets of every decode path agree.
+    extended_grammar: bool = False
     # Translator.
     seq2seq: Seq2SeqConfig = field(default_factory=Seq2SeqConfig)
     # Annotation pipeline.
@@ -124,6 +129,8 @@ class NLIDB:
                  translator=None):
         self.embeddings = embeddings or WordEmbeddings(dim=32)
         self.config = config or NLIDBConfig()
+        if self.config.extended_grammar:
+            self.config.seq2seq.extended_grammar = True
         classifier_config = (self.config.classifier
                              or ClassifierConfig(word_dim=self.embeddings.dim))
         self.annotator = Annotator(self.embeddings,

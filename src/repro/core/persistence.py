@@ -49,6 +49,7 @@ def save_nlidb(model: NLIDB, directory: str | os.PathLike) -> None:
         "nlidb": {
             "column_name_appending": model.config.column_name_appending,
             "header_encoding": model.config.header_encoding,
+            "extended_grammar": model.config.extended_grammar,
             "classifier_epochs": model.config.classifier_epochs,
             "seq2seq_epochs": model.config.seq2seq_epochs,
             "seed": model.config.seed,
@@ -93,6 +94,7 @@ def load_nlidb(directory: str | os.PathLike) -> NLIDB:
     nlidb_config = NLIDBConfig(
         column_name_appending=config["nlidb"]["column_name_appending"],
         header_encoding=config["nlidb"]["header_encoding"],
+        extended_grammar=config["nlidb"].get("extended_grammar", False),
         classifier_epochs=config["nlidb"]["classifier_epochs"],
         seq2seq_epochs=config["nlidb"]["seq2seq_epochs"],
         seed=config["nlidb"]["seed"],

@@ -31,7 +31,7 @@ from repro.sqlengine import Table, table_fingerprint
 from repro.text import tokenize
 
 from repro.core.mention import EncodedColumns
-from repro.core.seq2seq.vocab import STRUCTURAL_TOKENS, is_symbol
+from repro.core.seq2seq.vocab import is_symbol, structural_tokens
 
 __all__ = ["SchemaEncoding", "build_schema_encoding"]
 
@@ -85,7 +85,10 @@ def build_schema_encoding(annotator, table: Table) -> SchemaEncoding:
     embeddings = annotator.embeddings
     token_vectors: dict[str, np.ndarray] = {}
     with no_grad():
-        for token in list(STRUCTURAL_TOKENS) + header_tokens:
+        # Extended-grammar tokens are included unconditionally: legacy
+        # candidate lookups never see them, and an extended model can
+        # then reuse the same cached vectors.
+        for token in structural_tokens(extended=True) + header_tokens:
             if token not in token_vectors and not is_symbol(token):
                 token_vectors[token] = embeddings.vector(token)
 

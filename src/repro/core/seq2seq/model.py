@@ -67,6 +67,10 @@ class Seq2SeqConfig:
     grad_clip: float = 5.0
     max_symbol_index: int = 30
     seed: int = 0
+    #: Include the extended-grammar structural tokens (OR/NOT, GROUP
+    #: BY/HAVING, ORDER BY/LIMIT, parens) in every candidate set.  Off
+    #: by default so legacy models keep a byte-identical output space.
+    extended_grammar: bool = False
     #: Advance all live beams through one batched decoder/attention call
     #: per step (the vectorized fast path).  The per-beam Python loop is
     #: kept as the differential-testing reference.
@@ -219,7 +223,8 @@ class AnnotatedSeq2Seq(Module):
     def loss(self, pair: TrainingPair) -> Tensor:
         """Teacher-forced negative log-likelihood of one pair."""
         candidates = build_candidates(pair.source, pair.header_tokens,
-                                      pair.extra_symbols)
+                                      pair.extra_symbols,
+                                      extended=self.config.extended_grammar)
         cand_index = {t: i for i, t in enumerate(candidates)}
         target = list(pair.target) + [EOS]
         for token in target:
@@ -257,8 +262,9 @@ class AnnotatedSeq2Seq(Module):
         are skipped by :meth:`fit` (and are part of why the substitution
         ablation underperforms).
         """
-        candidates = set(build_candidates(pair.source, pair.header_tokens,
-                                          pair.extra_symbols))
+        candidates = set(build_candidates(
+            pair.source, pair.header_tokens, pair.extra_symbols,
+            extended=self.config.extended_grammar))
         return all(t in candidates for t in list(pair.target) + [EOS])
 
     def fit(self, pairs: list[TrainingPair], epochs: int = 10,
@@ -402,7 +408,8 @@ class AnnotatedSeq2Seq(Module):
         width = beam_width or self.config.beam_width
         use_lockstep = (self.config.lockstep_beam if lockstep is None
                         else lockstep)
-        candidates = build_candidates(source, header_tokens, extra_symbols)
+        candidates = build_candidates(source, header_tokens, extra_symbols,
+                                      extended=self.config.extended_grammar)
         with no_grad():
             start = perf_counter()
             states = self.encode(source)
@@ -463,8 +470,10 @@ class AnnotatedSeq2Seq(Module):
             start = perf_counter()
             for req in requests:
                 source = req["source"]
-                candidates = build_candidates(source, req["header_tokens"],
-                                              req.get("extra_symbols", ()))
+                candidates = build_candidates(
+                    source, req["header_tokens"],
+                    req.get("extra_symbols", ()),
+                    extended=self.config.extended_grammar)
                 states = self.encode(source)
                 memory = concat(states, axis=0)
                 memory_proj = self.att_memory(memory)

@@ -55,6 +55,9 @@ class TransformerConfig:
     grad_clip: float = 5.0
     max_symbol_index: int = 30
     seed: int = 0
+    #: Include the extended-grammar structural tokens in candidate sets
+    #: (mirrors ``Seq2SeqConfig.extended_grammar``).
+    extended_grammar: bool = False
 
 
 class MultiHeadAttention(Module):
@@ -172,7 +175,8 @@ class TransformerTranslator(Module):
              header_tokens: list[str],
              extra_symbols: tuple[str, ...] = ()) -> Tensor:
         """Teacher-forced mean NLL for one pair."""
-        candidates = build_candidates(source, header_tokens, extra_symbols)
+        candidates = build_candidates(source, header_tokens, extra_symbols,
+                                      extended=self.config.extended_grammar)
         cand_index = {t: i for i, t in enumerate(candidates)}
         full_target = list(target) + [EOS]
         for token in full_target:
@@ -192,8 +196,9 @@ class TransformerTranslator(Module):
 
     def reachable(self, pair) -> bool:
         """Whether every target token is in the pair's candidate set."""
-        candidates = set(build_candidates(pair.source, pair.header_tokens,
-                                          pair.extra_symbols))
+        candidates = set(build_candidates(
+            pair.source, pair.header_tokens, pair.extra_symbols,
+            extended=self.config.extended_grammar))
         return all(t in candidates for t in list(pair.target) + [EOS])
 
     def fit(self, pairs, epochs: int = 10, lr: float = 1e-3,
@@ -235,7 +240,8 @@ class TransformerTranslator(Module):
                   beam_width: int | None = None) -> list[str]:
         """Greedy-beam decode of the annotated SQL token sequence."""
         width = beam_width or self.config.beam_width
-        candidates = build_candidates(source, header_tokens, extra_symbols)
+        candidates = build_candidates(source, header_tokens, extra_symbols,
+                                      extended=self.config.extended_grammar)
         with no_grad():
             memory = self.encode(source)
             candidate_matrix = self.embedder.candidate_matrix(candidates)

@@ -28,7 +28,8 @@ from repro.errors import VocabularyError
 from repro.nn import Embedding, Module, Tensor, concat
 from repro.text import WordEmbeddings
 
-__all__ = ["STRUCTURAL_TOKENS", "EOS", "SOS", "is_symbol", "symbol_parts",
+__all__ = ["STRUCTURAL_TOKENS", "EXTENDED_STRUCTURAL_TOKENS",
+           "structural_tokens", "EOS", "SOS", "is_symbol", "symbol_parts",
            "TokenEmbedder", "build_candidates"]
 
 EOS = "<eos>"
@@ -38,6 +39,25 @@ STRUCTURAL_TOKENS = [
     "select", "where", "and", "=", ">", "<",
     "max", "min", "count", "sum", "avg", EOS,
 ]
+
+# Extra structural tokens of the extended grammar (OR/NOT with
+# parentheses, GROUP BY + HAVING, ORDER BY + LIMIT).  Kept separate so
+# the legacy candidate list stays byte-identical; appended right after
+# the base list when enabled, so their indices are stable too.  LIMIT
+# counts and HAVING thresholds are digits surfaced in the question, so
+# the copy mechanism covers them.
+EXTENDED_STRUCTURAL_TOKENS = [
+    "or", "not", "(", ")",
+    "group", "by", "having", "order", "limit", "asc", "desc",
+]
+
+
+def structural_tokens(extended: bool = False) -> list[str]:
+    """The structural token list, with or without the extended grammar."""
+    out = list(STRUCTURAL_TOKENS)
+    if extended:
+        out.extend(EXTENDED_STRUCTURAL_TOKENS)
+    return out
 
 _SYMBOL_RE = re.compile(r"^([cvg])(\d+)$")
 _TYPE_IDS = {"c": 0, "v": 1, "g": 2}
@@ -99,17 +119,19 @@ class TokenEmbedder(Module):
 
 def build_candidates(input_tokens: list[str], header_tokens: list[str],
                      extra_symbols: list[str] | tuple[str, ...] = (),
-                     ) -> list[str]:
+                     extended: bool = False) -> list[str]:
     """Candidate output tokens for one example (deduplicated, ordered).
 
-    Structural tokens come first so their indices are stable; then the
-    input tokens (symbols and words), header-name tokens, and any extra
-    symbols — e.g. ``c_i`` of *implicit* column mentions, which appear
-    in the annotated SQL even though they never occur in ``qᵃ``
-    (Figure 1(d): county is referenced only through ``v2``).
+    Structural tokens come first so their indices are stable (the
+    extended-grammar tokens directly after the base set when enabled);
+    then the input tokens (symbols and words), header-name tokens, and
+    any extra symbols — e.g. ``c_i`` of *implicit* column mentions,
+    which appear in the annotated SQL even though they never occur in
+    ``qᵃ`` (Figure 1(d): county is referenced only through ``v2``).
     """
-    seen = set(STRUCTURAL_TOKENS)
-    out = list(STRUCTURAL_TOKENS)
+    structural = structural_tokens(extended)
+    seen = set(structural)
+    out = list(structural)
     for token in list(input_tokens) + list(header_tokens) + list(extra_symbols):
         if token not in seen:
             seen.add(token)

@@ -7,12 +7,26 @@ tables per split, paraphrased/implicit mentions, counterfactual values,
 sketch-compatibility filtering, controlled linguistic variation).
 """
 
+from repro.data.augment import (
+    ColumnShuffle,
+    GenPlan,
+    OperatorSubset,
+    ValueVariation,
+    apply_passes,
+)
 from repro.data.domains import (
     generic_templates,
     held_out_domains,
     make_template,
     training_domains,
 )
+from repro.data.intents import (
+    IntentGenerator,
+    generate_intent_split,
+    generate_role_typed,
+    standard_intents,
+)
+from repro.data.roles import Role, default_role
 from repro.data.overnight import SUBDOMAINS, generate_overnight, overnight_domains
 from repro.data.paraphrase import (
     CATEGORIES,
@@ -31,6 +45,11 @@ from repro.data.wikisql import (
 __all__ = [
     "Example", "MentionSpan", "save_jsonl", "load_jsonl",
     "ColumnSpec", "DomainSpec", "QuestionTemplate", "render",
+    "Role", "default_role",
+    "IntentGenerator", "standard_intents", "generate_intent_split",
+    "generate_role_typed",
+    "GenPlan", "ColumnShuffle", "OperatorSubset", "ValueVariation",
+    "apply_passes",
     "training_domains", "held_out_domains", "generic_templates",
     "make_template",
     "WikiSQLStyleDataset", "generate_wikisql_style", "generate_split",

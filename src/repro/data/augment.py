@@ -1,0 +1,130 @@
+"""Composable augmentation passes over intent-generation plans.
+
+A :class:`GenPlan` bundles everything an intent generator may vary for
+one domain: the (possibly rewritten) :class:`~repro.data.template.DomainSpec`,
+the comparison operators it may emit, and the counterfactual-value
+rate.  An augmentation pass is any object with
+``apply(plan, rng) -> GenPlan``; passes are pure (they return new
+plans/specs and never mutate the input), so they compose in any order
+via :func:`apply_passes`.
+
+Three stock passes:
+
+* :class:`ColumnShuffle` — permutes the schema's column order, so
+  models cannot latch onto column *position* (the role/name signal
+  must carry the weight);
+* :class:`OperatorSubset` — restricts the comparison operators the
+  plan's generators may emit (e.g. an equality-only corpus slice);
+* :class:`ValueVariation` — re-offsets every numeric sampler by a
+  small per-column constant, decorrelating value distributions between
+  augmented corpus slices (dates/years shift by a few units, measures
+  by a proportional amount).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import DataError
+from repro.sqlengine import Operator
+from repro.sqlengine.types import DataType
+
+from repro.data.template import ColumnSpec, DomainSpec
+
+__all__ = ["GenPlan", "ColumnShuffle", "OperatorSubset", "ValueVariation",
+           "apply_passes"]
+
+_ALL_OPERATORS = (Operator.EQ, Operator.GT, Operator.LT)
+
+
+@dataclass(frozen=True)
+class GenPlan:
+    """Generation-time parameters for one domain (see module docstring)."""
+
+    domain: DomainSpec
+    allowed_operators: tuple[Operator, ...] = _ALL_OPERATORS
+    counterfactual_rate: float = 0.15
+
+
+class ColumnShuffle:
+    """Permute the domain's column order (schema-position invariance)."""
+
+    def apply(self, plan: GenPlan, rng: np.random.Generator) -> GenPlan:
+        columns = list(plan.domain.columns)
+        order = rng.permutation(len(columns))
+        shuffled = [columns[int(i)] for i in order]
+        domain = dataclasses.replace(plan.domain, columns=shuffled)
+        return dataclasses.replace(plan, domain=domain)
+
+
+class OperatorSubset:
+    """Restrict the comparison operators generators may emit."""
+
+    def __init__(self, operators: tuple[Operator, ...]):
+        operators = tuple(operators)
+        if not operators:
+            raise DataError("OperatorSubset needs at least one operator")
+        unknown = [op for op in operators if op not in _ALL_OPERATORS]
+        if unknown:
+            raise DataError(f"unsupported operators {unknown}")
+        self.operators = operators
+
+    def apply(self, plan: GenPlan, rng: np.random.Generator) -> GenPlan:
+        allowed = tuple(op for op in plan.allowed_operators
+                        if op in self.operators)
+        if not allowed:
+            raise DataError("operator subset leaves no allowed operators")
+        return dataclasses.replace(plan, allowed_operators=allowed)
+
+
+def _offset_sampler(base, offset):
+    def sample(rng: np.random.Generator):
+        value = base(rng)
+        shifted = value + offset
+        return int(shifted) if isinstance(value, int) else shifted
+    return sample
+
+
+class ValueVariation:
+    """Shift every numeric column's sampler by a per-column offset.
+
+    Year-like columns (all integers, plausibly calendar years) shift by
+    a few units; other numeric columns shift proportionally to
+    ``jitter`` times a typical sampled magnitude.  Offsets are drawn
+    once per column at apply time, so the pass is deterministic given
+    the generation RNG stream.
+    """
+
+    def __init__(self, jitter: float = 0.1):
+        if jitter <= 0:
+            raise DataError("jitter must be positive")
+        self.jitter = jitter
+
+    def apply(self, plan: GenPlan, rng: np.random.Generator) -> GenPlan:
+        new_columns: list[ColumnSpec] = []
+        for spec in plan.domain.columns:
+            if spec.dtype != DataType.REAL:
+                new_columns.append(spec)
+                continue
+            probe = spec.sample(rng)
+            if isinstance(probe, int) and 1800 <= probe <= 2100:
+                offset = int(rng.integers(-3, 4))
+            else:
+                magnitude = max(abs(float(probe)), 1.0) * self.jitter
+                offset = round(float(rng.uniform(-magnitude, magnitude)), 2)
+                if isinstance(probe, int):
+                    offset = int(round(offset))
+            new_columns.append(dataclasses.replace(
+                spec, sample=_offset_sampler(spec.sample, offset)))
+        domain = dataclasses.replace(plan.domain, columns=new_columns)
+        return dataclasses.replace(plan, domain=domain)
+
+
+def apply_passes(plan: GenPlan, passes, rng: np.random.Generator) -> GenPlan:
+    """Fold augmentation passes over a plan, left to right."""
+    for augmentation in passes:
+        plan = augmentation.apply(plan, rng)
+    return plan

@@ -4,6 +4,12 @@ Ten topical domains, each with a five-column schema, per-column mention
 surfaces (synonyms/paraphrases), and idiomatic templates that reproduce
 the paper's running examples (Figure 1, Figure 2, Figure 5, Table I).
 
+Every column carries an explicit semantic :class:`~repro.data.roles.Role`
+(identifier / measure / timestamp / category / text); the role-matched
+intent generators in :mod:`repro.data.intents` key off these rather
+than off domain names, so the same generators cover the held-out
+transfer schemas below.
+
 The OVERNIGHT-style transfer domains (basketball, calendar, housing,
 recipes, restaurants) are deliberately *excluded* here so zero-shot
 transfer evaluation is honest.
@@ -15,6 +21,7 @@ from repro.sqlengine import Aggregate, Operator
 from repro.sqlengine.types import DataType
 
 from repro.data import pools
+from repro.data.roles import Role
 from repro.data.template import ColumnSpec, DomainSpec, QuestionTemplate
 
 __all__ = ["training_domains", "held_out_domains", "generic_templates",
@@ -22,6 +29,7 @@ __all__ = ["training_domains", "held_out_domains", "generic_templates",
 
 EQ, GT, LT = Operator.EQ, Operator.GT, Operator.LT
 TEXT, REAL = DataType.TEXT, DataType.REAL
+ID, CAT, TS = Role.IDENTIFIER, Role.CATEGORY, Role.TIMESTAMP
 
 _ADJECTIVES = ["silent", "golden", "broken", "hidden", "crimson", "lonely",
                "electric", "frozen", "burning", "midnight"]
@@ -109,16 +117,18 @@ def generic_templates(entity: str, key_column: str) -> list[QuestionTemplate]:
 def _films() -> DomainSpec:
     columns = [
         ColumnSpec("film name", TEXT, _title,
-                   ["film name", "film", "movie", "picture", "title"]),
+                   ["film name", "film", "movie", "picture", "title"],
+                   role=ID),
         ColumnSpec("director", TEXT, pools.person_name,
                    ["director", "directed by", "filmmaker"]),
         ColumnSpec("actor", TEXT, pools.person_name,
                    ["actor", "star", "starring", "actress"]),
-        ColumnSpec("year", REAL, pools.year(1950, 2021), ["year", "season"]),
+        ColumnSpec("year", REAL, pools.year(1950, 2021), ["year", "season"],
+                   role=TS),
         ColumnSpec("genre", TEXT,
                    pools.enum(["drama", "comedy", "thriller", "romance",
                                "documentary", "horror", "western"]),
-                   ["genre", "kind of film", "category"]),
+                   ["genre", "kind of film", "category"], role=CAT),
     ]
     idiomatic = [
         # Figure 1(c): which film directed by X did Y star in ?
@@ -137,7 +147,7 @@ def _films() -> DomainSpec:
 def _geography() -> DomainSpec:
     columns = [
         ColumnSpec("county", TEXT, pools.place_name,
-                   ["county", "region", "district"]),
+                   ["county", "region", "district"], role=ID),
         ColumnSpec("english name", TEXT, pools.compound(
             pools.enum(["carrowteige", "aran islands", "bangor", "dingle",
                         "clifden", "belmullet", "spiddal", "gweedore"])),
@@ -168,16 +178,16 @@ def _geography() -> DomainSpec:
 def _golf() -> DomainSpec:
     columns = [
         ColumnSpec("player", TEXT, pools.person_name,
-                   ["player", "golfer", "athlete", "competitor"]),
+                   ["player", "golfer", "athlete", "competitor"], role=ID),
         ColumnSpec("country", TEXT,
                    pools.enum(["northern ireland", "spain", "sweden",
                                "australia", "fiji", "south africa",
                                "argentina", "scotland"]),
-                   ["country", "nation"]),
+                   ["country", "nation"], role=CAT),
         ColumnSpec("score", REAL, pools.integer(60, 80),
                    ["score", "result", "points"]),
         ColumnSpec("year won", REAL, pools.year(1980, 2020),
-                   ["year won", "winning year", "year of victory"]),
+                   ["year won", "winning year", "year of victory"], role=TS),
         ColumnSpec("prize money", REAL, pools.integer(10000, 2000000),
                    ["prize money", "earnings", "payout"]),
     ]
@@ -197,14 +207,15 @@ def _golf() -> DomainSpec:
 def _games() -> DomainSpec:
     team = pools.compound(pools.enum(PLACE_TEAMS), pools.enum(TEAM_NOUNS))
     columns = [
-        ColumnSpec("date", TEXT, pools.date_text, ["date", "day"]),
-        ColumnSpec("opponent", TEXT, team, ["opponent", "rival", "against"]),
+        ColumnSpec("date", TEXT, pools.date_text, ["date", "day"], role=ID),
+        ColumnSpec("opponent", TEXT, team, ["opponent", "rival", "against"],
+                   role=CAT),
         ColumnSpec("venue", TEXT, pools.place_name,
                    ["venue", "location", "stadium", "place"]),
         ColumnSpec("attendance", REAL, pools.integer(1000, 90000),
                    ["attendance", "crowd", "spectators"]),
         ColumnSpec("result", TEXT, pools.enum(["win", "loss", "draw"]),
-                   ["result", "outcome"]),
+                   ["result", "outcome"], role=CAT),
     ]
     idiomatic = [
         # Table I: when did the Baltimore Ravens play at home ?
@@ -232,16 +243,18 @@ def _missions() -> DomainSpec:
                     "pioneer", "meridian"]),
         pools.enum(["1", "2", "3", "4", "5", "7", "9", "11"]))
     columns = [
-        ColumnSpec("mission", TEXT, mission, ["mission", "missions", "flight"]),
+        ColumnSpec("mission", TEXT, mission, ["mission", "missions", "flight"],
+                   role=ID),
         ColumnSpec("launch date", TEXT, pools.date_text,
-                   ["launch date", "launch", "launched on", "lift off date"]),
+                   ["launch date", "launch", "launched on", "lift off date"],
+                   role=TS),
         ColumnSpec("crew size", REAL, pools.integer(1, 8),
                    ["crew size", "number of astronauts", "crew"]),
         ColumnSpec("duration days", REAL, pools.integer(1, 400),
                    ["duration days", "length in days", "duration"]),
         ColumnSpec("agency", TEXT,
                    pools.enum(["nasa", "esa", "jaxa", "isro", "roscosmos"]),
-                   ["agency", "organization"]),
+                   ["agency", "organization"], role=CAT),
     ]
     idiomatic = [
         # Figure 2: which missions were scheduled to launch on <date> ?
@@ -256,15 +269,16 @@ def _missions() -> DomainSpec:
 
 def _music() -> DomainSpec:
     columns = [
-        ColumnSpec("song", TEXT, _title, ["song", "track", "single", "tune"]),
+        ColumnSpec("song", TEXT, _title, ["song", "track", "single", "tune"],
+                   role=ID),
         ColumnSpec("artist", TEXT, pools.person_name,
                    ["artist", "singer", "musician", "performer"]),
         ColumnSpec("album", TEXT, _title, ["album", "record", "release"]),
-        ColumnSpec("year", REAL, pools.year(1960, 2021), ["year"]),
+        ColumnSpec("year", REAL, pools.year(1960, 2021), ["year"], role=TS),
         ColumnSpec("label", TEXT,
                    pools.enum(["northstar", "bluebird", "harbor", "sable",
                                "motif", "grange"]),
-                   ["label", "record company"]),
+                   ["label", "record company"], role=CAT),
     ]
     idiomatic = [
         _t([("text", "who"), ("colp", (0, "sang")), ("text", "the song"),
@@ -278,16 +292,16 @@ def _music() -> DomainSpec:
 def _elections() -> DomainSpec:
     columns = [
         ColumnSpec("candidate", TEXT, pools.person_name,
-                   ["candidate", "nominee", "contender"]),
+                   ["candidate", "nominee", "contender"], role=ID),
         ColumnSpec("party", TEXT,
                    pools.enum(["unionist", "federalist", "labour", "green",
                                "liberal", "reform"]),
-                   ["party", "affiliation"]),
+                   ["party", "affiliation"], role=CAT),
         ColumnSpec("votes", REAL, pools.integer(500, 90000),
                    ["votes", "ballots", "number of votes"]),
         ColumnSpec("district", TEXT, pools.place_name,
                    ["district", "constituency", "area"]),
-        ColumnSpec("year", REAL, pools.year(1990, 2021), ["year"]),
+        ColumnSpec("year", REAL, pools.year(1990, 2021), ["year"], role=TS),
     ]
     idiomatic = [
         _t([("text", "which"), ("selp", "candidate"),
@@ -305,15 +319,16 @@ def _elections() -> DomainSpec:
 def _racing() -> DomainSpec:
     race = pools.compound(pools.enum(PLACE_TEAMS), pools.enum(["grand prix"]))
     columns = [
-        ColumnSpec("race", TEXT, race, ["race", "grand prix", "event"]),
+        ColumnSpec("race", TEXT, race, ["race", "grand prix", "event"],
+                   role=ID),
         ColumnSpec("winning driver", TEXT, pools.person_name,
                    ["winning driver", "winner", "driver who won"]),
         ColumnSpec("team", TEXT,
                    pools.enum(["apex", "meteor", "vortex", "falcon",
                                "corsair", "ember"]),
-                   ["team", "constructor"]),
+                   ["team", "constructor"], role=CAT),
         ColumnSpec("laps", REAL, pools.integer(40, 80), ["laps", "circuits"]),
-        ColumnSpec("date", TEXT, pools.date_text, ["date", "day"]),
+        ColumnSpec("date", TEXT, pools.date_text, ["date", "day"], role=TS),
     ]
     idiomatic = [
         # Figure 5: which driver won the <race> ?
@@ -331,16 +346,16 @@ def _racing() -> DomainSpec:
 def _employees() -> DomainSpec:
     columns = [
         ColumnSpec("employee", TEXT, pools.person_name,
-                   ["employee", "worker", "staff member"]),
+                   ["employee", "worker", "staff member"], role=ID),
         ColumnSpec("department", TEXT,
                    pools.enum(["engineering", "finance", "marketing",
                                "operations", "research", "legal"]),
-                   ["department", "division", "unit"]),
+                   ["department", "division", "unit"], role=CAT),
         ColumnSpec("salary", REAL, pools.integer(30000, 200000),
                    ["salary", "pay", "wage", "earnings"]),
         ColumnSpec("city", TEXT, pools.place_name, ["city", "town"]),
         ColumnSpec("hire year", REAL, pools.year(2000, 2021),
-                   ["hire year", "year hired", "joining year"]),
+                   ["hire year", "year hired", "joining year"], role=TS),
     ]
     idiomatic = [
         _t([("selp", "how much does"), ("val", 0), ("text", "earn ?")],
@@ -352,14 +367,14 @@ def _employees() -> DomainSpec:
 
 def _books() -> DomainSpec:
     columns = [
-        ColumnSpec("book", TEXT, _title, ["book", "novel", "title"]),
+        ColumnSpec("book", TEXT, _title, ["book", "novel", "title"], role=ID),
         ColumnSpec("author", TEXT, pools.person_name,
                    ["author", "writer", "written by", "novelist"]),
         ColumnSpec("publisher", TEXT,
                    pools.enum(["lighthouse", "foxglove", "quill", "arbor",
                                "latitude", "easel"]),
-                   ["publisher", "publishing house"]),
-        ColumnSpec("year", REAL, pools.year(1900, 2021), ["year"]),
+                   ["publisher", "publishing house"], role=CAT),
+        ColumnSpec("year", REAL, pools.year(1900, 2021), ["year"], role=TS),
         ColumnSpec("pages", REAL, pools.integer(80, 1200),
                    ["pages", "length", "page count"]),
     ]
@@ -375,17 +390,17 @@ def _books() -> DomainSpec:
 def _athletics() -> DomainSpec:
     columns = [
         ColumnSpec("athlete", TEXT, pools.person_name,
-                   ["athlete", "runner", "competitor"]),
+                   ["athlete", "runner", "competitor"], role=ID),
         ColumnSpec("event", TEXT,
                    pools.enum(["100 metres", "marathon", "high jump",
                                "long jump", "javelin", "relay"]),
-                   ["event", "discipline", "competition"]),
+                   ["event", "discipline", "competition"], role=CAT),
         ColumnSpec("time seconds", REAL, pools.decimal(9.5, 200.0, 2),
                    ["time seconds", "time", "finishing time"]),
         ColumnSpec("nationality", TEXT,
                    pools.enum(["kenyan", "american", "jamaican", "british",
                                "ethiopian", "dutch"]),
-                   ["nationality", "citizenship"]),
+                   ["nationality", "citizenship"], role=CAT),
         ColumnSpec("rank", REAL, pools.integer(1, 20),
                    ["rank", "position", "standing"]),
     ]
@@ -422,15 +437,15 @@ def _hospitals() -> DomainSpec:
         pools.enum(["hospital", "infirmary", "medical center"]))
     columns = [
         ColumnSpec("hospital", TEXT, hospital,
-                   ["hospital", "clinic", "medical facility"]),
+                   ["hospital", "clinic", "medical facility"], role=ID),
         ColumnSpec("specialty", TEXT,
                    pools.enum(["cardiology", "oncology", "pediatrics",
                                "neurology", "orthopedics", "radiology"]),
-                   ["specialty", "medical field", "focus"]),
+                   ["specialty", "medical field", "focus"], role=CAT),
         ColumnSpec("beds", REAL, pools.integer(40, 900),
                    ["beds", "number of beds", "bed count"]),
         ColumnSpec("founded", REAL, pools.year(1850, 2000),
-                   ["founded", "founding year", "year established"]),
+                   ["founded", "founding year", "year established"], role=TS),
         ColumnSpec("head physician", TEXT, pools.person_name,
                    ["head physician", "chief doctor", "lead surgeon"]),
     ]
@@ -449,13 +464,13 @@ def _ships() -> DomainSpec:
         pools.enum(["dauntless", "resolute", "meridian", "tempest",
                     "albatross", "corona", "valiant"]))
     columns = [
-        ColumnSpec("ship", TEXT, ship, ["ship", "vessel", "boat"]),
+        ColumnSpec("ship", TEXT, ship, ["ship", "vessel", "boat"], role=ID),
         ColumnSpec("captain", TEXT, pools.person_name,
                    ["captain", "skipper", "commanding officer"]),
         ColumnSpec("tonnage", REAL, pools.integer(500, 90000),
                    ["tonnage", "weight in tons", "displacement"]),
         ColumnSpec("launched", REAL, pools.year(1900, 2016),
-                   ["launched", "launch year", "year launched"]),
+                   ["launched", "launch year", "year launched"], role=TS),
         ColumnSpec("home port", TEXT, pools.place_name,
                    ["home port", "port of registry", "harbor of origin"]),
     ]
@@ -475,18 +490,18 @@ def _observatories() -> DomainSpec:
                     "celeste"]))
     columns = [
         ColumnSpec("observatory", TEXT, observatory,
-                   ["observatory", "telescope site", "station"]),
+                   ["observatory", "telescope site", "station"], role=ID),
         ColumnSpec("altitude", REAL, pools.integer(800, 5100),
                    ["altitude", "elevation", "height above sea level"]),
         ColumnSpec("mirror size", REAL, pools.decimal(1.0, 12.0, 1),
                    ["mirror size", "aperture", "mirror diameter"]),
         ColumnSpec("first light", REAL, pools.year(1900, 2020),
                    ["first light", "commissioning year",
-                    "year of first light"]),
+                    "year of first light"], role=TS),
         ColumnSpec("host nation", TEXT,
                    pools.enum(["chile", "usa", "spain", "south africa",
                                "hawaii", "namibia"]),
-                   ["host nation", "country of operation"]),
+                   ["host nation", "country of operation"], role=CAT),
     ]
     return DomainSpec("observatories", "observatory", columns,
                       generic_templates("observatory", "observatory"))

@@ -1,0 +1,54 @@
+"""Typed semantic roles for generator-side columns.
+
+A :class:`Role` describes what a column *means* to the question
+generators, independent of its storage dtype:
+
+``identifier``
+    The entity-key column ("film name", "player") — the natural COUNT
+    target and the column a top-N question asks to list.
+``measure``
+    A numeric quantity that supports ordering, aggregation, and ranges
+    ("salary", "attendance").
+``timestamp``
+    A point in time ("year", "launch date").  Numeric timestamps (REAL
+    year columns) additionally support ordering and ranges.
+``category``
+    A low-cardinality label ("genre", "party") — the natural GROUP BY
+    key and disjunction/negation target.
+``boolean``
+    A two-valued flag.  No current domain uses one, but the role is part
+    of the contract so future schemas slot into the same generators.
+``text``
+    Free-form text with no special structure (names, places).
+
+Intent generators (:mod:`repro.data.intents`) declare their requirements
+against roles rather than against concrete domains, so any schema whose
+roles satisfy a generator — including held-out transfer schemas — gets
+that question family for free.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+from repro.sqlengine.types import DataType
+
+__all__ = ["Role", "default_role"]
+
+
+class Role(str, Enum):
+    """Semantic role of a generator column (see module docstring)."""
+
+    IDENTIFIER = "identifier"
+    MEASURE = "measure"
+    TIMESTAMP = "timestamp"
+    CATEGORY = "category"
+    BOOLEAN = "boolean"
+    TEXT = "text"
+
+
+def default_role(dtype: DataType) -> Role:
+    """Fallback role when a :class:`~repro.data.template.ColumnSpec`
+    does not declare one: numeric columns are measures, everything else
+    is free text."""
+    return Role.MEASURE if dtype == DataType.REAL else Role.TEXT

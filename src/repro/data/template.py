@@ -37,6 +37,7 @@ from repro.sqlengine.types import DataType
 from repro.text.tokenizer import tokenize
 
 from repro.data.records import Example, MentionSpan
+from repro.data.roles import Role, default_role
 
 __all__ = ["ColumnSpec", "QuestionTemplate", "DomainSpec", "render"]
 
@@ -50,16 +51,23 @@ class ColumnSpec:
     ``mentions`` are the surface forms a question may use to refer to
     the column — the first entry is the column name itself, later
     entries are synonyms/paraphrases (non-exact matching, challenge 1).
+
+    ``role`` is the column's semantic role (:class:`~repro.data.roles.Role`);
+    when omitted it defaults by dtype (REAL → measure, TEXT → text).
+    The intent generators match schemas through roles, not names.
     """
 
     name: str
     dtype: DataType
     sample: object  # Sampler: rng -> cell value
     mentions: list[str] = field(default_factory=list)
+    role: Role | None = None
 
     def __post_init__(self) -> None:
         if not self.mentions:
             self.mentions = [self.name.lower()]
+        if self.role is None:
+            self.role = default_role(self.dtype)
 
 
 @dataclass
@@ -104,6 +112,10 @@ class DomainSpec:
             if spec.name.lower() == name.lower():
                 return spec
         raise DataError(f"domain {self.name!r} has no column {name!r}")
+
+    def columns_with_role(self, *roles: Role) -> list[ColumnSpec]:
+        """Columns whose semantic role is one of ``roles`` (schema order)."""
+        return [spec for spec in self.columns if spec.role in roles]
 
     def build_table(self, rng: np.random.Generator, n_rows: int,
                     table_name: str | None = None) -> Table:

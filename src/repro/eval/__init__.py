@@ -27,6 +27,7 @@ from repro.eval.attacks import (
     DistractorColumnAttack,
     InfluenceAttack,
     ParaphraseAttack,
+    PhraseParaphraseAttack,
     TypoAttack,
     ValueSwapAttack,
     generate_suite,
@@ -43,7 +44,8 @@ from repro.eval.validity import (
 
 __all__ = [
     "Attack", "AttackVariant", "AttackSuite",
-    "ParaphraseAttack", "ValueSwapAttack", "DistractorColumnAttack",
+    "ParaphraseAttack", "PhraseParaphraseAttack", "ValueSwapAttack",
+    "DistractorColumnAttack",
     "InfluenceAttack", "TypoAttack", "standard_attacks", "generate_suite",
     "AdmittedVariant", "AdmissionReport", "admit_suite", "check_variant",
     "TransferPoint", "few_shot_curve", "curves_to_dict",

@@ -29,16 +29,16 @@ import numpy as np
 
 from repro.data.records import Example
 from repro.sqlengine import Condition, Operator, Query, Table
-from repro.text.lexicon import SYNONYM_GROUPS, synonym_group_of
+from repro.text.lexicon import PHRASE_SYNONYMS, SYNONYM_GROUPS, synonym_group_of
 from repro.text.stopwords import is_stop_word
 from repro.text.tokenizer import tokenize
 
 from repro.core.mention.adversarial import compute_influence
 
 __all__ = [
-    "AttackVariant", "Attack", "ParaphraseAttack", "ValueSwapAttack",
-    "DistractorColumnAttack", "InfluenceAttack", "TypoAttack",
-    "AttackSuite", "standard_attacks", "generate_suite",
+    "AttackVariant", "Attack", "ParaphraseAttack", "PhraseParaphraseAttack",
+    "ValueSwapAttack", "DistractorColumnAttack", "InfluenceAttack",
+    "TypoAttack", "AttackSuite", "standard_attacks", "generate_suite",
 ]
 
 #: Words that cue the aggregate or comparison operator of the gold SQL
@@ -231,8 +231,18 @@ class DistractorColumnAttack(Attack):
     )
 
     def perturb(self, example, rng):
-        used = {example.query.select_column.lower()}
-        used.update(c.column.lower() for c in example.query.conditions)
+        query = example.query
+        used = {query.select_column.lower()}
+        # where_leaves() walks the full WHERE tree, so extended-sketch
+        # queries (OR/NOT) protect their condition columns too; for
+        # legacy queries it is exactly the flat conditions list.
+        used.update(c.column.lower() for c in query.where_leaves())
+        if query.group_by is not None:
+            used.add(query.group_by.lower())
+        if query.having is not None:
+            used.add(query.having.column.lower())
+        if query.order_by is not None:
+            used.add(query.order_by.column.lower())
         unused = [name for name in example.table.column_names
                   if name.lower() not in used]
         if not unused:
@@ -379,6 +389,49 @@ class TypoAttack(Attack):
         return None
 
 
+class PhraseParaphraseAttack(Attack):
+    """Substitute a multi-token phrase with a lexicon phrase synonym.
+
+    The single-token :class:`ParaphraseAttack` cannot touch mentions
+    whose surface is a phrase ("prize money", "year won") — exactly the
+    paraphrases the paper's Figure 1 examples turn on.  This family
+    scans the question for any ``repro.text.lexicon.PHRASE_SYNONYMS``
+    member (outside gold value spans) and swaps it for another phrase
+    of the same group.  Groups are meaning-preserving by construction,
+    so the gold query is unchanged.
+    """
+
+    name = "phrase_paraphrase"
+
+    def perturb(self, example, rng):
+        tokens = list(example.question_tokens)
+        blocked = _value_positions(example)
+        matches: list[tuple[int, int, int, str]] = []
+        for gid, group in enumerate(PHRASE_SYNONYMS):
+            for phrase in group:
+                words = tokenize(phrase)
+                width = len(words)
+                for start in range(len(tokens) - width + 1):
+                    if tokens[start:start + width] != words:
+                        continue
+                    if any(i in blocked for i in range(start, start + width)):
+                        continue
+                    matches.append((start, width, gid, phrase))
+        if not matches:
+            return None
+        rng.shuffle(matches)
+        for start, width, gid, phrase in matches:
+            alternatives = [p for p in PHRASE_SYNONYMS[gid] if p != phrase]
+            if not alternatives:
+                continue
+            replacement = _pick(rng, alternatives)
+            new_tokens = (tokens[:start] + tokenize(replacement)
+                          + tokens[start + width:])
+            note = f"{phrase!r} -> {replacement!r} @ {start}"
+            return self._variant(example, new_tokens, note=note)
+        return None
+
+
 def standard_attacks(classifier=None) -> list[Attack]:
     """The standard attack families, in canonical order.
 
@@ -387,13 +440,16 @@ def standard_attacks(classifier=None) -> list[Attack]:
     influence-guided family; without one it is omitted.  New families
     append at the *end* of the list: the suite's determinism contract
     seeds each pair as ``[seed, attack_index, example_index]``, so a
-    mid-list insertion would silently re-seed every later family.
+    mid-list insertion would silently re-seed every later family —
+    which is why :class:`PhraseParaphraseAttack` sits after
+    :class:`TypoAttack` despite being a paraphrase family.
     """
     attacks: list[Attack] = [ParaphraseAttack(), ValueSwapAttack(),
                              DistractorColumnAttack()]
     if classifier is not None:
         attacks.append(InfluenceAttack(classifier))
     attacks.append(TypoAttack())
+    attacks.append(PhraseParaphraseAttack())
     return attacks
 
 

@@ -5,18 +5,19 @@ execution-accuracy scoring), and canonicalization (used for query-match
 scoring).
 """
 
-from repro.sqlengine.ast import Condition, Query
+from repro.sqlengine.ast import (And, Condition, Having, Not, Or, OrderBy,
+                                 Query)
 from repro.sqlengine.canonical import canonical_equal, canonicalize
 from repro.sqlengine.executor import execute, results_equal
 from repro.sqlengine.fingerprint import table_fingerprint
 from repro.sqlengine.parser import parse_sql
 from repro.sqlengine.table import Column, Database, Table
-from repro.sqlengine.types import Aggregate, DataType, Operator
+from repro.sqlengine.types import Aggregate, DataType, Operator, SortDirection
 
 __all__ = [
-    "DataType", "Aggregate", "Operator",
+    "DataType", "Aggregate", "Operator", "SortDirection",
     "Column", "Table", "Database",
-    "Condition", "Query",
+    "Condition", "Not", "And", "Or", "Having", "OrderBy", "Query",
     "parse_sql", "execute", "results_equal",
     "canonicalize", "canonical_equal",
     "table_fingerprint",

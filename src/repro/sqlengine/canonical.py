@@ -4,6 +4,12 @@ The paper's *query-match accuracy* "converts both synthesized SQL query
 and the ground truth into canonical representations before comparison"
 (Section VII).  This module exposes that conversion for raw SQL strings,
 delegating to the AST for structure.
+
+Canonicalization normalizes operand order only within *commutative*
+groups: the legacy flat conjunction and each AND/OR node of the
+extended WHERE tree are sorted, while NOT operands, HAVING, ORDER BY
+direction, and LIMIT are preserved as written — ``a = 1 OR b = 2``
+matches ``b = 2 OR a = 1`` but not ``NOT a = 1``.
 """
 
 from __future__ import annotations

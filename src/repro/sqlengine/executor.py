@@ -1,15 +1,26 @@
-"""Query executor for the WikiSQL sketch.
+"""Query executor for the WikiSQL sketch and its extended grammar.
 
 Executes a :class:`~repro.sqlengine.ast.Query` against a
 :class:`~repro.sqlengine.table.Table` and returns a result that can be
 compared across queries — the basis of the paper's *execution accuracy*
 (``Acc_ex``) metric.
+
+Result shapes
+-------------
+* ``Aggregate.NONE``: a list of selected cells — sorted by string form
+  when there is no ORDER BY (the legacy contract), or in ORDER BY order
+  with deterministic tie-breaking (ties keep the table's row order,
+  under both ASC and DESC) when there is.
+* ``COUNT``: an integer.  ``MAX/MIN/SUM/AVG``: a float (``None`` when
+  no rows match).
+* ``GROUP BY``: a list of ``(group value, aggregate value)`` tuples,
+  sorted by group value, after applying HAVING.
 """
 
 from __future__ import annotations
 
 from repro.errors import SQLExecutionError, SchemaError
-from repro.sqlengine.ast import Condition, Query
+from repro.sqlengine.ast import And, Condition, Having, Not, Or, Query
 from repro.sqlengine.table import Table
 from repro.sqlengine.types import Aggregate, DataType, Operator
 
@@ -45,48 +56,51 @@ def _match_condition(cell, cond: Condition, dtype: DataType) -> bool:
     return lhs > rhs if cond.operator is Operator.GT else lhs < rhs
 
 
-def execute(query: Query, table: Table):
-    """Run ``query`` on ``table``.
-
-    Returns
-    -------
-    For ``Aggregate.NONE``: a sorted list of the selected cells.
-    For ``COUNT``: an integer.  For ``MAX/MIN/SUM/AVG``: a float (``None``
-    when no rows match).
-
-    Raises
-    ------
-    SQLExecutionError
-        If the selected/conditioned columns do not exist, or a numeric
-        aggregate is applied to non-numeric data.
-    """
+def _column_index(table: Table, name: str) -> int:
     try:
-        select_idx = table.column_index(query.select_column)
+        return table.column_index(name)
     except SchemaError as exc:
         raise SQLExecutionError(str(exc)) from exc
 
-    cond_meta = []
-    for cond in query.conditions:
-        try:
-            idx = table.column_index(cond.column)
-        except SchemaError as exc:
-            raise SQLExecutionError(str(exc)) from exc
-        cond_meta.append((idx, cond, table.columns[idx].dtype))
 
-    selected = []
-    for row in table.rows:
-        if all(_match_condition(row[idx], cond, dtype)
-               for idx, cond, dtype in cond_meta):
-            selected.append(row[select_idx])
+def _compile_where(expr, table: Table):
+    """Compile a WHERE expression into a ``row -> bool`` predicate.
 
-    agg = query.aggregate
-    if agg is Aggregate.NONE:
-        return sorted(selected, key=lambda v: str(v))
+    Column indices and dtypes are resolved once, up front, so unknown
+    columns raise before any row is scanned.
+    """
+    if expr is None:
+        return lambda row: True
+    if isinstance(expr, Condition):
+        idx = _column_index(table, expr.column)
+        dtype = table.columns[idx].dtype
+        return lambda row: _match_condition(row[idx], expr, dtype)
+    if isinstance(expr, Not):
+        inner = _compile_where(expr.operand, table)
+        return lambda row: not inner(row)
+    if isinstance(expr, (And, Or)):
+        parts = [_compile_where(item, table) for item in expr.items]
+        if isinstance(expr, And):
+            return lambda row: all(part(row) for part in parts)
+        return lambda row: any(part(row) for part in parts)
+    raise SQLExecutionError(f"unsupported WHERE expression {expr!r}")
+
+
+def _order_key(cell):
+    """Numeric-aware sort key: numbers first (by value), then text."""
+    text = str(cell).strip()
+    try:
+        return (0, float(text), "")
+    except ValueError:
+        return (1, 0.0, text.lower())
+
+
+def _aggregate_cells(agg: Aggregate, cells: list):
     if agg is Aggregate.COUNT:
-        return len(selected)
-    if not selected:
+        return len(cells)
+    if not cells:
         return None
-    numbers = [_coerce_number(v) for v in selected]
+    numbers = [_coerce_number(v) for v in cells]
     if agg is Aggregate.MAX:
         return max(numbers)
     if agg is Aggregate.MIN:
@@ -96,6 +110,97 @@ def execute(query: Query, table: Table):
     if agg is Aggregate.AVG:
         return sum(numbers) / len(numbers)
     raise SQLExecutionError(f"unsupported aggregate {agg!r}")
+
+
+def _having_matches(having: Having, rows: list[tuple], idx: int) -> bool:
+    value = _aggregate_cells(having.aggregate, [row[idx] for row in rows])
+    if value is None:
+        return False
+    lhs = float(value)
+    rhs = _coerce_number(having.value)
+    if having.operator is Operator.EQ:
+        return abs(lhs - rhs) < 1e-9
+    return lhs > rhs if having.operator is Operator.GT else lhs < rhs
+
+
+def _validate_clauses(query: Query) -> None:
+    if query.group_by is not None and query.aggregate is Aggregate.NONE:
+        raise SQLExecutionError("GROUP BY requires an aggregate SELECT")
+    if query.having is not None and query.group_by is None:
+        raise SQLExecutionError("HAVING requires GROUP BY")
+    if query.group_by is not None and (query.order_by is not None
+                                       or query.limit is not None):
+        raise SQLExecutionError(
+            "ORDER BY / LIMIT are not supported with GROUP BY")
+    if query.aggregate is not Aggregate.NONE and query.group_by is None:
+        if query.order_by is not None or query.limit is not None:
+            raise SQLExecutionError(
+                "ORDER BY / LIMIT require a plain (non-aggregate) SELECT")
+
+
+def execute(query: Query, table: Table):
+    """Run ``query`` on ``table``; see the module docstring for shapes.
+
+    Raises
+    ------
+    SQLExecutionError
+        If the referenced columns do not exist, a numeric aggregate is
+        applied to non-numeric data, or the clause combination is
+        invalid (e.g. GROUP BY without an aggregate).
+    """
+    _validate_clauses(query)
+    select_idx = _column_index(table, query.select_column)
+    matcher = _compile_where(query.where_expr(), table)
+
+    if query.group_by is not None:
+        return _execute_grouped(query, table, matcher, select_idx)
+
+    matched_rows = [row for row in table.rows if matcher(row)]
+
+    agg = query.aggregate
+    if agg is Aggregate.NONE:
+        if query.order_by is not None:
+            order_idx = _column_index(table, query.order_by.column)
+            # sorted() is stable (also under reverse=True), so ties keep
+            # the table's row order — deterministic in both directions.
+            matched_rows = sorted(matched_rows,
+                                  key=lambda row: _order_key(row[order_idx]),
+                                  reverse=query.order_by.descending)
+            selected = [row[select_idx] for row in matched_rows]
+        else:
+            selected = sorted((row[select_idx] for row in matched_rows),
+                              key=lambda v: str(v))
+        if query.limit is not None:
+            selected = selected[:query.limit]
+        return selected
+    return _aggregate_cells(agg, [row[select_idx] for row in matched_rows])
+
+
+def _execute_grouped(query: Query, table: Table, matcher, select_idx: int):
+    group_idx = _column_index(table, query.group_by)
+    having_idx = None
+    if query.having is not None:
+        having_idx = _column_index(table, query.having.column)
+
+    groups: dict[str, tuple[object, list[tuple]]] = {}
+    for row in table.rows:
+        if not matcher(row):
+            continue
+        key = str(row[group_idx]).strip().lower()
+        if key not in groups:
+            groups[key] = (row[group_idx], [])
+        groups[key][1].append(row)
+
+    out = []
+    for surface, rows in groups.values():
+        if query.having is not None and not _having_matches(
+                query.having, rows, having_idx):
+            continue
+        value = _aggregate_cells(query.aggregate,
+                                 [row[select_idx] for row in rows])
+        out.append((surface, value))
+    out.sort(key=lambda pair: _order_key(pair[0]))
+    return out
 
 
 def results_equal(a, b) -> bool:
@@ -110,6 +215,11 @@ def results_equal(a, b) -> bool:
 
 
 def _cell_equal(a, b) -> bool:
+    if isinstance(a, tuple) or isinstance(b, tuple):
+        if not (isinstance(a, tuple) and isinstance(b, tuple)):
+            return False
+        return len(a) == len(b) and all(
+            _cell_equal(x, y) for x, y in zip(a, b))
     if a is None or b is None:
         return a is None and b is None
     if isinstance(a, (int, float)) and isinstance(b, (int, float)):

@@ -1,14 +1,28 @@
-"""Parser for the WikiSQL-sketch SQL dialect.
+"""Parser for the WikiSQL-sketch SQL dialect and its extended grammar.
 
 Grammar (case-insensitive keywords)::
 
-    query  := SELECT [AGG '('] column [')'] [WHERE cond (AND cond)*]
-    cond   := column op value
-    op     := '=' | '>' | '<'
-    value  := '"' text '"' | number | bareword+
+    query    := SELECT [AGG '('] column [')']
+                [WHERE or_expr]
+                [GROUP BY column] [HAVING AGG '(' column ')' op value]
+                [ORDER BY column [ASC|DESC]] [LIMIT int]
+    or_expr  := and_expr (OR and_expr)*
+    and_expr := unary (AND unary)*
+    unary    := NOT unary | '(' or_expr ')' | cond
+    cond     := column op value
+    op       := '=' | '>' | '<'
+    value    := '"' text '"' | number | bareword+
 
 Column names may contain spaces (e.g. ``Film Name``); inside a condition
-the column is everything before the operator.
+the column is everything before the operator.  A flat conjunction (no
+OR/NOT/parentheses) takes the legacy path and produces the legacy
+``Query.conditions`` list byte-for-byte, so old-sketch parses are
+unchanged.
+
+All splitting is done over a quote-aware token stream: quoted strings
+are single tokens, so ``genre = "rock and roll"`` never splits at the
+embedded AND, and a bareword apostrophe (``o'connor``) does not open a
+quote.
 """
 
 from __future__ import annotations
@@ -16,16 +30,37 @@ from __future__ import annotations
 import re
 
 from repro.errors import SQLParseError
-from repro.sqlengine.ast import Condition, Query
-from repro.sqlengine.types import Aggregate, Operator
+from repro.sqlengine.ast import And, Condition, Having, Not, Or, OrderBy, Query
+from repro.sqlengine.types import Aggregate, Operator, SortDirection
 
 __all__ = ["parse_sql"]
 
 _AGG_RE = re.compile(
     r"^\s*(max|min|count|sum|avg)\s*\(\s*(.+?)\s*\)\s*$", re.IGNORECASE)
-_SPLIT_WHERE_RE = re.compile(r"\bwhere\b", re.IGNORECASE)
-_SPLIT_AND_RE = re.compile(r"\band\b", re.IGNORECASE)
+_HAVING_PAREN_RE = re.compile(
+    r"^\s*(max|min|count|sum|avg)\s*\(\s*(.+?)\s*\)\s*(=|>|<)\s*(.+?)\s*$",
+    re.IGNORECASE)
+_HAVING_BARE_RE = re.compile(
+    r"^\s*(max|min|count|sum|avg)\s+(.+?)\s*(=|>|<)\s*(.+?)\s*$",
+    re.IGNORECASE)
 _COND_RE = re.compile(r"^\s*(.+?)\s*(=|>|<)\s*(.+?)\s*$")
+
+# Quoted strings are single tokens (tried first, so an opening quote
+# always pairs with its closer); parens and comparison operators are
+# their own tokens; a bareword may contain interior apostrophes
+# (``o'connor``) without opening a quote.
+_TOKEN_RE = re.compile(
+    r'"[^"]*"'
+    r"|'[^']*'"
+    r"|[()=<>]"
+    r"|[^\s()=<>\"']+(?:'[^\s()=<>\"']*)*"
+)
+
+# Clause keywords in their only legal order.
+_CLAUSE_ORDER = {"from": 0, "where": 1, "group": 2, "having": 3,
+                 "order": 4, "limit": 5}
+_TREE_TOKENS = {"or", "not", "(", ")"}
+_OPERATOR_TOKENS = {"=", ">", "<"}
 
 
 def _parse_value(text: str):
@@ -56,13 +91,142 @@ def _parse_select(select_text: str) -> tuple[Aggregate, str]:
     return Aggregate.NONE, select_text
 
 
+def _split_clauses(body: str) -> tuple[str, dict[str, str]]:
+    """Split the post-SELECT body into (select_text, clause -> text).
+
+    Clause keywords are recognised only at parenthesis depth 0 and only
+    as standalone tokens (``GROUP``/``ORDER`` must be followed by
+    ``BY``), so quoted values and parenthesized expressions never start
+    a clause.
+    """
+    matches = list(_TOKEN_RE.finditer(body))
+    boundaries: list[tuple[str, int, int]] = []  # (name, start, content_start)
+    depth = 0
+    i = 0
+    while i < len(matches):
+        token = matches[i].group(0)
+        if token == "(":
+            depth += 1
+        elif token == ")":
+            depth = max(0, depth - 1)
+        elif depth == 0:
+            lowered = token.lower()
+            if lowered in ("group", "order"):
+                nxt = matches[i + 1] if i + 1 < len(matches) else None
+                if nxt is not None and nxt.group(0).lower() == "by":
+                    boundaries.append(
+                        (lowered, matches[i].start(), nxt.end()))
+                    i += 2
+                    continue
+            elif lowered in ("where", "having", "limit") or (
+                    lowered == "from" and not boundaries):
+                # FROM is only a clause head before any other clause; a
+                # later bareword "from" is an ordinary value token.
+                boundaries.append((lowered, matches[i].start(),
+                                   matches[i].end()))
+        i += 1
+
+    last_rank = -1
+    for name, _, _ in boundaries:
+        rank = _CLAUSE_ORDER[name]
+        if rank <= last_rank:
+            raise SQLParseError(
+                f"clause {name.upper()!r} out of order or repeated: {body!r}")
+        last_rank = rank
+
+    select_text = body[:boundaries[0][1]] if boundaries else body
+    clauses: dict[str, str] = {}
+    for j, (name, _, content_start) in enumerate(boundaries):
+        end = boundaries[j + 1][1] if j + 1 < len(boundaries) else len(body)
+        clauses[name] = body[content_start:end].strip()
+    return select_text, clauses
+
+
+class _WhereTreeParser:
+    """Recursive-descent parser for the boolean WHERE grammar."""
+
+    def __init__(self, tokens: list[str]):
+        self.tokens = tokens
+        self.pos = 0
+
+    def _peek(self) -> str | None:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def parse(self):
+        expr = self._or_expr()
+        if self.pos < len(self.tokens):
+            raise SQLParseError(
+                f"trailing tokens in WHERE clause: {self.tokens[self.pos:]!r}")
+        return expr
+
+    def _or_expr(self):
+        items = [self._and_expr()]
+        while self._peek() is not None and self._peek().lower() == "or":
+            self.pos += 1
+            items.append(self._and_expr())
+        return items[0] if len(items) == 1 else Or(tuple(items))
+
+    def _and_expr(self):
+        items = [self._unary()]
+        while self._peek() is not None and self._peek().lower() == "and":
+            self.pos += 1
+            items.append(self._unary())
+        return items[0] if len(items) == 1 else And(tuple(items))
+
+    def _unary(self):
+        token = self._peek()
+        if token is None:
+            raise SQLParseError("WHERE clause ends unexpectedly")
+        if token.lower() == "not":
+            self.pos += 1
+            return Not(self._unary())
+        if token == "(":
+            self.pos += 1
+            expr = self._or_expr()
+            if self._peek() != ")":
+                raise SQLParseError("unbalanced '(' in WHERE clause")
+            self.pos += 1
+            return expr
+        return self._condition()
+
+    def _condition(self) -> Condition:
+        column_words: list[str] = []
+        while True:
+            token = self._peek()
+            if token is None or token in ")(":
+                raise SQLParseError(
+                    f"condition is missing an operator near "
+                    f"{' '.join(column_words)!r}")
+            if token in _OPERATOR_TOKENS:
+                break
+            column_words.append(token)
+            self.pos += 1
+        if not column_words:
+            raise SQLParseError("condition is missing a column")
+        operator = Operator.from_token(self.tokens[self.pos])
+        self.pos += 1
+        value_words: list[str] = []
+        while True:
+            token = self._peek()
+            if (token is None or token in "()"
+                    or token.lower() in ("and", "or")):
+                break
+            value_words.append(token)
+            self.pos += 1
+        if not value_words:
+            raise SQLParseError(
+                f"condition on {' '.join(column_words)!r} is missing a value")
+        return Condition(" ".join(column_words), operator,
+                         _parse_value(" ".join(value_words)))
+
+
 def parse_sql(text: str) -> Query:
     """Parse SQL text into a :class:`~repro.sqlengine.ast.Query`.
 
     Raises
     ------
     SQLParseError
-        If the text does not follow the WikiSQL sketch.
+        If the text does not follow the (extended) WikiSQL sketch.
     """
     if not text or not text.strip():
         raise SQLParseError("empty SQL text")
@@ -72,47 +236,95 @@ def parse_sql(text: str) -> Query:
         raise SQLParseError(f"query must start with SELECT: {text!r}")
     body = stripped[len("select"):].strip()
 
-    parts = _SPLIT_WHERE_RE.split(body, maxsplit=1)
-    select_part = parts[0]
+    select_text, clauses = _split_clauses(body)
     # Tolerate an explicit FROM clause (we are single-table).
-    from_split = re.split(r"\bfrom\b", select_part, maxsplit=1, flags=re.IGNORECASE)
-    select_part = from_split[0]
-    aggregate, column = _parse_select(select_part)
+    clauses.pop("from", None)
+    aggregate, column = _parse_select(select_text)
 
     conditions: list[Condition] = []
-    if len(parts) == 2:
-        where_body = parts[1].strip()
+    where_expr = None
+    if "where" in clauses:
+        where_body = clauses["where"]
         if not where_body:
             raise SQLParseError(f"WHERE clause is empty: {text!r}")
-        for chunk in _split_conditions(where_body):
-            cond_match = _COND_RE.match(chunk)
-            if not cond_match:
-                raise SQLParseError(f"cannot parse condition {chunk!r}")
-            col, op, val = cond_match.groups()
-            conditions.append(
-                Condition(col.strip(), Operator.from_token(op), _parse_value(val)))
-    return Query(select_column=column, aggregate=aggregate, conditions=conditions)
+        tokens = [m.group(0) for m in _TOKEN_RE.finditer(where_body)]
+        if any(t.lower() in _TREE_TOKENS for t in tokens):
+            where_expr = _WhereTreeParser(tokens).parse()
+        else:
+            # Legacy flat conjunction: split on raw text spans so the
+            # original spacing inside columns/values is preserved.
+            for chunk in _split_conditions(where_body):
+                cond_match = _COND_RE.match(chunk)
+                if not cond_match:
+                    raise SQLParseError(f"cannot parse condition {chunk!r}")
+                col, op, val = cond_match.groups()
+                conditions.append(Condition(
+                    col.strip(), Operator.from_token(op), _parse_value(val)))
+
+    group_by = None
+    if "group" in clauses:
+        group_by = clauses["group"]
+        if not group_by:
+            raise SQLParseError(f"GROUP BY clause is empty: {text!r}")
+
+    having = None
+    if "having" in clauses:
+        having = _parse_having(clauses["having"])
+
+    order_by = None
+    if "order" in clauses:
+        order_by = _parse_order(clauses["order"])
+
+    limit = None
+    if "limit" in clauses:
+        limit_text = clauses["limit"]
+        if not re.fullmatch(r"\d+", limit_text):
+            raise SQLParseError(f"LIMIT must be a non-negative integer: "
+                                f"{limit_text!r}")
+        limit = int(limit_text)
+
+    return Query(select_column=column, aggregate=aggregate,
+                 conditions=conditions, where=where_expr,
+                 group_by=group_by, having=having,
+                 order_by=order_by, limit=limit)
+
+
+def _parse_having(text: str) -> Having:
+    match = _HAVING_PAREN_RE.match(text) or _HAVING_BARE_RE.match(text)
+    if not match:
+        raise SQLParseError(f"cannot parse HAVING clause {text!r}")
+    agg, column, op, value = match.groups()
+    return Having(Aggregate.from_token(agg), column.strip(),
+                  Operator.from_token(op), _parse_value(value))
+
+
+def _parse_order(text: str) -> OrderBy:
+    if not text:
+        raise SQLParseError("ORDER BY clause is empty")
+    direction = SortDirection.ASC
+    head, _, tail = text.rpartition(" ")
+    if head and tail.lower() in ("asc", "desc"):
+        direction = SortDirection.from_token(tail)
+        text = head.strip()
+    if not text:
+        raise SQLParseError("ORDER BY clause has no column")
+    return OrderBy(text, direction)
 
 
 def _split_conditions(where_body: str) -> list[str]:
-    """Split on AND, but never inside a quoted value."""
+    """Split on AND, but never inside a quoted value.
+
+    Splitting walks the quote-aware token stream, so an AND inside a
+    quoted value (``"rock and roll"``) or after a bareword apostrophe
+    (``o'connor``) never breaks a condition apart.
+    """
     chunks: list[str] = []
-    current: list[str] = []
-    in_quote: str | None = None
-    tokens = re.split(r"(\s+)", where_body)
-    for token in tokens:
-        bare = token.strip()
-        if in_quote is None and bare.lower() == "and":
-            chunks.append("".join(current))
-            current = []
-            continue
-        for ch in token:
-            if in_quote is None and ch in "\"'":
-                in_quote = ch
-            elif in_quote == ch:
-                in_quote = None
-        current.append(token)
-    chunks.append("".join(current))
+    start = 0
+    for match in _TOKEN_RE.finditer(where_body):
+        if match.group(0).lower() == "and":
+            chunks.append(where_body[start:match.start()])
+            start = match.end()
+    chunks.append(where_body[start:])
     chunks = [c.strip() for c in chunks if c.strip()]
     if not chunks:
         raise SQLParseError("WHERE clause has no conditions")

@@ -1,18 +1,20 @@
-"""Column data types and operator/aggregate vocabularies.
+"""Column data types and operator/aggregate/sort vocabularies.
 
 The engine implements the WikiSQL query sketch::
 
     SELECT [AGG] column WHERE column OP value (AND column OP value)*
 
 which is exactly the query class the paper's experiments use
-(Section VII-A; the sketch shown for TypeSQL comparison).
+(Section VII-A; the sketch shown for TypeSQL comparison), plus the
+extended grammar grown on top of it: OR/NOT in WHERE, GROUP BY with
+HAVING, and ORDER BY (:class:`SortDirection`) with LIMIT.
 """
 
 from __future__ import annotations
 
 from enum import Enum
 
-__all__ = ["DataType", "Aggregate", "Operator"]
+__all__ = ["DataType", "Aggregate", "Operator", "SortDirection"]
 
 
 class DataType(str, Enum):
@@ -56,3 +58,17 @@ class Operator(str, Enum):
             return cls(token.strip())
         except ValueError as exc:
             raise ValueError(f"unknown operator {token!r}") from exc
+
+
+class SortDirection(str, Enum):
+    """ORDER BY sort direction."""
+
+    ASC = "ASC"
+    DESC = "DESC"
+
+    @classmethod
+    def from_token(cls, token: str) -> "SortDirection":
+        try:
+            return cls(token.strip().upper())
+        except ValueError as exc:
+            raise ValueError(f"unknown sort direction {token!r}") from exc

@@ -18,7 +18,9 @@ from dataclasses import dataclass, field
 
 __all__ = [
     "SYNONYM_GROUPS",
+    "PHRASE_SYNONYMS",
     "synonym_group_of",
+    "phrase_group_of",
     "stem",
     "ColumnKnowledge",
     "KnowledgeBase",
@@ -112,6 +114,55 @@ for _gid, _group in enumerate(SYNONYM_GROUPS):
     for _word in _group:
         # First assignment wins; later duplicates keep their original group.
         _WORD_TO_GROUP.setdefault(_word, _gid)
+
+
+# Multi-token phrase synonym groups.  Deliberately separate from
+# SYNONYM_GROUPS: word groups shape the embedding space, while phrase
+# groups only drive phrase-level paraphrasing (the lexicon side of the
+# multi-token paraphrase attack).  Each group is meaning-preserving —
+# comparison-cue phrases stay within one comparison direction, so
+# substituting inside a group never changes the gold SQL.
+PHRASE_SYNONYMS: list[list[str]] = [
+    ["how many", "what number of"],
+    ["more than", "greater than"],
+    ["less than", "fewer than"],
+    ["other than", "apart from", "different from"],
+    ["for each", "for every"],
+    ["year won", "winning year", "year of victory"],
+    ["directed by", "made by"],
+    ["kind of film", "film genre"],
+    ["record company", "music label"],
+    ["crew size", "number of astronauts"],
+    ["launch date", "lift off date"],
+    ["length in days", "duration in days"],
+    ["number of votes", "vote count"],
+    ["winning driver", "driver who won"],
+    ["hire year", "year hired", "joining year"],
+    ["staff member", "member of staff"],
+    ["page count", "number of pages"],
+    ["finishing time", "time seconds"],
+    ["english name", "english title"],
+    ["irish name", "irish title"],
+    ["number of residents", "people live in", "resident count"],
+    ["prize money", "payout amount"],
+    ["home port", "port of registry"],
+    ["head physician", "chief doctor", "lead surgeon"],
+    ["number of beds", "bed count"],
+    ["founding year", "year established"],
+    ["mirror size", "mirror diameter"],
+    ["first light", "commissioning year"],
+    ["host nation", "country of operation"],
+]
+
+_PHRASE_TO_GROUP: dict[str, int] = {}
+for _pgid, _pgroup in enumerate(PHRASE_SYNONYMS):
+    for _phrase in _pgroup:
+        _PHRASE_TO_GROUP.setdefault(_phrase, _pgid)
+
+
+def phrase_group_of(phrase: str) -> int | None:
+    """Group id for a multi-token phrase (exact lower-cased match)."""
+    return _PHRASE_TO_GROUP.get(phrase.lower())
 
 def stem(word: str) -> str:
     """Very light suffix-stripping stemmer.

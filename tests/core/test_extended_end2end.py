@@ -1,0 +1,106 @@
+"""End-to-end training over the extended grammar.
+
+A tiny model with ``extended_grammar=True`` trains on a role-typed
+corpus; every gold target must stay inside the decoder's candidate
+space, gold targets must recover to the gold query, and per-sketch
+evaluation must partition the eval set.  A persistence round-trip
+preserves the grammar flag.
+"""
+
+import pytest
+
+from repro.core import (
+    NLIDB,
+    NLIDBConfig,
+    evaluate,
+    evaluate_by_sketch,
+    load_nlidb,
+    save_nlidb,
+    sketch_label,
+)
+from repro.core.seq2seq.model import Seq2SeqConfig
+from repro.data import generate_role_typed
+from repro.text import WordEmbeddings
+
+
+def _config(extended: bool = True) -> NLIDBConfig:
+    return NLIDBConfig(extended_grammar=extended, classifier_epochs=1,
+                       seq2seq_epochs=2,
+                       seq2seq=Seq2SeqConfig(hidden=24, attention_dim=24))
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return generate_role_typed(seed=41, train_size=48, dev_size=12,
+                               test_size=0)
+
+
+@pytest.fixture(scope="module")
+def model(dataset):
+    nlidb = NLIDB(WordEmbeddings(dim=32, seed=0), _config())
+    nlidb.fit(dataset.train)
+    return nlidb
+
+
+class TestExtendedTraining:
+    def test_all_gold_targets_reachable(self, model, dataset):
+        for example in dataset.train:
+            pair = model.training_pair(example)
+            assert model.translator.reachable(pair), example.question
+
+    def test_gold_targets_recover_to_gold(self, model, dataset):
+        for example in dataset.train:
+            pair = model.training_pair(example)
+            annotation = model.annotator.annotate(example.question_tokens,
+                                                  example.table)
+            translation = model.recover(pair.source, list(pair.target),
+                                        annotation)
+            assert translation.query is not None, translation.error
+            assert translation.query.query_match_equal(example.query)
+
+    def test_translate_returns_queries(self, model, dataset):
+        predictions = [model.translate(e.question_tokens, e.table).query
+                       for e in dataset.dev]
+        result = evaluate(predictions, dataset.dev)
+        assert result.n == len(dataset.dev)
+
+    def test_by_sketch_partitions_eval_set(self, model, dataset):
+        predictions = [model.translate(e.question_tokens, e.table).query
+                       for e in dataset.dev]
+        by_sketch = evaluate_by_sketch(predictions, dataset.dev)
+        assert sum(r.n for r in by_sketch.values()) == len(dataset.dev)
+        assert set(by_sketch) == {sketch_label(e.query)
+                                  for e in dataset.dev}
+
+    def test_persistence_preserves_grammar_flag(self, model, dataset,
+                                                tmp_path):
+        path = tmp_path / "extended.json"
+        save_nlidb(model, path)
+        loaded = load_nlidb(path)
+        assert loaded.config.extended_grammar is True
+        example = dataset.dev[0]
+        original = model.translate(example.question_tokens, example.table)
+        restored = loaded.translate(example.question_tokens, example.table)
+        assert original.annotated_tokens == restored.annotated_tokens
+        if original.query is None:
+            assert restored.query is None
+        else:
+            assert restored.query is not None
+            assert original.query.query_match_equal(restored.query)
+
+
+class TestLegacyConfigUnchanged:
+    def test_legacy_model_has_no_extended_tokens(self, dataset):
+        from repro.core.seq2seq import STRUCTURAL_TOKENS, build_candidates
+        legacy_examples = [e for e in dataset.train if e.sketch_compatible]
+        nlidb = NLIDB(WordEmbeddings(dim=32, seed=0),
+                      _config(extended=False))
+        nlidb.fit(legacy_examples)
+        assert nlidb.config.seq2seq.extended_grammar is False
+        pair = nlidb.training_pair(legacy_examples[0])
+        candidates = build_candidates(
+            pair.source, pair.header_tokens, pair.extra_symbols,
+            extended=nlidb.config.seq2seq.extended_grammar)
+        base = len(STRUCTURAL_TOKENS)
+        assert candidates[:base] == STRUCTURAL_TOKENS
+        assert "(" not in candidates and ")" not in candidates

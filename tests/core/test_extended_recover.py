@@ -1,0 +1,128 @@
+"""Extended-grammar annotation round-trips and vocabulary stability.
+
+Two contracts:
+
+* annotated-SQL targets built from extended gold queries recover back
+  to the same query (per-family round-trip through
+  :func:`build_annotated_sql` / :func:`recover_sql`);
+* the legacy candidate vocabulary is byte-identical with the extended
+  grammar disabled, and the extended tokens slot in directly after the
+  base structural block when enabled.
+"""
+
+import pytest
+
+from repro.core import build_annotated_sql, recover_sql
+from repro.core.annotate import (
+    AnnotatedQuestion,
+    ColumnAnnotation,
+    ValueAnnotation,
+)
+from repro.core.seq2seq import STRUCTURAL_TOKENS, build_candidates
+from repro.core.seq2seq.vocab import (
+    EXTENDED_STRUCTURAL_TOKENS,
+    structural_tokens,
+)
+from repro.data import generate_role_typed
+from repro.sqlengine import execute, results_equal
+
+
+def gold_annotation(example) -> AnnotatedQuestion:
+    """Build the annotation a perfect mention detector would produce."""
+    columns: list[ColumnAnnotation] = []
+    values: list[ValueAnnotation] = []
+    index_of: dict[str, int] = {}
+    for mention in example.mentions:
+        key = mention.column.lower()
+        if key not in index_of:
+            index_of[key] = len(index_of) + 1
+            span = None if mention.start == mention.end \
+                else (mention.start, mention.end)
+            if mention.kind == "value":
+                span = None  # column itself is implicit
+            columns.append(ColumnAnnotation(mention.column, index_of[key],
+                                            span))
+        if mention.kind == "value":
+            surface = " ".join(
+                example.question_tokens[mention.start:mention.end])
+            values.append(ValueAnnotation(mention.column, index_of[key],
+                                          (mention.start, mention.end),
+                                          surface))
+    return AnnotatedQuestion(question_tokens=list(example.question_tokens),
+                             table=example.table, columns=columns,
+                             values=values)
+
+
+@pytest.fixture(scope="module")
+def examples():
+    ds = generate_role_typed(seed=29, train_size=120, dev_size=30,
+                             test_size=0)
+    return ds.train + ds.dev
+
+
+class TestExtendedRecovery:
+    def test_round_trip_every_family(self, examples):
+        seen = set()
+        for example in examples:
+            annotation = gold_annotation(example)
+            target = build_annotated_sql(annotation, example.query)
+            recovered = recover_sql(target, annotation)
+            assert recovered.query_match_equal(example.query), \
+                (example.question_tokens, target)
+            assert results_equal(execute(recovered, example.table),
+                                 execute(example.query, example.table))
+            if example.query.is_extended:
+                seen.add(target[0])
+                seen.update(t for t in target
+                            if t in EXTENDED_STRUCTURAL_TOKENS)
+        # The corpus actually exercised the new grammar tokens.
+        assert {"group", "by", "order", "limit"} <= seen
+
+    def test_targets_stay_in_candidate_space(self, examples):
+        """Every annotated-SQL token must be producible by the decoder:
+        structural, an input symbol/word, or a header token."""
+        for example in examples:
+            annotation = gold_annotation(example)
+            target = build_annotated_sql(annotation, example.query)
+            input_tokens = annotation.annotated_tokens(
+                append=True, header_encoding=True)
+            header_tokens = [t for name in example.table.column_names
+                            for t in name.lower().split()]
+            extra = [f"c{c.index}" for c in annotation.columns]
+            candidates = set(build_candidates(
+                input_tokens, header_tokens, extra, extended=True))
+            missing = [t for t in target if t not in candidates]
+            assert not missing, (missing, example.question_tokens)
+
+
+class TestCandidateVocabularyStability:
+    INPUT = ["which", "c1", "city", "v1", "?"]
+    HEADERS = ["name", "city", "pop"]
+
+    def test_legacy_list_byte_identical(self):
+        candidates = build_candidates(self.INPUT, self.HEADERS)
+        assert candidates == STRUCTURAL_TOKENS + [
+            "which", "c1", "city", "v1", "?", "name", "pop"]
+        assert candidates == build_candidates(self.INPUT, self.HEADERS,
+                                              extended=False)
+
+    def test_extended_tokens_slot_after_base(self):
+        legacy = build_candidates(self.INPUT, self.HEADERS)
+        extended = build_candidates(self.INPUT, self.HEADERS, extended=True)
+        base = len(STRUCTURAL_TOKENS)
+        assert extended[:base] == legacy[:base]
+        assert extended[base:base + len(EXTENDED_STRUCTURAL_TOKENS)] == \
+            EXTENDED_STRUCTURAL_TOKENS
+        assert extended[base + len(EXTENDED_STRUCTURAL_TOKENS):] == \
+            legacy[base:]
+
+    def test_extended_flag_dedups_grammar_words_in_question(self):
+        # "or" in the question is a plain copyable word in legacy mode
+        # but already structural in extended mode.
+        tokens = ["now", "or", "never"]
+        legacy = build_candidates(tokens, [])
+        extended = build_candidates(tokens, [], extended=True)
+        assert legacy.count("or") == 1 and legacy.index("or") >= len(
+            STRUCTURAL_TOKENS)
+        assert extended.count("or") == 1 and extended.index("or") < len(
+            structural_tokens(extended=True))

@@ -1,0 +1,141 @@
+"""Role-typed intent generators and augmentation passes."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    ColumnShuffle,
+    GenPlan,
+    OperatorSubset,
+    Role,
+    ValueVariation,
+    apply_passes,
+    generate_role_typed,
+    standard_intents,
+)
+from repro.data.domains import held_out_domains, training_domains
+from repro.errors import DataError
+from repro.sqlengine import Operator, execute, parse_sql
+from repro.core import sketch_label
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return generate_role_typed(seed=5, train_size=160, dev_size=40,
+                               test_size=40)
+
+
+@pytest.fixture(scope="module")
+def examples(dataset):
+    return dataset.train + dataset.dev + dataset.test
+
+
+class TestRoleMatching:
+    def test_every_training_domain_has_an_identifier(self):
+        for domain in training_domains():
+            assert domain.columns_with_role(Role.IDENTIFIER), domain.name
+
+    def test_applicability_follows_roles(self):
+        by_name = {d.name: d for d in held_out_domains()}
+        intents = {g.name: g for g in standard_intents()}
+        # hospitals and observatories carry category columns → all
+        # eight families apply; ships has no category column, so the
+        # category-dependent families must bow out.
+        for name in ("hospitals", "observatories"):
+            assert all(g.applicable(by_name[name])
+                       for g in intents.values()), name
+        ships = by_name["ships"]
+        assert not intents["group_agg"].applicable(ships)
+        assert not intents["disjunction"].applicable(ships)
+        assert intents["filter"].applicable(ships)
+        assert intents["topn"].applicable(ships)
+
+    def test_all_families_generated(self, dataset):
+        labels = {sketch_label(e.query) for e in dataset.train}
+        assert labels == {"filter", "count", "aggregate", "range", "topn",
+                          "group_agg", "negation", "disjunction"}
+
+    def test_held_out_domains_are_refused(self):
+        with pytest.raises(DataError, match="held-out"):
+            generate_role_typed(seed=0, train_size=8, dev_size=2, test_size=2,
+                                domains=held_out_domains())
+
+    def test_held_out_domains_usable_with_override(self):
+        ds = generate_role_typed(seed=0, train_size=12, dev_size=3,
+                                 test_size=3, domains=held_out_domains(),
+                                 allow_held_out=True)
+        assert len(ds.train) == 12
+
+
+class TestGeneratedExamples:
+    def test_gold_queries_round_trip_and_execute(self, examples):
+        for example in examples:
+            assert parse_sql(example.query.to_sql()) == example.query
+            execute(example.query, example.table)
+
+    def test_sketch_compatible_mirrors_grammar(self, examples):
+        for example in examples:
+            assert example.sketch_compatible == (not example.query.is_extended)
+
+    def test_copyable_digits_are_surfaced(self, examples):
+        """LIMIT and HAVING literals must appear in the question tokens
+        so the pointer decoder can copy them."""
+        for example in examples:
+            query = example.query
+            if query.limit is not None:
+                assert str(query.limit) in example.question_tokens
+            if query.having is not None:
+                assert str(query.having.value) in example.question_tokens
+
+    def test_mentions_cover_condition_columns(self, examples):
+        for example in examples:
+            mentioned = {m.column.lower() for m in example.mentions
+                         if m.column}
+            for leaf in example.query.where_leaves():
+                assert leaf.column.lower() in mentioned
+
+
+class TestAugmentationPasses:
+    def _plan(self):
+        return GenPlan(domain=training_domains()[0])
+
+    def test_column_shuffle_permutes_only(self):
+        rng = np.random.default_rng(3)
+        plan = apply_passes(self._plan(), [ColumnShuffle()], rng)
+        original = self._plan().domain.columns
+        assert sorted(c.name for c in plan.domain.columns) == \
+            sorted(c.name for c in original)
+
+    def test_operator_subset_restricts(self):
+        rng = np.random.default_rng(3)
+        plan = apply_passes(self._plan(), [OperatorSubset((Operator.EQ,))],
+                            rng)
+        assert plan.allowed_operators == (Operator.EQ,)
+
+    def test_operator_subset_rejects_empty_intersection(self):
+        rng = np.random.default_rng(3)
+        restricted = apply_passes(self._plan(),
+                                  [OperatorSubset((Operator.EQ,))], rng)
+        with pytest.raises(DataError):
+            apply_passes(restricted, [OperatorSubset((Operator.GT,))], rng)
+
+    def test_passes_compose_into_generation(self):
+        ds = generate_role_typed(
+            seed=4, train_size=40, dev_size=10, test_size=10,
+            passes=(ColumnShuffle(), OperatorSubset((Operator.EQ,)),
+                    ValueVariation(0.1)))
+        for example in ds.train:
+            assert parse_sql(example.query.to_sql()) == example.query
+            execute(example.query, example.table)
+            # An EQ-only subset excludes the range family entirely, so
+            # no WHERE leaf anywhere in the corpus uses an ordering op.
+            for leaf in example.query.where_leaves():
+                assert leaf.operator is Operator.EQ
+
+    def test_small_corpora_cover_extended_families(self):
+        """The staggered round-robin reaches extended intents even at
+        smoke-size corpora (regression: legacy-first starvation)."""
+        ds = generate_role_typed(seed=0, train_size=50, dev_size=16,
+                                 test_size=16)
+        labels = {sketch_label(e.query) for e in ds.train}
+        assert {"topn", "group_agg", "negation", "disjunction"} <= labels

@@ -63,7 +63,7 @@ def test_prefix_corpus_reproduces_prefix_variants(nlidb, corpus,
 
 
 def test_every_pair_is_variant_or_skip(attack_suite, corpus):
-    assert len(attack_suite.skipped) == 5  # all five families ran
+    assert len(attack_suite.skipped) == 6  # all six families ran
     total = len(attack_suite.variants) + sum(attack_suite.skipped.values())
     assert total == len(attack_suite.skipped) * len(corpus)
     assert attack_suite.corpus_size == len(corpus)

@@ -1,0 +1,126 @@
+"""Multi-token phrase paraphrase attack + RNG-stream stability.
+
+Two contracts:
+
+* :class:`PhraseParaphraseAttack` swaps whole lexicon phrases (never
+  inside gold value spans) and leaves the gold query untouched;
+* appending the family to ``standard_attacks`` did not disturb the
+  existing families' per-pair RNG streams — variants of the old
+  families are byte-identical with and without the new family present.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data import generate_role_typed, generate_wikisql_style
+from repro.data.records import Example, MentionSpan
+from repro.eval import PhraseParaphraseAttack, generate_suite, standard_attacks
+from repro.eval.attacks import (
+    DistractorColumnAttack,
+    ParaphraseAttack,
+    TypoAttack,
+    ValueSwapAttack,
+)
+from repro.sqlengine import Column, Condition, Operator, Query, Table
+from repro.text import tokenize
+from repro.text.lexicon import PHRASE_SYNONYMS, phrase_group_of
+
+
+def _example(question: str, query: Query, table: Table,
+             mentions=()) -> Example:
+    return Example(question=question, table=table, query=query,
+                   mentions=list(mentions), domain="test")
+
+
+def _table():
+    return Table("t", [Column("name"), Column("year won")],
+                 [("anna", "1999"), ("bob", "2004")])
+
+
+class TestPhraseParaphrase:
+    def test_multi_token_phrase_is_replaced(self):
+        query = Query("name", conditions=[
+            Condition("year won", Operator.EQ, "1999")])
+        example = _example("which name has year won = 1999 ?", query,
+                           _table())
+        variant = PhraseParaphraseAttack().perturb(
+            example, np.random.default_rng(0))
+        assert variant is not None
+        assert variant.query == query
+        assert list(variant.tokens) != list(example.question_tokens)
+        # The replacement phrase comes from the same synonym group.
+        gid = phrase_group_of("year won")
+        assert gid is not None
+        group = PHRASE_SYNONYMS[gid]
+        assert any(" ".join(variant.tokens).find(p) >= 0
+                   for p in group if p != "year won")
+
+    def test_value_spans_are_protected(self):
+        # The only phrase match sits inside a gold value span → no
+        # variant can be produced.
+        query = Query("name", conditions=[
+            Condition("name", Operator.EQ, "year won")])
+        tokens = "who is year won ?"
+        example = _example(
+            tokens, query, _table(),
+            mentions=[MentionSpan("name", "value", 2, 4)])
+        assert PhraseParaphraseAttack().perturb(
+            example, np.random.default_rng(0)) is None
+
+    def test_no_phrase_means_no_variant(self):
+        query = Query("name", conditions=[])
+        example = _example("zebra quantum flux ?", query, _table())
+        assert PhraseParaphraseAttack().perturb(
+            example, np.random.default_rng(0)) is None
+
+    def test_deterministic_per_rng(self):
+        query = Query("name", conditions=[])
+        example = _example("how many name have year won = 4 ?", query,
+                           _table())
+        attack = PhraseParaphraseAttack()
+        a = attack.perturb(example, np.random.default_rng(7))
+        b = attack.perturb(example, np.random.default_rng(7))
+        assert a is not None and b is not None
+        assert a.tokens == b.tokens and a.note == b.note
+
+    def test_groups_are_non_trivial(self):
+        for group in PHRASE_SYNONYMS:
+            assert len(group) >= 2
+            assert len(set(group)) == len(group)
+            # Phrase families are multi-token by definition.
+            assert all(len(tokenize(p)) >= 2 for p in group)
+
+
+class TestRngStreamStability:
+    """Appending the phrase family must not re-seed the old families."""
+
+    @pytest.fixture(scope="class")
+    def corpus(self):
+        ds = generate_wikisql_style(seed=31, train_size=0, dev_size=24,
+                                    test_size=0)
+        return ds.dev
+
+    def test_old_family_variants_byte_identical(self, corpus):
+        old_families = [ParaphraseAttack(), ValueSwapAttack(),
+                        DistractorColumnAttack(), TypoAttack()]
+        with_new = old_families + [PhraseParaphraseAttack()]
+        baseline = generate_suite(corpus, old_families, seed=5)
+        extended = generate_suite(corpus, with_new, seed=5)
+        old_names = {a.name for a in old_families}
+        kept = [v for v in extended.variants if v.attack in old_names]
+        assert [(v.attack, v.tokens, v.note) for v in baseline.variants] == \
+            [(v.attack, v.tokens, v.note) for v in kept]
+
+    def test_standard_attacks_order_contract(self):
+        names = [a.name for a in standard_attacks()]
+        assert names == ["paraphrase", "value_swap", "distractor",
+                         "typo", "phrase_paraphrase"]
+
+    def test_phrase_family_fires_on_extended_corpus(self):
+        ds = generate_role_typed(seed=3, train_size=0, dev_size=40,
+                                 test_size=0)
+        suite = generate_suite(ds.dev, [PhraseParaphraseAttack()], seed=1)
+        assert suite.variants, "phrase paraphrase never fired"
+        for variant in suite.variants:
+            assert variant.query == variant.origin_query
+            assert variant.tokens != variant.origin_tokens

@@ -1,0 +1,173 @@
+"""Differential tests: the extended engine leaves the legacy sketch alone.
+
+A frozen re-implementation of the pre-extension renderer and executor
+(flat conjunction only, no OR/NOT/GROUP/ORDER/LIMIT) is compared against
+the live engine over legacy corpora: SQL text must be byte-identical and
+execution results must match exactly.  Any change to how old-sketch
+queries render or execute fails here, even if the extended-grammar
+tests still pass.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data import generate_role_typed, generate_wikisql_style
+from repro.sqlengine import Aggregate, Operator, Query, execute, parse_sql
+
+
+# ----------------------------------------------------------------------
+# Frozen legacy reference (do not "fix" — it pins pre-extension behavior)
+# ----------------------------------------------------------------------
+
+def _legacy_format_value(value) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, (int, float)):
+        if isinstance(value, float) and value.is_integer():
+            return str(int(value))
+        return str(value)
+    return f'"{value}"'
+
+
+def legacy_to_sql(query: Query) -> str:
+    if query.aggregate is Aggregate.NONE:
+        select = f"SELECT {query.select_column}"
+    else:
+        select = f"SELECT {query.aggregate.value}({query.select_column})"
+    if not query.conditions:
+        return select
+    where = " AND ".join(
+        f"{c.column} {c.operator.value} {_legacy_format_value(c.value)}"
+        for c in query.conditions)
+    return f"{select} WHERE {where}"
+
+
+def _legacy_number(value) -> float:
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        return float(value)
+    return float(str(value).strip())
+
+
+def _legacy_match(cell, cond, dtype) -> bool:
+    from repro.sqlengine import DataType
+    if cond.operator is Operator.EQ:
+        if dtype is DataType.REAL:
+            try:
+                return _legacy_number(cell) == _legacy_number(cond.value)
+            except ValueError:
+                return False
+        return str(cell).strip().lower() == str(cond.value).strip().lower()
+    try:
+        lhs, rhs = _legacy_number(cell), _legacy_number(cond.value)
+    except ValueError:
+        return False
+    return lhs > rhs if cond.operator is Operator.GT else lhs < rhs
+
+
+def legacy_execute(query: Query, table):
+    indexed = [(table.column_index(c.column), c) for c in query.conditions]
+    rows = [row for row in table.rows
+            if all(_legacy_match(row[i], c, table.columns[i].dtype)
+                   for i, c in indexed)]
+    select_idx = table.column_index(query.select_column)
+    cells = [row[select_idx] for row in rows]
+    agg = query.aggregate
+    if agg is Aggregate.NONE:
+        return sorted(cells, key=lambda v: str(v))
+    if agg is Aggregate.COUNT:
+        return len(cells)
+    if not cells:
+        return None
+    numbers = [_legacy_number(v) for v in cells]
+    if agg is Aggregate.MAX:
+        return max(numbers)
+    if agg is Aggregate.MIN:
+        return min(numbers)
+    if agg is Aggregate.SUM:
+        return sum(numbers)
+    return sum(numbers) / len(numbers)
+
+
+# ----------------------------------------------------------------------
+# Corpora
+# ----------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def legacy_examples():
+    ds = generate_wikisql_style(seed=17, train_size=60, dev_size=15,
+                                test_size=15)
+    return ds.train + ds.dev + ds.test
+
+
+@pytest.fixture(scope="module")
+def role_typed_legacy_examples():
+    ds = generate_role_typed(seed=17, train_size=120, dev_size=30,
+                             test_size=30)
+    out = [e for e in ds.train + ds.dev + ds.test if e.sketch_compatible]
+    assert out, "role-typed corpus produced no legacy-sketch examples"
+    return out
+
+
+class TestLegacySQLByteIdentical:
+    def test_wikisql_corpus(self, legacy_examples):
+        for example in legacy_examples:
+            assert not example.query.is_extended
+            assert example.query.to_sql() == legacy_to_sql(example.query)
+
+    def test_role_typed_legacy_subset(self, role_typed_legacy_examples):
+        for example in role_typed_legacy_examples:
+            assert not example.query.is_extended
+            assert example.query.to_sql() == legacy_to_sql(example.query)
+
+    def test_parse_preserves_byte_identity(self, legacy_examples):
+        for example in legacy_examples:
+            sql = example.query.to_sql()
+            assert parse_sql(sql).to_sql() == sql
+
+    def test_synthetic_value_shapes(self):
+        from repro.sqlengine import Condition
+        queries = [
+            Query("a", Aggregate.NONE, [Condition("b", Operator.EQ, "x y")]),
+            Query("a", Aggregate.COUNT, [Condition("b", Operator.GT, 3)]),
+            Query("a", Aggregate.MAX, [Condition("b", Operator.LT, 2.5)]),
+            Query("a", Aggregate.SUM, [Condition("b", Operator.EQ, 4.0)]),
+            Query("a", Aggregate.AVG, []),
+        ]
+        for query in queries:
+            assert query.to_sql() == legacy_to_sql(query)
+
+
+class TestLegacyExecutionIdentical:
+    def test_wikisql_corpus(self, legacy_examples):
+        for example in legacy_examples:
+            assert execute(example.query, example.table) == \
+                legacy_execute(example.query, example.table)
+
+    def test_role_typed_legacy_subset(self, role_typed_legacy_examples):
+        for example in role_typed_legacy_examples:
+            assert execute(example.query, example.table) == \
+                legacy_execute(example.query, example.table)
+
+    def test_randomized_conditions(self):
+        """Random flat conjunctions over a fixed table agree exactly."""
+        from repro.sqlengine import Column, Condition, DataType, Table
+        rng = np.random.default_rng(23)
+        table = Table(
+            "t", [Column("name"), Column("city"),
+                  Column("pop", DataType.REAL)],
+            [(f"p{i}", ["mayo", "cork", "oslo"][int(rng.integers(3))],
+              int(rng.integers(0, 50))) for i in range(20)])
+        columns = ["name", "city", "pop"]
+        for _ in range(200):
+            conditions = [
+                Condition(columns[int(rng.integers(3))],
+                          [Operator.EQ, Operator.GT,
+                           Operator.LT][int(rng.integers(3))],
+                          ["mayo", "p3", int(rng.integers(0, 50))][
+                              int(rng.integers(3))])
+                for _ in range(int(rng.integers(0, 3)))]
+            agg = list(Aggregate)[int(rng.integers(len(Aggregate)))]
+            query = Query("pop" if agg not in (Aggregate.NONE,
+                                               Aggregate.COUNT) else "name",
+                          agg, conditions)
+            assert execute(query, table) == legacy_execute(query, table)
