@@ -44,11 +44,17 @@ bench-serving:
 	REPRO_BENCH_SCALE=smoke $(PYTHON) -m pytest benchmarks/bench_serving.py -q
 
 # Vectorized-inference benchmark: batched column scoring, lockstep vs
-# per-beam decoding, and schema-cache cold/warm latency.  Writes
-# BENCH_inference.json at the repo root; fails if the batched paths
-# are slower than the per-item reference.
+# per-beam decoding, the float32 arena-vs-tensor allocation comparison,
+# and schema-cache cold/warm latency.  Writes BENCH_inference.json at
+# the repo root; fails if the batched paths are slower than the
+# per-item reference.  ARENA=0 runs the end-to-end cells on the float64
+# tensor path; QUANT=1 scores the frozen classifier head from int8.
+ARENA ?= 1
+QUANT ?= 0
 bench-inference:
-	REPRO_BENCH_SCALE=smoke $(PYTHON) -m pytest benchmarks/bench_inference.py -q
+	REPRO_BENCH_SCALE=smoke REPRO_BENCH_ARENA=$(ARENA) \
+		REPRO_BENCH_QUANT=$(QUANT) \
+		$(PYTHON) -m pytest benchmarks/bench_inference.py -q
 
 # Micro-batching scheduler benchmark: coalesced vs single-request
 # dispatch at concurrency 1/8/32, with every request differentially

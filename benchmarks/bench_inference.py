@@ -13,32 +13,62 @@ model and writes one ``BENCH_inference.json`` record at the repo root:
 
 The floors are scale-aware: at ``standard`` the batched column path
 must be ≥ 2× the sequential one; at ``smoke`` it only must not lose.
+
+``REPRO_BENCH_ARENA=0`` / ``REPRO_BENCH_QUANT=1`` (the Makefile's
+``ARENA`` / ``QUANT`` knobs) select which inference path the end-to-end
+cells run on; the beam-search and allocation tests always measure both
+sides of the arena comparison.
 """
 
 from __future__ import annotations
 
 import json
+import os
+import resource
+import tracemalloc
 from pathlib import Path
 from time import perf_counter
 
 import numpy as np
 
 import common as C
+from repro.nn import allocation_events
 from repro.serving import TranslationService
 from repro.sqlengine import Column, DataType, Table
 from repro.text import tokenize
 
 RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_inference.json"
 
+#: Inference-path selection (the Makefile's ARENA= / QUANT= knobs).
+ARENA = os.environ.get("REPRO_BENCH_ARENA", "1") != "0"
+QUANT = os.environ.get("REPRO_BENCH_QUANT", "0") == "1"
+
 #: Accumulated across the module's tests; rewritten after each one so a
 #: partial run still leaves a valid JSON artifact.
-RECORD: dict = {"scale": None}
+RECORD: dict = {"scale": None,
+                "inference_flags": {"arena": ARENA, "quantized": QUANT}}
 
 
 def _write_record() -> None:
     RECORD["scale"] = "standard" if C.strict_shape() else "smoke"
+    RECORD["peak_rss_mb"] = _peak_rss_mb()
     RESULT_PATH.write_text(json.dumps(RECORD, indent=2, sort_keys=True))
     print(json.dumps(RECORD, indent=2, sort_keys=True))
+
+
+def _peak_rss_mb() -> float:
+    """Process peak resident set size in MiB (ru_maxrss is KiB on Linux)."""
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+
+
+def _set_arena(model, enabled: bool, quantized: bool = False) -> None:
+    """Flip every inference-path switch of a fitted model together."""
+    model.config.arena_inference = enabled
+    model.config.quantized_scoring = quantized and enabled
+    model.config.seq2seq.arena_inference = enabled
+    classifier = model.annotator.column_classifier
+    classifier.arena_inference = enabled
+    classifier.quantized_scoring = quantized and enabled
 
 
 def wide_table(columns: int = 10, rows: int = 8) -> Table:
@@ -62,6 +92,7 @@ def _percentiles(samples: list[float]) -> dict:
 def test_batched_column_scoring(benchmark):
     model = C.full_nlidb()
     classifier = model.annotator.column_classifier
+    _set_arena(model, ARENA, QUANT)
     table = wide_table()
     columns = [tokenize(name) for name in table.column_names]
     questions = [e.question_tokens
@@ -84,10 +115,25 @@ def test_batched_column_scoring(benchmark):
         for question in questions:
             classifier.score_columns(question, encoded=encoded)
         batched_warm = perf_counter() - start
-        return sequential, batched_cold, batched_warm
 
-    sequential, cold, warm = benchmark.pedantic(measure, rounds=1,
-                                                iterations=1)
+        # int8 frozen-head scoring: warm timing + parity vs float32.
+        quantized = None
+        if ARENA:
+            f32_scores = [classifier.score_columns(q, encoded=encoded)
+                          for q in questions]
+            classifier.quantized_scoring = True
+            start = perf_counter()
+            q8_scores = [classifier.score_columns(q, encoded=encoded)
+                         for q in questions]
+            warm_q8 = perf_counter() - start
+            classifier.quantized_scoring = QUANT
+            delta = max(float(np.max(np.abs(np.asarray(a) - np.asarray(b))))
+                        for a, b in zip(f32_scores, q8_scores))
+            quantized = (warm_q8, delta)
+        return sequential, batched_cold, batched_warm, quantized
+
+    sequential, cold, warm, quantized = benchmark.pedantic(
+        measure, rounds=1, iterations=1)
     n = len(questions)
     RECORD["column_scoring"] = {
         "columns": len(columns),
@@ -97,6 +143,10 @@ def test_batched_column_scoring(benchmark):
         "batched_warm_s_per_question": warm / n,
         "batched_speedup": sequential / max(cold, 1e-12),
         "warm_speedup": sequential / max(warm, 1e-12),
+        "int8": None if quantized is None else {
+            "warm_s_per_question": quantized[0] / n,
+            "max_abs_score_delta": quantized[1],
+        },
     }
     _write_record()
 
@@ -107,10 +157,14 @@ def test_batched_column_scoring(benchmark):
     C.print_row("score_columns (cached schema)", f"{warm / n * 1e3:.2f} ms")
     C.print_row("batched speedup",
                 f"{RECORD['column_scoring']['batched_speedup']:.2f}x")
+    if quantized is not None:
+        C.print_row("int8 max score delta", f"{quantized[1]:.2e}")
 
     floor = 2.0 if C.strict_shape() else 1.0
     assert RECORD["column_scoring"]["batched_speedup"] >= floor
     assert warm <= cold * 1.1  # reusing the encoding can only help
+    if quantized is not None:
+        assert quantized[1] <= 1e-4  # int8 scores within the pin
 
 
 def test_lockstep_beam_search(benchmark):
@@ -126,9 +180,10 @@ def test_lockstep_beam_search(benchmark):
             model._symbols(annotation)))
 
     def measure():
-        per_beam, lockstep = [], []
+        per_beam, lockstep, arena = [], [], []
         outputs = []
         for source, headers, symbols in prepared:
+            _set_arena(model, False)
             start = perf_counter()
             slow = model.translator.translate(source, headers, symbols,
                                               lockstep=False)
@@ -137,34 +192,120 @@ def test_lockstep_beam_search(benchmark):
             fast = model.translator.translate(source, headers, symbols,
                                               lockstep=True)
             lockstep.append(perf_counter() - start)
-            outputs.append((slow, fast))
-        return per_beam, lockstep, outputs
+            _set_arena(model, True)
+            start = perf_counter()
+            fast32 = model.translator.translate(source, headers, symbols,
+                                                lockstep=True)
+            arena.append(perf_counter() - start)
+            outputs.append((slow, fast, fast32))
+        _set_arena(model, ARENA, QUANT)
+        return per_beam, lockstep, arena, outputs
 
-    per_beam, lockstep, outputs = benchmark.pedantic(measure, rounds=1,
-                                                     iterations=1)
+    per_beam, lockstep, arena, outputs = benchmark.pedantic(
+        measure, rounds=1, iterations=1)
     RECORD["beam_search"] = {
         "pairs": len(prepared),
         "beam_width": model.translator.config.beam_width,
         "per_beam": _percentiles(per_beam),
         "lockstep": _percentiles(lockstep),
+        "arena": _percentiles(arena),
         "lockstep_speedup": sum(per_beam) / max(sum(lockstep), 1e-12),
-        "identical_sql": all(slow == fast for slow, fast in outputs),
+        "arena_speedup": sum(per_beam) / max(sum(arena), 1e-12),
+        "arena_vs_lockstep": sum(lockstep) / max(sum(arena), 1e-12),
+        "identical_sql": all(slow == fast == fast32
+                             for slow, fast, fast32 in outputs),
     }
     _write_record()
 
-    C.print_header("Beam search — lockstep vs per-beam decoder")
+    C.print_header("Beam search — per-beam vs lockstep vs float32 arena")
     C.print_row("per-beam p50", f"{RECORD['beam_search']['per_beam']['p50_ms']:.2f} ms")
     C.print_row("lockstep p50", f"{RECORD['beam_search']['lockstep']['p50_ms']:.2f} ms")
+    C.print_row("arena p50", f"{RECORD['beam_search']['arena']['p50_ms']:.2f} ms")
     C.print_row("lockstep speedup",
                 f"{RECORD['beam_search']['lockstep_speedup']:.2f}x")
+    C.print_row("arena speedup",
+                f"{RECORD['beam_search']['arena_speedup']:.2f}x")
 
     assert RECORD["beam_search"]["identical_sql"]
     if C.strict_shape():
         assert RECORD["beam_search"]["lockstep_speedup"] >= 1.0
+        assert RECORD["beam_search"]["arena_vs_lockstep"] >= 1.0
+
+
+def test_allocation_footprint(benchmark):
+    """Warm-request allocation counts: tensor path vs arena kernels.
+
+    ``allocations_per_request`` counts substrate Tensor constructions
+    (every one wraps a fresh ndarray); the arena path must construct
+    none, and its reused slabs must stop growing once warm.  Traced
+    Python peak memory per pass rides along for scale.
+    """
+    model = C.full_nlidb()
+    examples = C.dataset().dev[:C.scale().eval_limit]
+    prepared = []
+    for example in examples:
+        annotation = model.annotate(example.question_tokens, example.table)
+        prepared.append((annotation.annotated_tokens(
+            append=model.config.column_name_appending,
+            header_encoding=model.config.header_encoding),
+            model.header_tokens(example.table),
+            model._symbols(annotation)))
+
+    def measure():
+        results = {}
+        for label, arena_on in (("tensor", False), ("arena", True)):
+            _set_arena(model, arena_on)
+            for source, headers, symbols in prepared:  # warm every slab
+                model.translator.translate(source, headers, symbols)
+            model.translator.arena.reset()
+            before = allocation_events()
+            tracemalloc.start()
+            for source, headers, symbols in prepared:
+                model.translator.translate(source, headers, symbols)
+            _current, peak = tracemalloc.get_traced_memory()
+            tracemalloc.stop()
+            results[label] = {
+                "allocations_per_request":
+                    (allocation_events() - before) / len(prepared),
+                "traced_peak_kb": peak / 1024.0,
+                "arena_grows": model.translator.arena.grows,
+            }
+        _set_arena(model, ARENA, QUANT)
+        return results
+
+    results = benchmark.pedantic(measure, rounds=1, iterations=1)
+    tensor, arena = results["tensor"], results["arena"]
+    reduction = (tensor["allocations_per_request"]
+                 / max(arena["allocations_per_request"], 1.0))
+    RECORD["allocation"] = {
+        "requests": len(prepared),
+        "allocations_per_request": arena["allocations_per_request"],
+        "tensor_mode_allocations_per_request":
+            tensor["allocations_per_request"],
+        "allocation_reduction": reduction,
+        "arena_traced_peak_kb": arena["traced_peak_kb"],
+        "tensor_traced_peak_kb": tensor["traced_peak_kb"],
+        "arena_grows_warm": arena["arena_grows"],
+        "arena_bytes": model.translator.arena.stats()["bytes"],
+    }
+    RECORD["allocations_per_request"] = arena["allocations_per_request"]
+    _write_record()
+
+    C.print_header("Allocations — warm translate, tensor vs arena path")
+    C.print_row("tensor allocs/request",
+                f"{tensor['allocations_per_request']:.0f}")
+    C.print_row("arena allocs/request",
+                f"{arena['allocations_per_request']:.0f}")
+    C.print_row("reduction", f"{reduction:.0f}x")
+    C.print_row("warm arena grows", f"{arena['arena_grows']}")
+
+    assert reduction >= 5.0  # the arena must beat the tensor path ≥ 5x
+    assert arena["arena_grows"] == 0  # warm slabs never grow
 
 
 def test_end_to_end_schema_cache(benchmark):
     model = C.full_nlidb()
+    _set_arena(model, ARENA, QUANT)
     examples = C.dataset().dev[:C.scale().eval_limit]
 
     def measure():
@@ -192,6 +333,7 @@ def test_end_to_end_schema_cache(benchmark):
         "warm_schema": _percentiles(warm),
         "qps_warm": n / max(sum(warm), 1e-12),
         "schema_cache": stats["schema_cache"],
+        "inference": stats.get("inference"),
     }
     _write_record()
 

@@ -32,6 +32,7 @@ from repro.nn import (
     AdditiveAttention,
     BiLSTM,
     CharConvEncoder,
+    InferenceArena,
     LSTM,
     LSTMCell,
     Linear,
@@ -43,6 +44,7 @@ from repro.nn import (
     merge_steps,
     no_grad,
     pack_steps,
+    sigmoid_,
 )
 from repro.text import CHAR_VOCAB_SIZE, WordEmbeddings, char_ids
 
@@ -106,16 +108,39 @@ class EncodedColumns:
     states: list[np.ndarray]     # T × (B, 2·hidden) column-RNN outputs
     units: np.ndarray            # (B, T, emb_dim); zero rows past length
 
+    # Lazy float32 snapshot (stacked states, units) used by the arena
+    # inference path.  Class-level None; built on first use and carried
+    # through subset() so warm requests never re-cast.  Lives on the
+    # cached SchemaEncoding, so it is invalidated with the schema cache
+    # on refit.
+    _f32: tuple[np.ndarray, np.ndarray] | None = None
+
+    def as_f32(self) -> tuple[np.ndarray, np.ndarray]:
+        """Return ``(states32 (T, B, 2H), units32 (B, T, emb))``."""
+        if self._f32 is None:
+            states32 = np.ascontiguousarray(np.stack(self.states)
+                                            if self.states else
+                                            np.zeros((0, len(self.tokens), 0)),
+                                            dtype=np.float32)
+            units32 = np.ascontiguousarray(self.units, dtype=np.float32)
+            self._f32 = (states32, units32)
+        return self._f32
+
     def subset(self, indices: list[int]) -> "EncodedColumns":
         """Row-gather a sub-batch of columns (no recomputation)."""
         idx = np.asarray(indices, dtype=np.intp)
         lengths = self.lengths[idx]
         t_max = int(lengths.max()) if len(lengths) else 0
-        return EncodedColumns(
+        sub = EncodedColumns(
             tokens=[self.tokens[i] for i in indices],
             lengths=lengths,
             states=[s[idx] for s in self.states[:t_max]],
             units=self.units[idx][:, :t_max])
+        if self._f32 is not None:
+            states32, units32 = self._f32
+            sub._f32 = (np.ascontiguousarray(states32[:t_max, idx]),
+                        np.ascontiguousarray(units32[idx][:, :t_max]))
+        return sub
 
     def __len__(self) -> int:
         return len(self.tokens)
@@ -164,6 +189,14 @@ class ColumnMentionClassifier(Module):
         # never flow into a non-leaf zeros tensor).
         self._feature_pad = Tensor.zeros(1, 2 * cfg.hidden + 2)
         self._trained = False
+        # Arena inference state (serving fast path).  ``arena_inference``
+        # and ``quantized_scoring`` are plain attributes (not config
+        # fields) so persisted configs stay wire-compatible; NLIDB
+        # mirrors its flags onto them at construction.
+        self.arena = InferenceArena()
+        self.arena_inference = True
+        self.quantized_scoring = False
+        self._wordvec32: dict[str, np.ndarray] = {}
 
     # ------------------------------------------------------------------
     # Embedding
@@ -344,8 +377,9 @@ class ColumnMentionClassifier(Module):
         The question side (embedding, question LSTM, unit matrix) runs
         once; the attentive BiLSTM advances all columns in lockstep with
         batched attention.  Equals per-column :meth:`predict_proba` to
-        float64 precision (BLAS path differences only).  Pass ``encoded``
-        to reuse a cached :meth:`encode_columns` artifact.
+        working precision — float32 on the default arena path, float64
+        with ``arena_inference`` off (BLAS path differences only).  Pass
+        ``encoded`` to reuse a cached :meth:`encode_columns` artifact.
         """
         if not question:
             raise ModelError("question and column must be non-empty")
@@ -356,6 +390,8 @@ class ColumnMentionClassifier(Module):
                     raise ModelError(
                         "score_columns() needs columns or encoded=")
                 encoded = self.encode_columns(columns)
+            if self.arena_inference:
+                return self._score_columns_np(question, encoded)
             batch = len(encoded)
             total = len(encoded.states)
             _, memory, q_unit = self._question_side(question)
@@ -407,6 +443,221 @@ class ColumnMentionClassifier(Module):
             logits = self.head(Tensor(features)).numpy().reshape(batch)
         return 1.0 / (1.0 + np.exp(-logits))
 
+    # ------------------------------------------------------------------
+    # Arena inference twins (float32, allocation-free when warm)
+    # ------------------------------------------------------------------
+
+    def _embed_word_np(self, word: str, out: np.ndarray) -> None:
+        """Write ``[E_word(w); E_char(w)]`` into ``out`` (emb_dim,)."""
+        cfg = self.config
+        vec = self._wordvec32.get(word)
+        if vec is None:
+            # Frozen hash embeddings never change; cache float32 rows
+            # permanently so warm requests skip the hash computation.
+            vec = self.embeddings.vector(word).astype(np.float32)
+            self._wordvec32[word] = vec
+        out[:cfg.word_dim] = vec
+        self.char_encoder.forward_np(
+            char_ids(word), out[cfg.word_dim:], self.arena, "q.char")
+
+    def _question_side_np(self, question: list[str], tag: str,
+                          ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Arena twin of :meth:`_question_side`.
+
+        Returns ``(memory (n, hidden), memory_proj (n, attn), q_unit
+        (n, emb))`` — all arena-owned under ``tag``-scoped keys, so
+        multi-request callers pass distinct tags per request.
+        """
+        cfg = self.config
+        arena = self.arena
+        n = len(question)
+        emb = arena.take(f"{tag}.emb", (n, cfg.emb_dim))
+        for i, word in enumerate(question):
+            self._embed_word_np(word, emb[i])
+        memory = self.question_rnn.forward_batch_np(
+            emb.reshape(n, 1, cfg.emb_dim), None, arena,
+            f"{tag}.rnn").reshape(n, cfg.hidden)
+        mp = self.attention.project_memory_np(memory, arena, f"{tag}.mp")
+        q_unit = arena.take(f"{tag}.unit", (n, cfg.emb_dim))
+        norms = arena.take(f"{tag}.norm", (n, 1))
+        np.multiply(emb, emb, out=q_unit)
+        np.sum(q_unit, axis=1, keepdims=True, out=norms)
+        norms += 1e-8
+        np.sqrt(norms, out=norms)
+        np.divide(emb, norms, out=q_unit)
+        return memory, mp, q_unit
+
+    def _attentive_pass_np(self, states32: np.ndarray,
+                           lengths: np.ndarray,
+                           attend, tag: str,
+                           ) -> tuple[np.ndarray, np.ndarray]:
+        """Run both attentive-LSTM directions over ``(T, B, 2H)`` states.
+
+        ``attend(query, tag)`` computes the per-request attention
+        contexts (single memory or grouped); returns the ``(T, B, H)``
+        forward and backward output slabs.
+        """
+        cfg = self.config
+        arena = self.arena
+        total, batch, _ = states32.shape
+        hs = cfg.hidden
+        needs_mask = int(lengths.min()) < total
+        masks = None
+        if needs_mask:
+            masks = arena.take(f"{tag}.mask", (total, batch, 1))
+            masks[...] = (lengths[None, :, None]
+                          > np.arange(total)[:, None, None])
+        outs = []
+        for direction, cell in ((0, self.fwd_cell), (1, self.bwd_cell)):
+            dtag = f"{tag}.d{direction}"
+            out = arena.take(f"{dtag}.out", (total, batch, hs))
+            h = arena.take(f"{dtag}.h", (batch, hs))
+            c = arena.take(f"{dtag}.c", (batch, hs))
+            hn = arena.take(f"{dtag}.hn", (batch, hs))
+            cn = arena.take(f"{dtag}.cn", (batch, hs))
+            query = arena.take(f"{dtag}.q", (batch, 3 * hs))
+            xh = arena.take(f"{dtag}.xh", (batch, 4 * hs))
+            h[...] = 0.0
+            c[...] = 0.0
+            order = range(total - 1, -1, -1) if direction else range(total)
+            for t in order:
+                s_t = states32[t]
+                query[:, :2 * hs] = s_t
+                query[:, 2 * hs:] = h
+                contexts = attend(query, dtag)
+                xh[:, :2 * hs] = s_t
+                xh[:, 2 * hs:3 * hs] = contexts
+                xh[:, 3 * hs:] = h
+                cell.step_np(xh, c, hn, cn, arena, f"{dtag}.cell")
+                if masks is not None:
+                    m = masks[t]
+                    np.subtract(hn, h, out=hn)
+                    hn *= m
+                    h += hn
+                    np.subtract(cn, c, out=cn)
+                    cn *= m
+                    c += cn
+                else:
+                    h, hn = hn, h
+                    c, cn = cn, c
+                out[t] = h
+            outs.append(out)
+        return outs[0], outs[1]
+
+    def _features_np(self, fwd: np.ndarray, bwd: np.ndarray,
+                     sim_max: np.ndarray, sim_mean: np.ndarray,
+                     lengths: np.ndarray, rows: slice,
+                     features: np.ndarray) -> None:
+        """Fill one request's rows of the zero-padded feature matrix."""
+        cfg = self.config
+        hs = cfg.hidden
+        width = 2 * hs + 2
+        total = sim_max.shape[1]
+        for t in range(total):
+            seg = features[rows, t * width:(t + 1) * width]
+            seg[:, :hs] = fwd[t, rows]
+            seg[:, hs:2 * hs] = bwd[t, rows]
+            seg[:, 2 * hs] = sim_max[:, t]
+            seg[:, 2 * hs + 1] = sim_mean[:, t]
+            invalid = lengths <= t
+            if invalid.any():
+                seg[invalid] = 0.0
+
+    def _sims_np(self, units32: np.ndarray, q_unit: np.ndarray, tag: str,
+                 ) -> tuple[np.ndarray, np.ndarray]:
+        """Max/mean cosine similarities: ``(B, T)`` each."""
+        arena = self.arena
+        batch, total, _ = units32.shape
+        sims = arena.take(f"{tag}.sims", (batch, total, q_unit.shape[0]))
+        np.matmul(units32, q_unit.T, out=sims)
+        sim_max = arena.take(f"{tag}.smax", (batch, total))
+        sim_mean = arena.take(f"{tag}.smean", (batch, total))
+        np.amax(sims, axis=2, out=sim_max)
+        np.mean(sims, axis=2, out=sim_mean)
+        return sim_max, sim_mean
+
+    def _score_columns_np(self, question: list[str],
+                          encoded: EncodedColumns) -> np.ndarray:
+        """Arena/float32 twin of the batched :meth:`score_columns` body."""
+        cfg = self.config
+        arena = self.arena
+        batch = len(encoded)
+        states32, units32 = encoded.as_f32()
+        total = states32.shape[0]
+        memory, mp, q_unit = self._question_side_np(question, "q")
+
+        def attend(query, dtag):
+            contexts, _ = self.attention.forward_batch_np(
+                memory, mp, query, arena, f"{dtag}.att")
+            return contexts
+
+        fwd, bwd = self._attentive_pass_np(
+            states32, encoded.lengths, attend, "col")
+        sim_max, sim_mean = self._sims_np(units32, q_unit, "col")
+        width = 2 * cfg.hidden + 2
+        features = arena.take("col.feats", (batch, width * cfg.max_column_words))
+        features[...] = 0.0
+        self._features_np(fwd, bwd, sim_max, sim_mean, encoded.lengths,
+                          slice(0, batch), features)
+        logits = self.head.forward_np(features, arena, "col.head",
+                                      quantized=self.quantized_scoring)
+        probs = sigmoid_(logits)
+        # Small per-request copy: callers hold the result across requests,
+        # so it must not alias a reused slab.
+        return probs.reshape(batch).astype(np.float64)
+
+    def _score_columns_multi_np(
+            self, items: list[tuple[list[str], EncodedColumns]],
+            ) -> list[np.ndarray]:
+        """Arena/float32 twin of :meth:`score_columns_multi`."""
+        cfg = self.config
+        arena = self.arena
+        hs = cfg.hidden
+        sizes = [len(encoded) for _question, encoded in items]
+        batch = int(sum(sizes))
+        offsets = np.concatenate([[0], np.cumsum(sizes[:-1])]) \
+            if len(sizes) > 1 else np.zeros(1, dtype=np.intp)
+        slices = [slice(int(off), int(off) + size)
+                  for off, size in zip(offsets, sizes)]
+        total = max(len(encoded.states) for _q, encoded in items)
+        union = arena.take("m.states", (total, batch, 2 * hs))
+        union[...] = 0.0
+        per_request = []
+        for rows, (question, encoded) in zip(slices, items):
+            if not question:
+                raise ModelError("question and column must be non-empty")
+            states32, units32 = encoded.as_f32()
+            union[:states32.shape[0], rows] = states32
+            per_request.append((states32, units32))
+        lengths = np.concatenate(
+            [encoded.lengths for _q, encoded in items])
+
+        sides = [self._question_side_np(question, f"m.q{ri}")
+                 for ri, (question, _encoded) in enumerate(items)]
+
+        def attend(query, dtag):
+            contexts = arena.take(f"{dtag}.gctx", (batch, hs))
+            for g, (rows, (memory, mp, _q_unit)) in enumerate(
+                    zip(slices, sides)):
+                ctx_g, _ = self.attention.forward_batch_np(
+                    memory, mp, query[rows], arena, f"{dtag}.att{g}")
+                contexts[rows] = ctx_g
+            return contexts
+
+        fwd, bwd = self._attentive_pass_np(union, lengths, attend, "m.col")
+        width = 2 * hs + 2
+        features = arena.take("m.feats", (batch, width * cfg.max_column_words))
+        features[...] = 0.0
+        for g, (rows, (question, encoded)) in enumerate(zip(slices, items)):
+            _states32, units32 = per_request[g]
+            sim_max, sim_mean = self._sims_np(units32, sides[g][2], f"m.s{g}")
+            self._features_np(fwd, bwd, sim_max, sim_mean, encoded.lengths,
+                              rows, features)
+        logits = self.head.forward_np(features, arena, "m.head",
+                                      quantized=self.quantized_scoring)
+        probs = sigmoid_(logits).reshape(batch)
+        return [probs[rows].astype(np.float64) for rows in slices]
+
     def score_columns_multi(
             self, items: list[tuple[list[str], EncodedColumns]],
             ) -> list[np.ndarray]:
@@ -431,6 +682,8 @@ class ColumnMentionClassifier(Module):
         """
         if not items:
             return []
+        if self.arena_inference:
+            return self._score_columns_multi_np(items)
         cfg = self.config
         with no_grad():
             sizes = [len(encoded) for _question, encoded in items]

@@ -54,6 +54,21 @@ class SchemaEncoding:
     #: Frozen embedding vectors of the non-symbol candidate tokens the
     #: translator can always see for this table (structural + header).
     token_vectors: dict[str, np.ndarray] = field(repr=False)
+    _vectors32: dict[str, np.ndarray] | None = field(
+        default=None, repr=False, compare=False)
+
+    @property
+    def token_vectors32(self) -> dict[str, np.ndarray]:
+        """Float32 twins of :attr:`token_vectors` for the arena decoder.
+
+        Cast lazily, once per table — the float32 candidate-matrix fill
+        then copies rows without a per-request float64→float32 pass.
+        """
+        if self._vectors32 is None:
+            self._vectors32 = {
+                token: np.ascontiguousarray(vec, dtype=np.float32)
+                for token, vec in self.token_vectors.items()}
+        return self._vectors32
 
     def encoded_subset(self, names: list[str]) -> EncodedColumns | None:
         """Cached column encodings row-gathered down to ``names``."""

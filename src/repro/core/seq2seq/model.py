@@ -31,12 +31,15 @@ from repro.nn import (
     Adam,
     BiGRU,
     GRUCell,
+    InferenceArena,
     Linear,
     Module,
     Tensor,
     clip_grad_norm,
     concat,
     no_grad,
+    softmax_rows_,
+    tanh_,
 )
 from repro.text import WordEmbeddings
 
@@ -75,6 +78,10 @@ class Seq2SeqConfig:
     #: per step (the vectorized fast path).  The per-beam Python loop is
     #: kept as the differential-testing reference.
     lockstep_beam: bool = True
+    #: Run lockstep inference through the float32 arena kernels (reused
+    #: preallocated buffers, no autodiff graph, no per-step heap
+    #: allocation).  Training and the per-beam reference stay float64.
+    arena_inference: bool = True
 
 
 @dataclass
@@ -93,11 +100,17 @@ class TrainingPair:
 
 @dataclass
 class _DecodeLane:
-    """Per-request beam-search state inside :meth:`translate_many`."""
+    """Per-request beam-search state inside :meth:`translate_many`.
+
+    The tensor path stores ``memory``/``memory_proj`` as Tensors and
+    ``copy_map`` as the ``(C, T)`` matrix; the arena path stores float32
+    arena views for everything and ``copy_map`` transposed to ``(T, C)``
+    (the layout its in-place copy-mass matmul wants).
+    """
 
     candidates: list[str]
-    memory: Tensor
-    memory_proj: Tensor
+    memory: Tensor | np.ndarray
+    memory_proj: Tensor | np.ndarray
     cand_rows: np.ndarray
     copy_map: np.ndarray
     d_mat: np.ndarray
@@ -140,6 +153,9 @@ class AnnotatedSeq2Seq(Module):
         self.att_v = Linear(cfg.attention_dim, 1, rng, bias=False)
         # Output: project [d_i, β_i] into embedding space (tied weights).
         self.out_proj = Linear(2 * enc_dim, dim, rng)
+        #: Reused inference buffers for the float32 arena fast path —
+        #: grown on the first request of each shape class, then steady.
+        self.arena = InferenceArena()
         # Optional observer called as ``timing_hook(stage, seconds)``
         # with stage ∈ {"encode", "beam_search"} on every translate()
         # call (the serving layer's latency histograms attach here).
@@ -391,6 +407,236 @@ class AnnotatedSeq2Seq(Module):
             rows[i] = vector
         return Tensor(rows)
 
+    # ------------------------------------------------------------------
+    # Float32 arena inference kernels
+    # ------------------------------------------------------------------
+
+    def _encode_np(self, tokens: list[str], tag: str,
+                   ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Arena twin of encode + init: ``(memory, memory_proj, d0)``.
+
+        All three live in reused float32 slabs keyed by ``tag`` (one tag
+        per lane, so concurrent lanes never alias).
+        """
+        if not tokens:
+            raise ModelError("cannot encode an empty sequence")
+        arena = self.arena
+        dim = self.embedder.dim
+        hidden = self.config.hidden
+        n = len(tokens)
+        emb = arena.take(f"{tag}.emb", (n, 1, dim))
+        for i, token in enumerate(tokens):
+            emb[i, 0] = self.embedder.embed_np(token)
+        states = self.encoder.forward_batch_np(emb, None, arena, f"{tag}.enc")
+        memory = states.reshape(n, 2 * hidden)
+        memory_proj = arena.take(f"{tag}.mp", (n, self.config.attention_dim))
+        self.att_memory.forward_np(memory, memory_proj)
+        init_in = arena.take(f"{tag}.ii", (1, 2 * hidden))
+        init_in[0, :hidden] = memory[n - 1, :hidden]
+        init_in[0, hidden:] = memory[0, hidden:]
+        d0 = arena.take(f"{tag}.d0", (1, 2 * hidden))
+        self.init_proj.forward_np(init_in, d0)
+        tanh_(d0)
+        return memory, memory_proj, d0
+
+    def _attend_np(self, memory: np.ndarray, memory_proj: np.ndarray,
+                   d: np.ndarray, tag: str,
+                   query_proj: np.ndarray | None = None,
+                   ) -> tuple[np.ndarray, np.ndarray]:
+        """Arena twin of :meth:`_attend_batch`: ``(scores, contexts)``.
+
+        Raw scores survive in their own slab (the copy rule needs them);
+        the softmax runs in a separate weights slab, in place.
+        """
+        arena = self.arena
+        t = memory.shape[0]
+        b = d.shape[0]
+        attn = self.config.attention_dim
+        if query_proj is None:
+            query_proj = arena.take(f"{tag}.qp", (b, attn))
+            self.att_query.forward_np(d, query_proj)
+        hidden = arena.take(f"{tag}.h", (b, t, attn))
+        np.add(memory_proj[None, :, :], query_proj[:, None, :], out=hidden)
+        tanh_(hidden)
+        v, _ = self.att_v.weights32()
+        scores = arena.take(f"{tag}.s", (b, t))
+        np.matmul(hidden.reshape(b * t, attn), v,
+                  out=scores.reshape(b * t, 1))
+        weights = arena.take(f"{tag}.w", (b, t))
+        np.copyto(weights, scores)
+        softmax_rows_(weights, arena.take(f"{tag}.r", (b, 1)))
+        contexts = arena.take(f"{tag}.c", (b, memory.shape[1]))
+        np.matmul(weights, memory, out=contexts)
+        return scores, contexts
+
+    def _step_distribution_np(self, attention_scores: np.ndarray,
+                              lane: "_DecodeLane", projected: np.ndarray,
+                              tag: str) -> np.ndarray:
+        """Arena twin of :meth:`_step_distribution_batch`: ``(B, C)``.
+
+        Same shared-shift copy rule, every exponential and the
+        normalization in place; the lane's ``copy_map`` is stored
+        transposed ``(T, C)`` so the copy mass is one matmul.
+        """
+        arena = self.arena
+        b = projected.shape[0]
+        c = lane.cand_rows.shape[0]
+        gen = arena.take(f"{tag}.g", (b, c))
+        np.matmul(projected, lane.cand_rows.T, out=gen)
+        shift = arena.take(f"{tag}.sh", (b, 1))
+        np.amax(gen, axis=1, keepdims=True, out=shift)
+        if self.config.use_copy:
+            att_max = arena.take(f"{tag}.am", (b, 1))
+            np.amax(attention_scores, axis=1, keepdims=True, out=att_max)
+            np.maximum(shift, att_max, out=shift)
+            gen -= shift
+            np.exp(gen, out=gen)
+            att_exp = arena.take(f"{tag}.ae", attention_scores.shape)
+            np.subtract(attention_scores, shift, out=att_exp)
+            np.exp(att_exp, out=att_exp)
+            copy_mass = arena.take(f"{tag}.cm", (b, c))
+            np.matmul(att_exp, lane.copy_map, out=copy_mass)
+            gen += copy_mass
+        else:
+            gen -= shift
+            np.exp(gen, out=gen)
+        np.sum(gen, axis=1, keepdims=True, out=shift)
+        gen /= shift
+        return gen
+
+    def _prepare_lane_np(self, source: list[str], header_tokens: list[str],
+                         extra_symbols, width: int | None,
+                         token_vectors: dict | None,
+                         lane_index: int) -> "_DecodeLane":
+        """Encode one request into a float32 arena decode lane."""
+        candidates = build_candidates(source, header_tokens, extra_symbols,
+                                      extended=self.config.extended_grammar)
+        arena = self.arena
+        tag = f"lane{lane_index}"
+        memory, memory_proj, d0 = self._encode_np(source, tag)
+        cand_rows = arena.take(f"{tag}.cand",
+                               (len(candidates), self.embedder.dim))
+        for i, token in enumerate(candidates):
+            vector = token_vectors.get(token) if token_vectors else None
+            cand_rows[i] = (self.embedder.embed_np(token) if vector is None
+                            else vector)
+        copy_map = arena.take(f"{tag}.copy", (len(source), len(candidates)))
+        copy_map[...] = 0.0
+        index = {token: i for i, token in enumerate(candidates)}
+        for j, token in enumerate(source):
+            i = index.get(token)
+            if i is not None:
+                copy_map[j, i] = 1.0
+        _, context0 = self._attend_np(memory, memory_proj, d0, f"{tag}.a0")
+        enc_dim = 2 * self.config.hidden
+        d_mat = arena.take(f"{tag}.dmat", (1, enc_dim))
+        np.copyto(d_mat, d0)
+        ctx_mat = arena.take(f"{tag}.cmat", (1, enc_dim))
+        np.copyto(ctx_mat, context0)
+        return _DecodeLane(candidates=candidates, memory=memory,
+                           memory_proj=memory_proj, cand_rows=cand_rows,
+                           copy_map=copy_map, d_mat=d_mat, ctx_mat=ctx_mat,
+                           width=width or self.config.beam_width)
+
+    def _decode_lockstep_many_np(self, lanes: list["_DecodeLane"],
+                                 ) -> tuple[list[list[str]], list[int]]:
+        """Arena twin of :meth:`_decode_lockstep_many` (handles ≥1 lanes).
+
+        One fused GRU-cell call advances the union of all live beams per
+        step; attention, the copy rule, and top-k pruning stay per lane.
+        Every intermediate lives in a reused slab — a warm decode
+        performs no Tensor construction and no slab growth.  Expansion
+        order and the stable sorts match the float64 paths, so the SQL
+        comes out byte-identical (pinned by the differential tests).
+        """
+        arena = self.arena
+        dim = self.embedder.dim
+        enc_dim = 2 * self.config.hidden
+        attn = self.config.attention_dim
+        for _ in range(self.config.max_decode_len):
+            live = [(li, lane) for li, lane in enumerate(lanes)
+                    if not lane.done]
+            if not live:
+                break
+            total = sum(len(lane.meta) for _, lane in live)
+            # Union decoder-cell input [prev_emb, context, d].
+            xh = arena.take("dec.xh", (total, dim + 2 * enc_dim))
+            d_union = arena.take("dec.d", (total, enc_dim))
+            slices = []
+            offset = 0
+            for _, lane in live:
+                lane.steps += 1
+                rows = slice(offset, offset + len(lane.meta))
+                for b, (_, _, prev) in enumerate(lane.meta):
+                    if prev is None:
+                        xh[offset + b, :dim] = 0.0
+                    else:
+                        xh[offset + b, :dim] = self.embedder.embed_np(prev)
+                xh[rows, dim:dim + enc_dim] = lane.ctx_mat
+                d_union[rows] = lane.d_mat
+                slices.append(rows)
+                offset += len(lane.meta)
+            xh[:, dim + enc_dim:] = d_union
+            d_next = arena.take("dec.dn", (total, enc_dim))
+            self.decoder_cell.step_np(xh, d_union, d_next, arena, "dec.cell")
+            query_proj = arena.take("dec.qp", (total, attn))
+            self.att_query.forward_np(d_next, query_proj)
+
+            proj_in = arena.take("dec.pi", (total, 2 * enc_dim))
+            proj_in[:, :enc_dim] = d_next
+            att_by_lane = []
+            for (li, lane), rows in zip(live, slices):
+                att_scores, contexts = self._attend_np(
+                    lane.memory, lane.memory_proj, d_next[rows],
+                    f"dec.a{li}", query_proj=query_proj[rows])
+                att_by_lane.append(att_scores)
+                proj_in[rows, enc_dim:] = contexts
+            projected = arena.take("dec.pr", (total, dim))
+            self.out_proj.forward_np(proj_in, projected)
+
+            for ((li, lane), rows, att_scores) in zip(live, slices,
+                                                      att_by_lane):
+                probs = self._step_distribution_np(
+                    att_scores, lane, projected[rows], f"dec.p{li}")
+                expansions = []  # (nll, tokens, beam row, token)
+                for b, (nll, tokens, _) in enumerate(lane.meta):
+                    for ci in self._top_k(probs[b], lane.width):
+                        token = lane.candidates[int(ci)]
+                        new_nll = nll - float(
+                            np.log(float(probs[b, ci]) + 1e-12))
+                        if token == EOS:
+                            lane.finished.append(
+                                (new_nll / (len(tokens) + 1), tokens))
+                        else:
+                            expansions.append((new_nll, tokens + [token],
+                                               b, token))
+                if not expansions:
+                    lane.done = True
+                    continue
+                expansions.sort(key=lambda e: e[0])
+                kept = expansions[:lane.width]
+                keep_rows = [row for _, _, row, _ in kept]
+                d_keep = arena.take(f"lane{li}.dmat", (len(kept), enc_dim))
+                np.take(d_next[rows], keep_rows, axis=0, out=d_keep)
+                ctx_keep = arena.take(f"lane{li}.cmat", (len(kept), enc_dim))
+                np.take(proj_in[rows, enc_dim:], keep_rows, axis=0,
+                        out=ctx_keep)
+                lane.d_mat = d_keep
+                lane.ctx_mat = ctx_keep
+                lane.meta = [(nll, tokens, token)
+                             for nll, tokens, _, token in kept]
+
+        outputs, steps = [], []
+        for lane in lanes:
+            finished = lane.finished
+            if not finished:
+                finished = [(nll / max(len(tokens), 1), tokens)
+                            for nll, tokens, _ in lane.meta]
+            finished.sort(key=lambda b: b[0])
+            outputs.append(finished[0][1])
+            steps.append(lane.steps)
+        return outputs, steps
+
     def translate(self, source: list[str], header_tokens: list[str],
                   extra_symbols: tuple[str, ...] = (),
                   beam_width: int | None = None,
@@ -408,6 +654,24 @@ class AnnotatedSeq2Seq(Module):
         width = beam_width or self.config.beam_width
         use_lockstep = (self.config.lockstep_beam if lockstep is None
                         else lockstep)
+        if use_lockstep and self.config.arena_inference:
+            with no_grad():
+                start = perf_counter()
+                lane = self._prepare_lane_np(source, header_tokens,
+                                             extra_symbols, width,
+                                             token_vectors, 0)
+                if self.timing_hook is not None:
+                    self.timing_hook("encode", perf_counter() - start)
+                start = perf_counter()
+                outputs, steps = self._decode_lockstep_many_np([lane])
+                if self.timing_hook is not None:
+                    self.timing_hook("beam_search", perf_counter() - start)
+            self.last_decode = {
+                "path": "lockstep", "steps": steps[0], "beam_width": width,
+                "candidates": len(lane.candidates),
+                "dtype": "float32", "arena": True,
+            }
+            return outputs[0]
         candidates = build_candidates(source, header_tokens, extra_symbols,
                                       extended=self.config.extended_grammar)
         with no_grad():
@@ -436,6 +700,7 @@ class AnnotatedSeq2Seq(Module):
             "path": "lockstep" if use_lockstep else "per_beam",
             "steps": steps, "beam_width": width,
             "candidates": len(candidates),
+            "dtype": "float64", "arena": False,
         }
         return finished[0][1]
 
@@ -465,6 +730,28 @@ class AnnotatedSeq2Seq(Module):
                                    beam_width=req.get("beam_width"),
                                    token_vectors=req.get("token_vectors"))
                     for req in requests]
+        if self.config.arena_inference:
+            with no_grad():
+                start = perf_counter()
+                lanes = [self._prepare_lane_np(
+                    req["source"], req["header_tokens"],
+                    req.get("extra_symbols", ()), req.get("beam_width"),
+                    req.get("token_vectors"), li)
+                    for li, req in enumerate(requests)]
+                if self.timing_hook is not None:
+                    self.timing_hook("encode", perf_counter() - start)
+                start = perf_counter()
+                outputs, steps = self._decode_lockstep_many_np(lanes)
+                if self.timing_hook is not None:
+                    self.timing_hook("beam_search", perf_counter() - start)
+            self.last_decode = {
+                "path": "lockstep_many", "lanes": len(requests),
+                "steps": steps,
+                "beam_width": [lane.width for lane in lanes],
+                "candidates": [len(lane.candidates) for lane in lanes],
+                "dtype": "float32", "arena": True,
+            }
+            return outputs
         lanes = []
         with no_grad():
             start = perf_counter()
@@ -499,6 +786,7 @@ class AnnotatedSeq2Seq(Module):
             "path": "lockstep_many", "lanes": len(requests), "steps": steps,
             "beam_width": [lane.width for lane in lanes],
             "candidates": [len(lane.candidates) for lane in lanes],
+            "dtype": "float64", "arena": False,
         }
         return outputs
 

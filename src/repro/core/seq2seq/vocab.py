@@ -25,7 +25,7 @@ import re
 import numpy as np
 
 from repro.errors import VocabularyError
-from repro.nn import Embedding, Module, Tensor, concat
+from repro.nn import Embedding, Module, Tensor, concat, current_generation
 from repro.text import WordEmbeddings
 
 __all__ = ["STRUCTURAL_TOKENS", "EXTENDED_STRUCTURAL_TOKENS",
@@ -91,6 +91,8 @@ class TokenEmbedder(Module):
         half = self.dim // 2
         self.type_embedding = Embedding(len(_TYPE_IDS), half, rng)
         self.index_embedding = Embedding(max_symbol_index + 1, half, rng)
+        self._np_cache: dict[str, np.ndarray] = {}
+        self._np_gen = -1
 
     def embed(self, token: str) -> Tensor:
         """Embedding of one token, shape ``(1, dim)``."""
@@ -109,6 +111,33 @@ class TokenEmbedder(Module):
     def embed_sequence(self, tokens: list[str]) -> list[Tensor]:
         """Per-token embeddings for a sequence."""
         return [self.embed(t) for t in tokens]
+
+    def embed_np(self, token: str) -> np.ndarray:
+        """Float32 ``(dim,)`` twin of :meth:`embed` with a persistent cache.
+
+        Rows are cached keyed by the model generation (symbol halves are
+        trainable), so warm decodes hit the dict and allocate nothing.
+        """
+        gen = current_generation()
+        if self._np_gen != gen:
+            self._np_cache.clear()
+            self._np_gen = gen
+        vec = self._np_cache.get(token)
+        if vec is None:
+            match = _SYMBOL_RE.match(token)
+            if match:
+                kind, index = match.group(1), int(match.group(2))
+                if index > self.max_symbol_index:
+                    raise VocabularyError(
+                        f"symbol index {index} exceeds maximum "
+                        f"{self.max_symbol_index}")
+                vec = np.concatenate(
+                    [self.type_embedding.table32()[_TYPE_IDS[kind]],
+                     self.index_embedding.table32()[index]])
+            else:
+                vec = self.embeddings.vector(token).astype(np.float32)
+            self._np_cache[token] = vec
+        return vec
 
     def candidate_matrix(self, candidates: list[str]) -> Tensor:
         """Stacked embeddings of candidate tokens, shape ``(C, dim)``."""

@@ -7,6 +7,7 @@ bidirectional variants, 1-D character convolutions, additive attention,
 embeddings, MLPs), losses, and optimizers with gradient clipping.
 """
 
+from repro.nn.arena import InferenceArena, sigmoid_, softmax_rows_, tanh_
 from repro.nn.attention import AdditiveAttention
 from repro.nn.conv import CharConvEncoder, Conv1d
 from repro.nn.functional import (
@@ -18,7 +19,7 @@ from repro.nn.functional import (
     softmax,
 )
 from repro.nn.layers import MLP, Dropout, Embedding, LayerNorm, Linear
-from repro.nn.module import Module, Parameter
+from repro.nn.module import Module, Parameter, bump_generation, current_generation
 from repro.nn.optim import SGD, Adam, clip_grad_norm
 from repro.nn.rnn import (
     LSTM,
@@ -31,11 +32,20 @@ from repro.nn.rnn import (
     pack_steps,
 )
 from repro.nn.serialization import load_module, save_module
-from repro.nn.tensor import Tensor, concat, no_grad, stack
+from repro.nn.tensor import (
+    Tensor,
+    allocation_events,
+    concat,
+    is_grad_enabled,
+    no_grad,
+    stack,
+)
 
 __all__ = [
-    "Tensor", "concat", "stack", "no_grad",
-    "Module", "Parameter",
+    "Tensor", "concat", "stack", "no_grad", "is_grad_enabled",
+    "allocation_events",
+    "Module", "Parameter", "bump_generation", "current_generation",
+    "InferenceArena", "sigmoid_", "tanh_", "softmax_rows_",
     "Linear", "Embedding", "MLP", "Dropout", "LayerNorm",
     "LSTMCell", "GRUCell", "LSTM", "BiLSTM", "GRU", "BiGRU", "pack_steps",
     "merge_steps",

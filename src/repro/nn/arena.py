@@ -1,0 +1,106 @@
+"""Preallocated buffer arena for allocation-free inference kernels.
+
+The autodiff :class:`~repro.nn.tensor.Tensor` layer allocates a fresh
+float64 ndarray per op, even under ``no_grad``.  For the frozen serving
+path that allocation traffic is pure overhead: the hot kernels (lockstep
+beam steps, batched column scoring) run the same shapes request after
+request.  :class:`InferenceArena` owns a set of named, growable float32
+slabs that those kernels write into via ``np.matmul(..., out=)`` and
+in-place nonlinearities; after a short warmup the steady state performs
+zero ndarray allocations per decoder step.
+
+Design points:
+
+* **Named slabs, reshaped views.** ``take(key, shape)`` returns a view
+  of the slab registered under ``key``, reshaped to ``shape``.  The slab
+  grows (never shrinks) when a larger request arrives — e.g. a cohort at
+  the scheduler's ``max_batch`` — and every growth is counted so tests
+  can assert the warm path stops growing.
+* **Reset-not-freed.** ``reset()`` zeroes the bookkeeping counters but
+  keeps every slab, so buffers are reused *across requests*, not just
+  across decoder steps.
+* **Aliasing is the caller's contract.** Two ``take`` calls with the
+  same key return the same memory; kernels that need distinct live
+  buffers (e.g. previous vs. next hidden state) use distinct keys and
+  swap them.
+
+The arena is intentionally not thread-safe: each model instance owns one
+and serializes access through the serving layer's model lock.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["InferenceArena", "sigmoid_", "tanh_", "softmax_rows_"]
+
+
+class InferenceArena:
+    """A registry of named, growable, reusable ndarray slabs."""
+
+    def __init__(self) -> None:
+        self._slabs: dict[str, np.ndarray] = {}
+        self.grows = 0
+        self.takes = 0
+
+    def take(self, key: str, shape: tuple[int, ...],
+             dtype=np.float32) -> np.ndarray:
+        """Return a ``shape``-shaped view of the slab named ``key``.
+
+        The slab is (re)allocated only when the requested element count
+        exceeds its capacity or the dtype changes; otherwise the call is
+        a pure reshape of existing memory.  Contents are *not* cleared —
+        kernels fully overwrite what they take.
+        """
+        self.takes += 1
+        size = 1
+        for dim in shape:
+            size *= dim
+        slab = self._slabs.get(key)
+        if slab is None or slab.size < size or slab.dtype != np.dtype(dtype):
+            self._slabs[key] = slab = np.empty(max(size, 1), dtype=dtype)
+            self.grows += 1
+        return slab[:size].reshape(shape)
+
+    def reset(self) -> None:
+        """Reset usage counters; slabs are kept for reuse."""
+        self.grows = 0
+        self.takes = 0
+
+    def stats(self) -> dict:
+        """Return slab count, total bytes, and usage counters."""
+        return {
+            "buffers": len(self._slabs),
+            "bytes": int(sum(s.nbytes for s in self._slabs.values())),
+            "grows": self.grows,
+            "takes": self.takes,
+        }
+
+
+def sigmoid_(x: np.ndarray) -> np.ndarray:
+    """In-place logistic sigmoid: ``x ← 1 / (1 + exp(-x))``."""
+    np.negative(x, out=x)
+    np.exp(x, out=x)
+    x += 1.0
+    np.reciprocal(x, out=x)
+    return x
+
+
+def tanh_(x: np.ndarray) -> np.ndarray:
+    """In-place hyperbolic tangent."""
+    np.tanh(x, out=x)
+    return x
+
+
+def softmax_rows_(x: np.ndarray, scratch: np.ndarray) -> np.ndarray:
+    """In-place row-wise softmax over the last axis of 2-D ``x``.
+
+    ``scratch`` must be a ``(rows, 1)`` buffer (arena-owned); it holds
+    the row max and then the row sum so no temporaries are allocated.
+    """
+    np.amax(x, axis=1, keepdims=True, out=scratch)
+    x -= scratch
+    np.exp(x, out=x)
+    np.sum(x, axis=1, keepdims=True, out=scratch)
+    x /= scratch
+    return x

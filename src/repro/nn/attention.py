@@ -14,9 +14,10 @@ import numpy as np
 
 from repro.errors import ShapeError
 from repro.nn import init
+from repro.nn.arena import InferenceArena, softmax_rows_, tanh_
 from repro.nn.functional import masked_softmax, softmax
 from repro.nn.layers import Linear
-from repro.nn.module import Module, Parameter
+from repro.nn.module import Module, Parameter, current_generation
 from repro.nn.tensor import Tensor
 
 __all__ = ["AdditiveAttention"]
@@ -41,6 +42,15 @@ class AdditiveAttention(Module):
         self.memory_proj = Linear(memory_dim, attention_dim, rng, bias=False)
         self.query_proj = Linear(query_dim, attention_dim, rng, bias=True)
         self.v = Parameter(init.uniform(rng, (attention_dim,), 0.1))
+        self._v32_gen = -1
+
+    def v32(self) -> np.ndarray:
+        """Float32 snapshot of ``v``, cached per model generation."""
+        gen = current_generation()
+        if self._v32_gen != gen:
+            self._v32 = np.ascontiguousarray(self.v.data, dtype=np.float32)
+            self._v32_gen = gen
+        return self._v32
 
     def scores(self, memory: Tensor, query: Tensor) -> Tensor:
         """Return unnormalized attention scores ``e`` of shape ``(T,)``.
@@ -124,3 +134,47 @@ class AdditiveAttention(Module):
             contexts[rows.start:rows.stop] = (weights @ memory).numpy()
             per_group.append(weights)
         return Tensor(contexts), per_group
+
+    # ------------------------------------------------------------------
+    # Arena kernel twins (float32, allocation-free)
+    # ------------------------------------------------------------------
+
+    def project_memory_np(self, memory: np.ndarray, arena: InferenceArena,
+                          tag: str) -> np.ndarray:
+        """``W_1 memory`` once per request: ``(T, md) → (T, attn)`` slab."""
+        mp = arena.take(tag, (memory.shape[0], self.v.shape[0]))
+        return self.memory_proj.forward_np(memory, mp)
+
+    def scores_batch_np(self, memory_proj: np.ndarray, queries: np.ndarray,
+                        arena: InferenceArena, tag: str) -> np.ndarray:
+        """Arena twin of :meth:`scores_batch` given the projected memory.
+
+        ``memory_proj`` is the ``(T, attn)`` output of
+        :meth:`project_memory_np`; ``queries`` is ``(B, query_dim)``.
+        Returns an arena-owned ``(B, T)`` score buffer.
+        """
+        t, attn = memory_proj.shape
+        b = queries.shape[0]
+        qp = arena.take(f"{tag}.qp", (b, attn))
+        self.query_proj.forward_np(queries, qp)
+        hidden = arena.take(f"{tag}.hidden", (b, t, attn))
+        np.add(memory_proj[None, :, :], qp[:, None, :], out=hidden)
+        tanh_(hidden)
+        scores = arena.take(f"{tag}.scores", (b, t))
+        np.matmul(hidden.reshape(b * t, attn), self.v32(),
+                  out=scores.reshape(b * t))
+        return scores
+
+    def forward_batch_np(self, memory: np.ndarray, memory_proj: np.ndarray,
+                         queries: np.ndarray, arena: InferenceArena,
+                         tag: str) -> tuple[np.ndarray, np.ndarray]:
+        """Arena twin of :meth:`forward_batch`: ``(contexts, weights)``.
+
+        The returned score buffer is softmaxed in place, so it doubles
+        as the weights; contexts land in their own slab.
+        """
+        scores = self.scores_batch_np(memory_proj, queries, arena, tag)
+        softmax_rows_(scores, arena.take(f"{tag}.row", (scores.shape[0], 1)))
+        contexts = arena.take(f"{tag}.ctx", (queries.shape[0], memory.shape[1]))
+        np.matmul(scores, memory, out=contexts)
+        return contexts, scores

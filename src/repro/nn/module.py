@@ -14,7 +14,27 @@ import numpy as np
 from repro.errors import ModelError
 from repro.nn.tensor import Tensor
 
-__all__ = ["Parameter", "Module"]
+__all__ = ["Parameter", "Module", "bump_generation", "current_generation"]
+
+# Global model-generation counter.  Anything that mutates parameter data
+# (optimizer steps, state-dict loads, pretrained-embedding loads) bumps
+# it; inference-time float32/int8 weight snapshots are cached keyed by
+# this value, so a single integer compare tells a frozen model that its
+# snapshots are still valid while a fine-tune invalidates all of them at
+# once.
+_MODEL_GENERATION = 0
+
+
+def bump_generation() -> int:
+    """Record a parameter mutation; invalidates cached weight snapshots."""
+    global _MODEL_GENERATION
+    _MODEL_GENERATION += 1
+    return _MODEL_GENERATION
+
+
+def current_generation() -> int:
+    """Return the current model-generation counter."""
+    return _MODEL_GENERATION
 
 
 class Parameter(Tensor):
@@ -120,6 +140,7 @@ class Module:
                 raise ModelError(
                     f"shape mismatch for {name}: model {param.data.shape} vs state {array.shape}")
             param.data = np.asarray(array, dtype=np.float64).copy()
+        bump_generation()
 
     def __call__(self, *args, **kwargs):
         return self.forward(*args, **kwargs)

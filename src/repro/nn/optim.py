@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.nn.module import Parameter
+from repro.nn.module import Parameter, bump_generation
 
 __all__ = ["SGD", "Adam", "clip_grad_norm"]
 
@@ -56,6 +56,7 @@ class SGD(Optimizer):
         self._velocity = [np.zeros_like(p.data) for p in self.parameters]
 
     def step(self) -> None:
+        bump_generation()
         for param, velocity in zip(self.parameters, self._velocity):
             if param.grad is None:
                 continue
@@ -81,6 +82,7 @@ class Adam(Optimizer):
         self._v = [np.zeros_like(p.data) for p in self.parameters]
 
     def step(self) -> None:
+        bump_generation()
         self._step += 1
         b1, b2 = self.beta1, self.beta2
         bias1 = 1.0 - b1 ** self._step

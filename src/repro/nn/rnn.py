@@ -24,6 +24,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import ShapeError
+from repro.nn.arena import InferenceArena, sigmoid_, tanh_
 from repro.nn.layers import Linear
 from repro.nn.module import Module
 from repro.nn.tensor import Tensor, concat
@@ -118,6 +119,29 @@ def _step_masks(lengths: np.ndarray | None, total: int,
             for t in range(total)]
 
 
+def _masks_np(lengths: np.ndarray | None, total: int, batch: int,
+              arena: InferenceArena, tag: str) -> np.ndarray | None:
+    """Float32 ``(T, B, 1)`` hold masks in an arena slab, or ``None``."""
+    if lengths is None:
+        return None
+    lengths = np.asarray(lengths, dtype=np.intp)
+    if lengths.shape != (batch,):
+        raise ShapeError(
+            f"lengths shape {lengths.shape} does not match batch {batch}")
+    if lengths.min() == total:
+        return None
+    masks = arena.take(tag, (total, batch, 1))
+    masks[...] = lengths[None, :, None] > np.arange(total)[:, None, None]
+    return masks
+
+
+def _blend_(h: np.ndarray, h_new: np.ndarray, m: np.ndarray) -> None:
+    """In-place hold update ``h ← h_new·m + h·(1−m)``; destroys ``h_new``."""
+    np.subtract(h_new, h, out=h_new)
+    h_new *= m
+    h += h_new
+
+
 class LSTMCell(Module):
     """A single LSTM cell with fused gates."""
 
@@ -144,6 +168,33 @@ class LSTMCell(Module):
         h_next = o * c_next.tanh()
         return h_next, c_next
 
+    def step_np(self, xh: np.ndarray, c: np.ndarray, h_out: np.ndarray,
+                c_out: np.ndarray, arena: InferenceArena, tag: str) -> None:
+        """Allocation-free float32 twin of :meth:`forward`.
+
+        ``xh`` is the preassembled ``(B, input+hidden)`` buffer; the
+        fused gate matmul lands in an arena slab and every nonlinearity
+        runs in place.  ``c_out`` may alias ``c``; ``h_out`` must be a
+        distinct buffer from ``xh``.
+        """
+        hs = self.hidden_size
+        batch = xh.shape[0]
+        z = arena.take(f"{tag}.z", (batch, 4 * hs))
+        self.gates.forward_np(xh, z)
+        i = z[:, 0 * hs:1 * hs]
+        f = z[:, 1 * hs:2 * hs]
+        g = z[:, 2 * hs:3 * hs]
+        o = z[:, 3 * hs:4 * hs]
+        sigmoid_(i)
+        sigmoid_(f)
+        tanh_(g)
+        sigmoid_(o)
+        np.multiply(f, c, out=c_out)
+        i *= g
+        c_out += i
+        np.tanh(c_out, out=h_out)
+        h_out *= o
+
 
 class GRUCell(Module):
     """A single GRU cell (update/reset gates + candidate state)."""
@@ -168,6 +219,33 @@ class GRUCell(Module):
         r = gates[:, hs:].sigmoid()
         h_tilde = self.candidate(concat([x, r * h], axis=-1)).tanh()
         return (1.0 - z) * h + z * h_tilde
+
+    def step_np(self, xh: np.ndarray, h: np.ndarray, h_out: np.ndarray,
+                arena: InferenceArena, tag: str) -> None:
+        """Allocation-free float32 twin of :meth:`forward`.
+
+        ``xh`` is the preassembled ``(B, input+hidden)`` buffer with the
+        input in columns ``[:input]`` and ``h`` copied into columns
+        ``[input:]``.  The hidden columns are overwritten with ``r·h``
+        for the candidate matmul, so ``xh`` is destroyed.  ``h_out`` may
+        alias ``h``.
+        """
+        hs = self.hidden_size
+        batch = xh.shape[0]
+        zr = arena.take(f"{tag}.zr", (batch, 2 * hs))
+        self.zr.forward_np(xh, zr)
+        z = zr[:, :hs]
+        r = zr[:, hs:]
+        sigmoid_(z)
+        sigmoid_(r)
+        np.multiply(r, h, out=xh[:, self.input_size:])
+        ht = arena.take(f"{tag}.ht", (batch, hs))
+        self.candidate.forward_np(xh, ht)
+        tanh_(ht)
+        # h_out ← h + z·(ht − h), all in place
+        np.subtract(ht, h, out=ht)
+        ht *= z
+        np.add(h, ht, out=h_out)
 
 
 def _check_steps(steps: list[Tensor]) -> None:
@@ -232,6 +310,48 @@ class LSTM(Module):
             outputs = layer_out
         return outputs
 
+    def forward_batch_np(self, inputs: np.ndarray,
+                         lengths: np.ndarray | None,
+                         arena: InferenceArena, tag: str,
+                         reverse: bool = False) -> np.ndarray:
+        """Arena twin of :meth:`forward_batch` on a ``(T, B, feat)`` array.
+
+        The per-layer pre-transform runs as ONE ``(T·B, feat)`` matmul;
+        cell steps write into reused slabs.  Returns the arena-owned
+        ``(T, B, hidden)`` output slab (valid until the same tags are
+        taken again).
+        """
+        total, batch, _ = inputs.shape
+        masks = _masks_np(lengths, total, batch, arena, f"{tag}.mask")
+        order = range(total - 1, -1, -1) if reverse else range(total)
+        cur = inputs
+        for li, (pre, cell) in enumerate(zip(self.pre, self.cells)):
+            hs = cell.hidden_size
+            x = arena.take(f"{tag}.pre{li}", (total, batch, hs))
+            pre.forward_np(cur.reshape(total * batch, -1),
+                           x.reshape(total * batch, hs))
+            out = arena.take(f"{tag}.out{li}", (total, batch, hs))
+            h = arena.take(f"{tag}.h{li}", (batch, hs))
+            c = arena.take(f"{tag}.c{li}", (batch, hs))
+            hn = arena.take(f"{tag}.hn{li}", (batch, hs))
+            cn = arena.take(f"{tag}.cn{li}", (batch, hs))
+            xh = arena.take(f"{tag}.xh{li}", (batch, 2 * hs))
+            h[...] = 0.0
+            c[...] = 0.0
+            for t in order:
+                xh[:, :hs] = x[t]
+                xh[:, hs:] = h
+                cell.step_np(xh, c, hn, cn, arena, f"{tag}.cell{li}")
+                if masks is not None:
+                    _blend_(h, hn, masks[t])
+                    _blend_(c, cn, masks[t])
+                else:
+                    h, hn = hn, h
+                    c, cn = cn, c
+                out[t] = h
+            cur = out
+        return cur
+
 
 class BiLSTM(Module):
     """Bidirectional LSTM; output per step is ``[forward; backward]``."""
@@ -256,6 +376,21 @@ class BiLSTM(Module):
         fwd = self.forward_rnn.forward_batch(steps, lengths)
         bwd = self.backward_rnn.forward_batch(steps, lengths, reverse=True)
         return [concat([f, b], axis=-1) for f, b in zip(fwd, bwd)]
+
+    def forward_batch_np(self, inputs: np.ndarray,
+                         lengths: np.ndarray | None,
+                         arena: InferenceArena, tag: str) -> np.ndarray:
+        """Arena twin of :meth:`forward_batch`; returns ``(T, B, 2H)``."""
+        total, batch, _ = inputs.shape
+        hs = self.hidden_size
+        fwd = self.forward_rnn.forward_batch_np(
+            inputs, lengths, arena, f"{tag}.f")
+        bwd = self.backward_rnn.forward_batch_np(
+            inputs, lengths, arena, f"{tag}.b", reverse=True)
+        out = arena.take(f"{tag}.cat", (total, batch, 2 * hs))
+        out[..., :hs] = fwd
+        out[..., hs:] = bwd
+        return out
 
 
 class GRU(Module):
@@ -307,6 +442,37 @@ class GRU(Module):
                 layer_out[t] = h
             outputs = layer_out
         return outputs
+
+    def forward_batch_np(self, inputs: np.ndarray,
+                         lengths: np.ndarray | None,
+                         arena: InferenceArena, tag: str,
+                         reverse: bool = False) -> np.ndarray:
+        """Arena twin of :meth:`forward_batch`; returns ``(T, B, H)``."""
+        total, batch, _ = inputs.shape
+        masks = _masks_np(lengths, total, batch, arena, f"{tag}.mask")
+        order = range(total - 1, -1, -1) if reverse else range(total)
+        cur = inputs
+        for li, (pre, cell) in enumerate(zip(self.pre, self.cells)):
+            hs = cell.hidden_size
+            x = arena.take(f"{tag}.pre{li}", (total, batch, hs))
+            pre.forward_np(cur.reshape(total * batch, -1),
+                           x.reshape(total * batch, hs))
+            out = arena.take(f"{tag}.out{li}", (total, batch, hs))
+            h = arena.take(f"{tag}.h{li}", (batch, hs))
+            hn = arena.take(f"{tag}.hn{li}", (batch, hs))
+            xh = arena.take(f"{tag}.xh{li}", (batch, 2 * hs))
+            h[...] = 0.0
+            for t in order:
+                xh[:, :hs] = x[t]
+                xh[:, hs:] = h
+                cell.step_np(xh, h, hn, arena, f"{tag}.cell{li}")
+                if masks is not None:
+                    _blend_(h, hn, masks[t])
+                else:
+                    h, hn = hn, h
+                out[t] = h
+            cur = out
+        return cur
 
 
 class BiGRU(Module):
@@ -379,3 +545,42 @@ class BiGRU(Module):
                 bwd[t] = h
             outputs = [concat([f, b], axis=-1) for f, b in zip(fwd, bwd)]
         return outputs
+
+    def forward_batch_np(self, inputs: np.ndarray,
+                         lengths: np.ndarray | None,
+                         arena: InferenceArena, tag: str) -> np.ndarray:
+        """Arena twin of :meth:`forward_batch`; returns ``(T, B, 2H)``.
+
+        Matches the Tensor layout: layer ``l+1`` consumes the previous
+        layer's concatenated ``[forward; backward]`` slab through its
+        affine pre-transform, run as one ``(T·B, feat)`` matmul.
+        """
+        total, batch, _ = inputs.shape
+        masks = _masks_np(lengths, total, batch, arena, f"{tag}.mask")
+        cur = inputs
+        for li, (pre, fwd_cell, bwd_cell) in enumerate(
+                zip(self.pre, self.fwd_cells, self.bwd_cells)):
+            hs = fwd_cell.hidden_size
+            x = arena.take(f"{tag}.pre{li}", (total, batch, hs))
+            pre.forward_np(cur.reshape(total * batch, -1),
+                           x.reshape(total * batch, hs))
+            out = arena.take(f"{tag}.cat{li}", (total, batch, 2 * hs))
+            h = arena.take(f"{tag}.h{li}", (batch, hs))
+            hn = arena.take(f"{tag}.hn{li}", (batch, hs))
+            xh = arena.take(f"{tag}.xh{li}", (batch, 2 * hs))
+            for direction, cell, order in (
+                    (0, fwd_cell, range(total)),
+                    (1, bwd_cell, range(total - 1, -1, -1))):
+                h[...] = 0.0
+                lo, hi = direction * hs, (direction + 1) * hs
+                for t in order:
+                    xh[:, :hs] = x[t]
+                    xh[:, hs:] = h
+                    cell.step_np(xh, h, hn, arena, f"{tag}.cell{li}.{direction}")
+                    if masks is not None:
+                        _blend_(h, hn, masks[t])
+                    else:
+                        h, hn = hn, h
+                    out[t, :, lo:hi] = h
+            cur = out
+        return cur

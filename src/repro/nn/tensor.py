@@ -18,34 +18,60 @@ The design goals are:
 
 from __future__ import annotations
 
+import threading
 from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
 from repro.errors import GradientError, ShapeError
 
-__all__ = ["Tensor", "concat", "stack", "no_grad", "is_grad_enabled"]
+__all__ = ["Tensor", "concat", "stack", "no_grad", "is_grad_enabled",
+           "allocation_events"]
 
-_GRAD_ENABLED = True
+
+class _GradMode(threading.local):
+    """Thread-local grad-mode switch.
+
+    The class attribute doubles as the per-thread default, so freshly
+    spawned threads start with recording *enabled* (the process-global
+    behaviour callers have always seen) while ``no_grad`` entered on one
+    thread no longer leaks into concurrent requests on other threads.
+    """
+
+    enabled = True
+
+
+_GRAD_MODE = _GradMode()
+
+# Count of Tensor constructions since process start.  This is the
+# substrate's "allocation event" metric: every Tensor wraps (and usually
+# copies into) a fresh float64 ndarray, so the delta across a request is
+# a direct measure of per-request allocation traffic.  The arena kernels
+# bypass Tensor entirely, which is what BENCH_inference's
+# ``allocations_per_request`` cell quantifies.
+_ALLOC_EVENTS = 0
+
+
+def allocation_events() -> int:
+    """Return the number of Tensor constructions since process start."""
+    return _ALLOC_EVENTS
 
 
 class no_grad:
     """Context manager disabling graph construction (inference mode)."""
 
     def __enter__(self) -> "no_grad":
-        global _GRAD_ENABLED
-        self._prev = _GRAD_ENABLED
-        _GRAD_ENABLED = False
+        self._prev = _GRAD_MODE.enabled
+        _GRAD_MODE.enabled = False
         return self
 
     def __exit__(self, *exc) -> None:
-        global _GRAD_ENABLED
-        _GRAD_ENABLED = self._prev
+        _GRAD_MODE.enabled = self._prev
 
 
 def is_grad_enabled() -> bool:
-    """Return whether autodiff graph recording is currently enabled."""
-    return _GRAD_ENABLED
+    """Return whether autodiff graph recording is enabled on this thread."""
+    return _GRAD_MODE.enabled
 
 
 def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
@@ -85,9 +111,11 @@ class Tensor:
                  "_pending_grads")
 
     def __init__(self, data, requires_grad: bool = False, name: str | None = None):
+        global _ALLOC_EVENTS
+        _ALLOC_EVENTS += 1
         self.data = _as_array(data)
         self.grad: np.ndarray | None = None
-        self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
+        self.requires_grad = bool(requires_grad) and _GRAD_MODE.enabled
         self._backward: Callable[[np.ndarray], None] | None = None
         self._parents: tuple[Tensor, ...] = ()
         self.name = name
@@ -111,7 +139,7 @@ class Tensor:
     def _make(self, data: np.ndarray, parents: Sequence["Tensor"],
               backward: Callable[[np.ndarray], None]) -> "Tensor":
         out = Tensor(data)
-        if _GRAD_ENABLED and any(p.requires_grad for p in parents):
+        if _GRAD_MODE.enabled and any(p.requires_grad for p in parents):
             out.requires_grad = True
             out._parents = tuple(parents)
             out._backward = backward

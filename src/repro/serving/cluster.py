@@ -39,14 +39,17 @@ schema v3): ``TranslationResult.replica_id`` / ``shard_key`` plus a
 ``route`` stage record prepended to the trace carrying the replica,
 shard key, generation color, and whether the request failed over.
 
-Concurrency note: the numpy substrate's grad-mode flag is
-process-global, so *model* inference is serialized across the whole
-process no matter how many replicas exist — all replica services share
-one model lock.  What the cluster scales is everything around the
-kernels: per-shard cache hotness, queue isolation, failover, and
-model rollover; true CPU parallelism would come from running replicas
-in separate processes behind the same router, which this layer's
-shard-key contract is designed to allow.
+Concurrency note: the substrate's grad-mode flag is thread-local, so
+grad state no longer forces process-wide serialization — what does is
+the mutable inference state replicas share when given the same model
+object: the per-model inference arenas and generation-cached float32
+weight snapshots.  All replica services therefore share one model
+lock.  What the cluster scales is everything around the kernels:
+per-shard cache hotness, queue isolation, failover, and model
+rollover; true CPU parallelism would come from running replicas (each
+with its own model instance, hence its own arenas) in separate
+processes behind the same router, which this layer's shard-key
+contract is designed to allow.
 """
 
 from __future__ import annotations
@@ -212,8 +215,9 @@ class ClusterService:
         self._scheduler_policy = scheduler_policy
         self._cache_size = cache_size
         # One shared model lock across every replica (and every future
-        # standby generation): the substrate's grad-mode flag is
-        # process-global, so inference must never interleave.
+        # standby generation): replicas handed the same model object
+        # share its inference arenas and weight snapshots, so inference
+        # must never interleave.
         self._model_lock = threading.Lock()
         models = self._coerce_models(models, n_replicas)
         ids = [f"r{i}" for i in range(len(models))]

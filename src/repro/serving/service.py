@@ -54,9 +54,12 @@ failures.  (The pre-envelope ``raw=True`` escape hatch is gone; callers
 needing the bare :class:`~repro.core.nlidb.Translation` read
 ``result.translation``.)
 
-Thread safety: the numpy substrate's ``no_grad`` flips a module-global
-flag, so *model* inference is serialized — structurally, by the
-scheduler's single worker thread, and defensively by the model lock.
+Thread safety: the substrate's grad-mode flag is thread-local, so
+``no_grad`` on a worker thread cannot corrupt training elsewhere; what
+still needs serializing is the models' *mutable inference state* (the
+reused arena buffers and per-generation weight snapshots).  Model
+inference is therefore serialized — structurally, by the scheduler's
+single worker thread, and defensively by the model lock.
 Cache hits resolve at submission time without touching the queue and
 therefore proceed concurrently.  Every returned :class:`Translation`
 may be shared between callers — treat it as immutable.  Note that
@@ -149,11 +152,13 @@ class TranslationService:
     sleep:
         Injectable sleep used for retry backoff.
     model_lock:
-        Optional shared lock serializing model inference.  The numpy
-        substrate's grad-mode flag is *process*-global, so when several
-        services share one process (the cluster's worker replicas) they
-        must also share one model lock; a lone service defaults to its
-        own.
+        Optional shared lock serializing model inference.  The
+        substrate's grad-mode flag is thread-local, so the lock no
+        longer guards that; it guards the models' mutable inference
+        state (arena buffers, weight-snapshot caches, ``last_decode``).
+        Several services sharing one *model* in one process (the
+        cluster's worker replicas) must share one lock; a lone service
+        defaults to its own.
     """
 
     def __init__(self, nlidb: NLIDB, cache_size: int = DEFAULT_CACHE_SIZE,
@@ -298,6 +303,11 @@ class TranslationService:
         schema_stats = getattr(annotator, "schema_cache_stats", None)
         if schema_stats is not None:
             snapshot["schema_cache"] = schema_stats()
+        # Which numeric inference path is live (dtype, arena occupancy,
+        # int8 scoring) — skipped for test stubs without the hook.
+        inference_info = getattr(self.nlidb, "inference_info", None)
+        if callable(inference_info):
+            snapshot["inference"] = inference_info()
         return snapshot
 
     def clear_cache(self) -> None:
@@ -605,8 +615,8 @@ class TranslationService:
         identity stamped into every record by
         :class:`BatchTraceMiddleware`.
         """
-        # Caller holds the model lock (the substrate's grad-mode flag is
-        # process-global, so inference must not interleave).
+        # Caller holds the model lock (the arena buffers and weight
+        # snapshots are shared, so inference must not interleave).
         prefix = "" if mode == "full" else "degraded."
         ctx = self.nlidb.context(question_tokens, table, mode=mode,
                                  beam_width=beam_width,
